@@ -1,0 +1,103 @@
+// Experiment E10 — crypto substrate microbenchmarks: the primitives every
+// §3.3 play spends (hashing, commitments, seed sampling, Merkle batches).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/commitment.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/seed_commitment.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace ga;
+
+void BM_sha256(benchmark::State& state)
+{
+    common::Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::sha256(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_hmac_sha256(benchmark::State& state)
+{
+    const common::Bytes key = common::bytes_of("key material");
+    common::Bytes message(static_cast<std::size_t>(state.range(0)), 0x5c);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(key, message));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_hmac_sha256)->Arg(64)->Arg(1024);
+
+void BM_commit(benchmark::State& state)
+{
+    common::Rng rng{1};
+    const common::Bytes payload = common::bytes_of("action:1");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::commit(payload, rng));
+    }
+}
+BENCHMARK(BM_commit);
+
+void BM_verify_commitment(benchmark::State& state)
+{
+    common::Rng rng{2};
+    const crypto::Committed committed = crypto::commit(common::bytes_of("action:1"), rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::verify(committed.commitment, committed.opening));
+    }
+}
+BENCHMARK(BM_verify_commitment);
+
+void BM_sampled_action(benchmark::State& state)
+{
+    const common::Bytes seed = common::bytes_of("0123456789abcdef0123456789abcdef");
+    const std::vector<double> mixture{0.25, 0.25, 0.5};
+    std::uint64_t t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::sampled_action(seed, 3, t++, mixture));
+    }
+}
+BENCHMARK(BM_sampled_action);
+
+void BM_merkle_build(benchmark::State& state)
+{
+    std::vector<common::Bytes> leaves;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+        common::Bytes leaf;
+        common::put_u64(leaf, static_cast<std::uint64_t>(i));
+        leaves.push_back(leaf);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Merkle_tree{leaves});
+    }
+}
+BENCHMARK(BM_merkle_build)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_merkle_prove_verify(benchmark::State& state)
+{
+    std::vector<common::Bytes> leaves;
+    for (std::int64_t i = 0; i < state.range(0); ++i) {
+        common::Bytes leaf;
+        common::put_u64(leaf, static_cast<std::uint64_t>(i));
+        leaves.push_back(leaf);
+    }
+    const crypto::Merkle_tree tree{leaves};
+    std::size_t index = 0;
+    for (auto _ : state) {
+        const auto proof = tree.prove(index % leaves.size());
+        benchmark::DoNotOptimize(
+            crypto::verify_inclusion(tree.root(), leaves[index % leaves.size()], proof));
+        ++index;
+    }
+}
+BENCHMARK(BM_merkle_prove_verify)->Arg(256)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

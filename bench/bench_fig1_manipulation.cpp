@@ -1,0 +1,135 @@
+// Experiment E1 — Fig. 1 and §5.1/§5.4: hidden manipulative strategies in
+// matching pennies, and how the game authority's mixed-strategy audit removes
+// the manipulator's edge.
+//
+// Regenerates:
+//   (a) the Fig. 1 payoff matrix;
+//   (b) the analytic expectations: B's manipulation lifts B from 0 to +4 per
+//       play and drops A from 0 to -4;
+//   (c) measured per-play payoffs over many plays, without the authority
+//       (manipulation runs forever) and with it (§5.3 seed audit detects the
+//       deviation at once; §3.4 disconnection ends the damage).
+#include <iostream>
+
+#include "authority/local_authority.h"
+#include "common/table.h"
+#include "crypto/seed_commitment.h"
+#include "game/canonical.h"
+#include "game/mixed.h"
+
+namespace {
+
+using namespace ga;
+using namespace ga::authority;
+
+Game_spec fig1_spec()
+{
+    Game_spec spec;
+    spec.name = "matching-pennies-fig1";
+    spec.game = std::make_shared<game::Matrix_game>(game::manipulated_matching_pennies());
+    spec.equilibrium = {{0.5, 0.5}, {0.5, 0.5, 0.0}};
+    spec.audit_mode = Audit_mode::mixed_seed;
+    return spec;
+}
+
+/// Baseline without any authority: A samples the elected mixture faithfully,
+/// B plays the hidden Manipulate column; nobody audits anything.
+void run_unsupervised(int plays, double& a_payoff, double& b_payoff)
+{
+    const game::Matrix_game g = game::manipulated_matching_pennies();
+    common::Rng rng{2024};
+    const crypto::Seed_commitment seed = crypto::commit_seed(rng);
+    double a_total = 0.0;
+    double b_total = 0.0;
+    for (int t = 0; t < plays; ++t) {
+        const int a_action = crypto::sampled_action(seed.opening.payload, 0,
+                                                    static_cast<std::uint64_t>(t), {0.5, 0.5});
+        const game::Pure_profile profile{a_action, game::mp_manipulate};
+        a_total += g.payoff(0, profile);
+        b_total += g.payoff(1, profile);
+    }
+    a_payoff = a_total / plays;
+    b_payoff = b_total / plays;
+}
+
+/// Supervised run: the full authority pipeline with the given punishment.
+struct Supervised_result {
+    double a_payoff_per_play = 0.0;
+    double b_payoff_per_play = 0.0;
+    int fouls = 0;
+    bool b_active = true;
+};
+
+Supervised_result run_supervised(int plays, bool manipulator)
+{
+    std::vector<std::unique_ptr<Agent_behavior>> behaviors;
+    behaviors.push_back(std::make_unique<Honest_behavior>());
+    if (manipulator) {
+        behaviors.push_back(std::make_unique<Fixed_action_behavior>(game::mp_manipulate));
+    } else {
+        behaviors.push_back(std::make_unique<Honest_behavior>());
+    }
+    Local_authority authority{fig1_spec(), std::move(behaviors),
+                              std::make_unique<Disconnect_scheme>(), common::Rng{7}};
+    for (int t = 0; t < plays; ++t) authority.play_round();
+
+    Supervised_result result;
+    result.a_payoff_per_play = -authority.executive().standing(0).cumulative_cost / plays;
+    result.b_payoff_per_play = -authority.executive().standing(1).cumulative_cost / plays;
+    result.fouls = authority.executive().standing(1).fouls;
+    result.b_active = authority.executive().standing(1).active;
+    return result;
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "=== E1: Fig. 1 — matching pennies with a hidden manipulation strategy ===\n\n";
+
+    const game::Matrix_game g = game::manipulated_matching_pennies();
+    std::cout << "Fig. 1 payoff matrix (A,B):\n";
+    common::Table matrix{{"A\\B", "Heads", "Tails", "Manipulate"}};
+    const auto cell = [&](int a, int b) {
+        return "(" + common::fixed(g.payoff(0, {a, b}), 0) + "," +
+               common::fixed(g.payoff(1, {a, b}), 0) + ")";
+    };
+    matrix.add_row({"Heads", cell(0, 0), cell(0, 1), cell(0, 2)});
+    matrix.add_row({"Tails", cell(1, 0), cell(1, 1), cell(1, 2)});
+    matrix.print(std::cout);
+
+    std::cout << "\nAnalytic expectation vs A's honest (1/2, 1/2) mixing:\n";
+    common::Table analytic{{"B strategy", "E[A payoff]", "E[B payoff]"}};
+    const game::Mixed_profile honest{{0.5, 0.5}, {0.5, 0.5, 0.0}};
+    const game::Mixed_profile manipulated{{0.5, 0.5}, {0.0, 0.0, 1.0}};
+    analytic.add_row({"honest mix", common::fixed(-game::expected_cost(g, 0, honest), 2),
+                      common::fixed(-game::expected_cost(g, 1, honest), 2)});
+    analytic.add_row({"Manipulate", common::fixed(-game::expected_cost(g, 0, manipulated), 2),
+                      common::fixed(-game::expected_cost(g, 1, manipulated), 2)});
+    analytic.print(std::cout);
+
+    constexpr int plays = 100000;
+    double a_unsup = 0.0;
+    double b_unsup = 0.0;
+    run_unsupervised(plays, a_unsup, b_unsup);
+    const Supervised_result honest_run = run_supervised(plays, /*manipulator=*/false);
+    const Supervised_result caught_run = run_supervised(plays, /*manipulator=*/true);
+
+    std::cout << "\nMeasured per-play payoffs over " << plays << " plays:\n";
+    common::Table measured{
+        {"scenario", "A payoff/play", "B payoff/play", "B fouls", "B still active"}};
+    measured.add_row({"no authority, B manipulates", common::fixed(a_unsup, 3),
+                      common::fixed(b_unsup, 3), "-", "yes"});
+    measured.add_row({"authority, both honest", common::fixed(honest_run.a_payoff_per_play, 3),
+                      common::fixed(honest_run.b_payoff_per_play, 3),
+                      std::to_string(honest_run.fouls), honest_run.b_active ? "yes" : "no"});
+    measured.add_row({"authority, B manipulates", common::fixed(caught_run.a_payoff_per_play, 3),
+                      common::fixed(caught_run.b_payoff_per_play, 3),
+                      std::to_string(caught_run.fouls), caught_run.b_active ? "yes" : "no"});
+    measured.print(std::cout);
+
+    std::cout << "\nShape check: without the authority B sustains ~+4/play (A ~-4); with the\n"
+                 "authority the seed audit flags the first deviation, B is disconnected, and\n"
+                 "both long-run averages collapse to ~0 — the §5.4 PoM reduction.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Experiment E6 — §5.4 + [21]: the price of malice, with and without the game
+// authority, in the virus-inoculation game on a grid.
+//
+// Without the authority, b Byzantine liars (claim inoculated, stay insecure)
+// inflate the honest agents' realized social cost: PoM(b) grows with b. With
+// the authority, the judicial audit exposes the lie and the executive
+// disconnects the liars, so PoM stays ~1 — "the game authority clearly
+// reduces the ability of dishonest agents to manipulate".
+#include <iostream>
+
+#include "common/table.h"
+#include "metrics/pom.h"
+
+int main()
+{
+    using namespace ga;
+    using namespace ga::metrics;
+
+    std::cout << "=== E6: price of malice in the virus-inoculation game (grid, C=1, L=4) ===\n\n";
+
+    Pom_config config;
+    config.rows = 12;
+    config.cols = 12;
+    config.inoculation_cost = 1.0;
+    config.loss = 4.0;
+    config.trials = 8;
+    const int max_byzantine = 8;
+
+    common::Rng rng_without{11};
+    common::Rng rng_with{13};
+    const auto without = pom_curve(config, max_byzantine, /*with_authority=*/false, rng_without);
+    const auto with = pom_curve(config, max_byzantine, /*with_authority=*/true, rng_with);
+
+    std::cout << "Grid " << config.rows << "x" << config.cols << " (" << config.rows * config.cols
+              << " agents), " << config.trials << " liar placements per point.\n\n";
+    common::Table table{{"byzantine b", "honest SC (no authority)", "PoM (no authority)",
+                         "honest SC (authority)", "PoM (authority)"}};
+    for (int b = 0; b <= max_byzantine; ++b) {
+        table.add_row({std::to_string(b),
+                       common::fixed(without[static_cast<std::size_t>(b)].byzantine_cost, 2),
+                       common::fixed(without[static_cast<std::size_t>(b)].pom, 4),
+                       common::fixed(with[static_cast<std::size_t>(b)].byzantine_cost, 2),
+                       common::fixed(with[static_cast<std::size_t>(b)].pom, 4)});
+    }
+    table.print(std::cout);
+
+    // Worst-case (greedy adversarial) liar placement on a smaller grid: the
+    // [21] definition uses worst-case Byzantine behaviour, and the greedy
+    // search lower-bounds it deterministically.
+    Pom_config small = config;
+    small.rows = 8;
+    small.cols = 8;
+    std::cout << "\nGreedy worst-case placement (8x8 grid):\n";
+    common::Table worst{{"byzantine b", "worst PoM (no authority)", "worst PoM (authority)"}};
+    for (int b = 0; b <= max_byzantine; b += 2) {
+        const auto off = measure_pom_worst_case(small, b, false);
+        const auto on = measure_pom_worst_case(small, b, true);
+        worst.add_row({std::to_string(b), common::fixed(off.pom, 4), common::fixed(on.pom, 4)});
+    }
+    worst.print(std::cout);
+
+    std::cout << "\nShape check: the no-authority PoM column grows monotonically (each liar\n"
+                 "grows some honest node's insecure component); the authority column stays at\n"
+                 "or below ~1 (liars detected and disconnected; honest agents re-equilibrate).\n";
+    return 0;
+}

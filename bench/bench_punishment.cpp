@@ -1,0 +1,96 @@
+// Experiment E9 — §3.4 punishment-scheme ablation.
+//
+// The paper lists disconnection, real-money deposits (fines), and reputation
+// as punishment options, observing that "punishment is useful when there is a
+// price that the dishonest agent is not willing to pay" while "a complete
+// Byzantine agent bears any punishment". This bench runs the Fig. 1
+// manipulator under all three schemes and reports who pays what, when the
+// manipulation stream actually stops, and what the honest agent lost.
+#include <iostream>
+
+#include "authority/local_authority.h"
+#include "common/table.h"
+#include "game/canonical.h"
+
+namespace {
+
+using namespace ga;
+using namespace ga::authority;
+
+Game_spec fig1_spec()
+{
+    Game_spec spec;
+    spec.name = "matching-pennies-fig1";
+    spec.game = std::make_shared<game::Matrix_game>(game::manipulated_matching_pennies());
+    spec.equilibrium = {{0.5, 0.5}, {0.5, 0.5, 0.0}};
+    spec.audit_mode = Audit_mode::mixed_seed;
+    return spec;
+}
+
+struct Scheme_outcome {
+    std::string scheme;
+    int plays_until_stop = 0; ///< plays until the cheater is excluded (-1: never)
+    int fouls = 0;
+    double honest_cost = 0.0;
+    double cheater_cost = 0.0;
+    double fines_paid = 0.0;
+    bool cheater_active = true;
+};
+
+Scheme_outcome run(const std::string& name, std::unique_ptr<Punishment_scheme> scheme, int plays)
+{
+    std::vector<std::unique_ptr<Agent_behavior>> behaviors;
+    behaviors.push_back(std::make_unique<Honest_behavior>());
+    behaviors.push_back(std::make_unique<Fixed_action_behavior>(game::mp_manipulate));
+    Local_authority authority{fig1_spec(), std::move(behaviors), std::move(scheme),
+                              common::Rng{99}};
+
+    Scheme_outcome outcome;
+    outcome.scheme = name;
+    outcome.plays_until_stop = -1;
+    for (int t = 0; t < plays; ++t) {
+        authority.play_round();
+        if (outcome.plays_until_stop < 0 && !authority.executive().standing(1).active) {
+            outcome.plays_until_stop = t + 1;
+        }
+    }
+    const auto& honest = authority.executive().standing(0);
+    const auto& cheater = authority.executive().standing(1);
+    outcome.fouls = cheater.fouls;
+    outcome.honest_cost = honest.cumulative_cost;
+    outcome.cheater_cost = cheater.cumulative_cost + cheater.fines; // game cost + fines
+    outcome.fines_paid = cheater.fines;
+    outcome.cheater_active = cheater.active;
+    return outcome;
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "=== E9: punishment-scheme ablation (Fig. 1 manipulator, 200 plays) ===\n\n";
+    constexpr int plays = 200;
+
+    std::vector<Scheme_outcome> outcomes;
+    outcomes.push_back(run("disconnect", std::make_unique<Disconnect_scheme>(), plays));
+    outcomes.push_back(run("fine(5) deposit 25", std::make_unique<Fine_scheme>(5.0, 25.0), plays));
+    outcomes.push_back(
+        run("reputation(x0.5, <0.1)", std::make_unique<Reputation_scheme>(0.5, 0.1), plays));
+
+    common::Table table{{"scheme", "fouls", "excluded after play", "honest cum. cost",
+                         "cheater cost+fines", "fines collected", "cheater active"}};
+    for (const auto& o : outcomes) {
+        table.add_row({o.scheme, std::to_string(o.fouls),
+                       o.plays_until_stop < 0 ? "never" : std::to_string(o.plays_until_stop),
+                       common::fixed(o.honest_cost, 2), common::fixed(o.cheater_cost, 2),
+                       common::fixed(o.fines_paid, 2), o.cheater_active ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape check: disconnection stops the stream immediately (1 play of\n"
+                 "exposure); fines let the cheater keep playing until the deposit runs out,\n"
+                 "making the cheater's total (game + fines) strictly worse than honesty when\n"
+                 "the fine exceeds the per-play manipulation gain; reputation decay sits in\n"
+                 "between. A complete Byzantine agent only ever stops via disconnection.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment E11 (extension) — the selfish MAC layer from the paper's
+// introduction ([5]): what the channel loses to no-backoff selfishness and
+// what the game authority restores by enforcing the elected schedule.
+#include <iostream>
+
+#include "authority/local_authority.h"
+#include "common/table.h"
+#include "game/analysis.h"
+#include "game/mac_game.h"
+
+namespace {
+
+using namespace ga;
+using namespace ga::authority;
+
+/// Measured channel throughput under authority supervision with `aggressors`
+/// stations refusing to back off, over `plays` supervised slots.
+double supervised_throughput(int stations, int aggressors, int plays)
+{
+    auto game = std::make_shared<game::Mac_game>(
+        stations, std::vector<double>{0.05, 0.1, 0.2, 0.35, 0.5, 1.0}, 0.0);
+    const game::Pure_profile elected = game->best_symmetric_profile();
+
+    Game_spec spec;
+    spec.name = "selfish-mac";
+    spec.game = game;
+    for (int i = 0; i < stations; ++i)
+        spec.equilibrium.push_back(
+            game::pure_as_mixed(elected[static_cast<std::size_t>(i)], game->n_actions(i)));
+    spec.audit_mode = Audit_mode::mixed_seed;
+
+    std::vector<std::unique_ptr<Agent_behavior>> behaviors;
+    for (int i = 0; i < stations; ++i) {
+        if (i < aggressors) {
+            behaviors.push_back(
+                std::make_unique<Fixed_action_behavior>(game->n_actions(i) - 1)); // p = 1
+        } else {
+            behaviors.push_back(std::make_unique<Honest_behavior>());
+        }
+    }
+    Local_authority authority{spec, std::move(behaviors), std::make_unique<Disconnect_scheme>(),
+                              common::Rng{31}};
+
+    double total = 0.0;
+    int counted = 0;
+    for (int t = 0; t < plays; ++t) {
+        const Round_report report = authority.play_round();
+        if (!report.suspended) {
+            total += game->total_throughput(report.outcome);
+            ++counted;
+        }
+    }
+    return counted > 0 ? total / counted : 0.0;
+}
+
+} // namespace
+
+int main()
+{
+    std::cout << "=== E11 (extension): selfish MAC — no-backoff selfishness vs authority ===\n\n";
+
+    const int stations = 4;
+    const game::Mac_game g{stations, {0.05, 0.1, 0.2, 0.35, 0.5, 1.0}, 0.0};
+    const game::Pure_profile elected = g.best_symmetric_profile();
+    const game::Pure_profile collapse(static_cast<std::size_t>(stations), g.n_actions(0) - 1);
+
+    std::cout << "Static analysis (" << stations << " stations, free energy):\n";
+    common::Table analysis{{"profile", "per-station p", "channel throughput", "is NE"}};
+    analysis.add_row({"elected symmetric",
+                      common::fixed(g.probability_grid()[static_cast<std::size_t>(elected[0])], 2),
+                      common::fixed(g.total_throughput(elected), 4),
+                      game::is_pure_nash(g, elected) ? "yes" : "no"});
+    analysis.add_row({"no-backoff collapse", "1.00",
+                      common::fixed(g.total_throughput(collapse), 4),
+                      game::is_pure_nash(g, collapse) ? "yes" : "no"});
+    analysis.print(std::cout);
+
+    std::cout << "\nSupervised channel (2000 slots; aggressors always transmit):\n";
+    common::Table table{{"aggressor stations", "mean channel throughput", "note"}};
+    for (const int aggressors : {0, 1, 2}) {
+        const double throughput = supervised_throughput(stations, aggressors, 2000);
+        table.add_row({std::to_string(aggressors), common::fixed(throughput, 4),
+                       aggressors == 0 ? "elected schedule holds"
+                                       : "aggressors detected, disconnected (slot 1)"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nShape check: without enforcement the no-backoff profile is a Nash\n"
+                 "equilibrium with ZERO goodput; under the authority the elected schedule\n"
+                 "is enforced by seed audits, and aggressive stations are expelled before\n"
+                 "they can depress the channel. (With aggressors expelled, the play is\n"
+                 "suspended in this 4-station game — the remaining society re-elects in a\n"
+                 "Governance era; see test_governance.)\n";
+    return 0;
+}

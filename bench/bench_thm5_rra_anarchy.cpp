@@ -1,0 +1,63 @@
+// Experiment E4+E5 — Theorem 5 and Lemma 6 (§6).
+//
+// Supervised repeated resource allocation: the k-round anarchy ratio
+// R(k) = EM(k)/OPT(k) must sit below 1 + 2b/k and converge to 1, and the load
+// spread Delta(k) must stay below 2n-1, for every equilibrium selector.
+#include <iostream>
+
+#include "common/table.h"
+#include "metrics/anarchy.h"
+
+int main()
+{
+    using namespace ga;
+    using namespace ga::metrics;
+
+    std::cout << "=== E4: Theorem 5 — multi-round anarchy cost of supervised RRA ===\n";
+
+    const std::vector<int> checkpoints{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+    common::Rng rng{7};
+
+    struct Sweep {
+        int agents;
+        int bins;
+        game::Rra_rule rule;
+        const char* rule_name;
+    };
+    const std::vector<Sweep> sweeps{
+        {8, 2, game::Rra_rule::symmetric_mixed, "symmetric-mixed"},
+        {8, 4, game::Rra_rule::symmetric_mixed, "symmetric-mixed"},
+        {8, 4, game::Rra_rule::adversarial_pure, "adversarial-pure"},
+        {32, 8, game::Rra_rule::symmetric_mixed, "symmetric-mixed"},
+        {32, 8, game::Rra_rule::adversarial_pure, "adversarial-pure"},
+        {32, 16, game::Rra_rule::adversarial_pure, "adversarial-pure"},
+    };
+
+    for (const Sweep& sweep : sweeps) {
+        Anarchy_config config;
+        config.agents = sweep.agents;
+        config.bins = sweep.bins;
+        config.rule = sweep.rule;
+        config.trials = 6;
+        common::Rng sweep_rng =
+            rng.split(static_cast<std::uint64_t>(sweep.agents * 100 + sweep.bins));
+        const auto series = rra_anarchy_series(config, checkpoints, sweep_rng);
+
+        std::cout << "\nn=" << sweep.agents << " agents, b=" << sweep.bins << " resources, "
+                  << sweep.rule_name << " equilibria:\n";
+        common::Table table{{"k", "mean R(k)", "worst R(k)", "bound 1+2b/k", "under bound",
+                             "max Delta(k)", "Lemma6 cap 2n-1"}};
+        for (const auto& point : series) {
+            table.add_row({std::to_string(point.k), common::fixed(point.mean_ratio, 4),
+                           common::fixed(point.max_ratio, 4), common::fixed(point.bound, 4),
+                           point.max_ratio <= point.bound ? "yes" : "NO",
+                           std::to_string(point.max_spread),
+                           std::to_string(2 * sweep.agents - 1)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nShape check: every row sits under 1 + 2b/k; R(k) decays toward 1 as k grows\n"
+                 "(Theorem 5: R = 1); Delta(k) never exceeds 2n-1 (Lemma 6).\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+// The §6 scenario: a consortium of Internet companies shares licenses for
+// advertisement clips on video web sites. Every round each company places one
+// demand on a hosting resource; loads are public after each round; everyone
+// is selfish about service time. Under game-authority supervision the agents
+// are forced to play the simple load-only rules the majority elected, and the
+// multi-round anarchy cost provably collapses to 1 (Theorem 5).
+#include <iostream>
+
+#include "common/table.h"
+#include "game/resource_allocation.h"
+#include "metrics/anarchy.h"
+
+using namespace ga;
+
+int main()
+{
+    constexpr int companies = 12; // consortium members
+    constexpr int hosts = 4;      // licensed video hosts
+
+    std::cout << "RRA consortium: " << companies << " companies, " << hosts
+              << " hosting providers, supervised by the game authority.\n\n";
+
+    // One concrete run, narrated.
+    game::Rra_process process{companies, hosts, game::Rra_rule::symmetric_mixed,
+                              common::Rng{77}};
+    std::cout << "First five rounds (loads after each round):\n";
+    for (int k = 1; k <= 5; ++k) {
+        process.play_round();
+        std::cout << "  round " << k << ": loads = [";
+        for (std::size_t a = 0; a < process.loads().size(); ++a)
+            std::cout << (a ? ", " : "") << process.loads()[a];
+        std::cout << "]  spread=" << process.spread() << " (Lemma 6 cap "
+                  << 2 * companies - 1 << ")\n";
+    }
+
+    // The multi-round anarchy cost trajectory.
+    metrics::Anarchy_config config;
+    config.agents = companies;
+    config.bins = hosts;
+    config.rule = game::Rra_rule::symmetric_mixed;
+    config.trials = 8;
+    common::Rng rng{78};
+    const auto series = metrics::rra_anarchy_series(config, {1, 4, 16, 64, 256, 1024}, rng);
+
+    std::cout << "\nMulti-round anarchy cost R(k) (Theorem 5: R(k) <= 1 + 2b/k, R -> 1):\n";
+    common::Table table{{"k", "mean R(k)", "bound 1+2b/k", "max spread"}};
+    for (const auto& point : series) {
+        table.add_row({std::to_string(point.k), common::fixed(point.mean_ratio, 4),
+                       common::fixed(point.bound, 4), std::to_string(point.max_spread)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nBecause the authority guarantees everyone plays by the elected load-only\n"
+                 "rules, the consortium can adopt the simplest selection criterion (backlog\n"
+                 "size) and still get asymptotically optimal host utilization — the paper's\n"
+                 "argument for letting the honest majority pick simple, predictable games.\n";
+    return 0;
+}

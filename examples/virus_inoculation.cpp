@@ -1,0 +1,60 @@
+// Price-of-malice walkthrough on the virus-inoculation game ([21]).
+//
+// A grid of machines each decide whether to buy anti-virus protection.
+// Byzantine machines lie — they claim protection they don't have, so their
+// honest neighbours under-protect. Without the game authority the honest
+// players' realized cost climbs with every liar; with it, the lie is detected
+// (the claimed action is audited against reality) and the liars are cut off.
+#include <iostream>
+
+#include "common/table.h"
+#include "game/analysis.h"
+#include "game/virus_inoculation.h"
+#include "metrics/pom.h"
+
+using namespace ga;
+
+int main()
+{
+    const int rows = 8;
+    const int cols = 8;
+    const double inoculation_cost = 1.0;
+    const double loss = 4.0;
+
+    std::cout << "Virus inoculation on an " << rows << "x" << cols << " grid (C="
+              << inoculation_cost << ", L=" << loss << ").\n\n";
+
+    // The honest-only equilibrium, for orientation.
+    const sim::Graph grid = sim::grid_graph(rows, cols);
+    const game::Virus_inoculation_game game{&grid, inoculation_cost, loss};
+    const game::Pure_profile eq = game.best_response_equilibrium();
+    int protectors = 0;
+    for (const int a : eq) protectors += a == game::vi_inoculate ? 1 : 0;
+    std::cout << "All-selfish equilibrium: " << protectors << "/" << rows * cols
+              << " machines inoculate; social cost = "
+              << game::social_cost(game, eq) << ".\n\n";
+
+    metrics::Pom_config config;
+    config.rows = rows;
+    config.cols = cols;
+    config.inoculation_cost = inoculation_cost;
+    config.loss = loss;
+    config.trials = 6;
+
+    common::Rng rng_off{5};
+    common::Rng rng_on{6};
+    const auto off = metrics::pom_curve(config, 6, /*with_authority=*/false, rng_off);
+    const auto on = metrics::pom_curve(config, 6, /*with_authority=*/true, rng_on);
+
+    common::Table table{{"liars", "PoM without authority", "PoM with authority"}};
+    for (std::size_t b = 0; b < off.size(); ++b) {
+        table.add_row({std::to_string(off[b].byzantine), common::fixed(off[b].pom, 3),
+                       common::fixed(on[b].pom, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nWith the authority, every liar is exposed by the audit and disconnected\n"
+                 "(§3.4); the honest players re-equilibrate among themselves and the price\n"
+                 "of malice stays at ~1 (§5.4).\n";
+    return 0;
+}

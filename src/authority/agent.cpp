@@ -1,0 +1,66 @@
+#include "authority/agent.h"
+
+#include "game/analysis.h"
+
+namespace ga::authority {
+
+Play_decision Honest_behavior::decide(const Play_context& ctx)
+{
+    return Play_decision{ctx.prescribed_action, true};
+}
+
+Play_decision Malicious_behavior::decide(const Play_context& ctx)
+{
+    common::ensure(ctx.game != nullptr && ctx.previous != nullptr && ctx.self >= 0,
+                   "Malicious_behavior: incomplete context");
+    game::Pure_profile probe = *ctx.previous;
+    double worst_for_others = -1e300;
+    int chosen = ctx.prescribed_action;
+    for (int a = 0; a < ctx.game->n_actions(ctx.self); ++a) {
+        probe[static_cast<std::size_t>(ctx.self)] = a;
+        double others = 0.0;
+        for (common::Agent_id j = 0; j < ctx.game->n_agents(); ++j) {
+            if (j != ctx.self) others += ctx.game->cost(j, probe);
+        }
+        if (others > worst_for_others) {
+            worst_for_others = others;
+            chosen = a;
+        }
+    }
+    return Play_decision{chosen, true};
+}
+
+Play_decision Myopic_behavior::decide(const Play_context& ctx)
+{
+    common::ensure(ctx.rng != nullptr && ctx.game != nullptr, "Myopic_behavior: incomplete context");
+    if (ctx.round < myopic_rounds_ && ctx.rng->chance(deviation_chance_)) {
+        const int actions = ctx.game->n_actions(ctx.self);
+        return Play_decision{static_cast<int>(ctx.rng->below(static_cast<std::uint64_t>(actions))),
+                             true};
+    }
+    return Play_decision{ctx.prescribed_action, true};
+}
+
+Play_decision Fake_reveal_behavior::decide(const Play_context& ctx)
+{
+    return Play_decision{ctx.prescribed_action, false};
+}
+
+Play_decision Illegal_action_behavior::decide(const Play_context& ctx)
+{
+    common::ensure(ctx.game != nullptr, "Illegal_action_behavior: incomplete context");
+    return Play_decision{ctx.game->n_actions(ctx.self), true}; // first out-of-range index
+}
+
+Play_decision Tit_for_tat_behavior::decide(const Play_context& ctx)
+{
+    common::ensure(ctx.previous != nullptr && ctx.game != nullptr,
+                   "Tit_for_tat_behavior: incomplete context");
+    common::ensure(opponent_ >= 0 && opponent_ < ctx.game->n_agents(),
+                   "Tit_for_tat_behavior: opponent out of range");
+    const int copied = (*ctx.previous)[static_cast<std::size_t>(opponent_)];
+    if (ctx.game->is_legitimate_action(ctx.self, copied)) return Play_decision{copied, true};
+    return Play_decision{ctx.prescribed_action, true};
+}
+
+} // namespace ga::authority

@@ -1,0 +1,125 @@
+// Application-layer agent behaviours (§1.1: "users control programs").
+//
+// The middleware runs the protocol; a behaviour only decides which action the
+// agent tries to play and whether it cooperates with the commit/reveal
+// discipline. Honest behaviour follows the prescription (best response or
+// committed-seed sample); the dishonest variants model the paper's threat
+// catalogue: hidden manipulative strategies (§5.1), non-best-response
+// deviation (§3.2's foul plays), illegitimate actions, broken openings, and
+// the short-lived myopic logic of §4.
+#ifndef GA_AUTHORITY_AGENT_H
+#define GA_AUTHORITY_AGENT_H
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "game/strategic_game.h"
+
+namespace ga::authority {
+
+struct Play_context {
+    const game::Strategic_game* game = nullptr;
+    common::Agent_id self = -1;
+    /// Profile of the previous play (the first play uses the elected profile).
+    const game::Pure_profile* previous = nullptr;
+    /// The action the rules prescribe for this agent now (best response under
+    /// pure auditing; the committed-seed sample under mixed auditing).
+    int prescribed_action = 0;
+    int round = 0;
+    common::Rng* rng = nullptr;
+};
+
+struct Play_decision {
+    int action = 0;
+    /// When false the agent presents an opening that does not match its
+    /// commitment (detected as commitment_mismatch by every auditor).
+    bool honest_opening = true;
+};
+
+class Agent_behavior {
+public:
+    virtual ~Agent_behavior() = default;
+    virtual Play_decision decide(const Play_context& ctx) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Plays exactly what the rules prescribe.
+class Honest_behavior final : public Agent_behavior {
+public:
+    Play_decision decide(const Play_context& ctx) override;
+    [[nodiscard]] std::string name() const override { return "honest"; }
+};
+
+/// Always plays one fixed action — the hidden manipulative strategy of §5.1
+/// (e.g. B's "Manipulate" column in Fig. 1).
+class Fixed_action_behavior final : public Agent_behavior {
+public:
+    explicit Fixed_action_behavior(int action) : action_{action} {}
+    Play_decision decide(const Play_context&) override { return Play_decision{action_, true}; }
+    [[nodiscard]] std::string name() const override { return "fixed-action"; }
+
+private:
+    int action_;
+};
+
+/// Plays the action that maximizes the *other* agents' total cost (a
+/// cost-maximizing Byzantine agent in the sense of §3.4).
+class Malicious_behavior final : public Agent_behavior {
+public:
+    Play_decision decide(const Play_context& ctx) override;
+    [[nodiscard]] std::string name() const override { return "malicious"; }
+};
+
+/// Short-lived myopic logic (§4): deviates uniformly at random with
+/// probability `deviation_chance` for the first `myopic_rounds` rounds, then
+/// behaves honestly forever — the self(ish)-stabilization workload.
+class Myopic_behavior final : public Agent_behavior {
+public:
+    Myopic_behavior(double deviation_chance, int myopic_rounds)
+        : deviation_chance_{deviation_chance}, myopic_rounds_{myopic_rounds}
+    {
+    }
+    Play_decision decide(const Play_context& ctx) override;
+    [[nodiscard]] std::string name() const override { return "myopic"; }
+
+private:
+    double deviation_chance_;
+    int myopic_rounds_;
+};
+
+/// Honest action, dishonest opening: the commitment never verifies.
+class Fake_reveal_behavior final : public Agent_behavior {
+public:
+    Play_decision decide(const Play_context& ctx) override;
+    [[nodiscard]] std::string name() const override { return "fake-reveal"; }
+};
+
+/// Submits an action outside its action set Pi_i (the judicial service's
+/// "legitimate action choice" requirement, §3.2 item 1).
+class Illegal_action_behavior final : public Agent_behavior {
+public:
+    Play_decision decide(const Play_context& ctx) override;
+    [[nodiscard]] std::string name() const override { return "illegal-action"; }
+};
+
+/// Tit-for-tat (repeated-game strategy, cf. the authors' follow-up [10]):
+/// copies the action a designated opponent played in the previous round.
+/// Deliberately included to document a sharp edge of §3.2's foul rule: the
+/// rule enforces *myopic* best response, so long-horizon strategies like
+/// tit-for-tat cooperation in the prisoner's dilemma are punished as fouls
+/// even though they are socially better — the society must elect a game (or
+/// equilibrium) whose rules already encode the cooperation it wants.
+class Tit_for_tat_behavior final : public Agent_behavior {
+public:
+    explicit Tit_for_tat_behavior(common::Agent_id opponent) : opponent_{opponent} {}
+    Play_decision decide(const Play_context& ctx) override;
+    [[nodiscard]] std::string name() const override { return "tit-for-tat"; }
+
+private:
+    common::Agent_id opponent_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_AGENT_H

@@ -1,0 +1,117 @@
+// Distributed game-authority processor (§3.3 over the §4 substrate).
+//
+// Each play is carried out by a sequence of Byzantine-agreement activations,
+// scheduled by the self-stabilizing clock core exactly as Theorem 1 composes
+// SSBA. One play occupies four phases of f+2 pulses each:
+//
+//   phase 0  outcome    IC on each processor's view of the previous play's
+//                       profile ("the play starts by announcing the outcome");
+//                       majority re-aligns replicas after transient faults
+//   phase 1  commit     agents choose actions, commit (Blum-style), IC on the
+//                       set of commitments
+//   phase 2  reveal     IC on the set of openings
+//   phase 3  foul       local deterministic audit of the agreed submissions,
+//                       then IC on the foul bitmasks; the agreed foul set N'
+//                       is handed to the executive replica for punishment
+//
+// The clock period is 4(f+2)+2; a play starts whenever the clock reaches 1,
+// so after any transient fault the next clock wrap starts a clean play — the
+// middleware is self(ish)-stabilizing. The executive ledger is deliberately
+// outside the corruption model: §4 notes the executive service is application
+// dependent "and therefore should be made self-stabilizing on a case basis".
+#ifndef GA_AUTHORITY_AUTHORITY_PROCESSOR_H
+#define GA_AUTHORITY_AUTHORITY_PROCESSOR_H
+
+#include <memory>
+
+#include "authority/agent.h"
+#include "authority/executive.h"
+#include "authority/game_spec.h"
+#include "authority/judicial.h"
+#include "authority/punishment.h"
+#include "bft/eig.h"
+#include "bft/parallel_ic.h"
+#include "clock/clock_core.h"
+#include "sim/processor.h"
+
+namespace ga::authority {
+
+/// Builds one interactive-consistency activation. The default is EIG
+/// (optimal resilience n > 3f, exponential payloads); ic_parallel_phase_king
+/// gives the polynomial path (requires n > 4f).
+using Ic_factory = std::function<std::unique_ptr<bft::Ic_session>(
+    int n, int f, common::Processor_id self, bft::Value input)>;
+
+/// The default EIG factory.
+Ic_factory ic_eig();
+
+/// Parallel interactive consistency over Turpin-Coan/phase-king (n > 4f).
+Ic_factory ic_parallel_phase_king();
+
+/// One completed play as observed by one processor.
+struct Play_record {
+    common::Pulse completed_at = 0;
+    game::Pure_profile outcome;
+    std::vector<common::Agent_id> punished; ///< the agreed foul set N'
+};
+
+class Authority_processor final : public sim::Processor {
+public:
+    /// Pulses per play phase for an IC activation of `ic_rounds` send rounds
+    /// (one extra slot delivers the final round), and the derived clock
+    /// period: four phases per play plus wrap slack.
+    static int phase_length_for(int ic_rounds) { return ic_rounds + 1; }
+    static int clock_period_for(int ic_rounds) { return 4 * phase_length_for(ic_rounds) + 2; }
+
+    /// Send rounds of one activation under `factory` for an (n, f) system.
+    static int ic_rounds_of(const Ic_factory& factory, int n, int f);
+
+    /// Distributed plays currently support pure best-response auditing (the
+    /// mixed tier is exercised through Local_authority).
+    Authority_processor(common::Processor_id id, int n, int f, Game_spec spec,
+                        std::unique_ptr<Agent_behavior> behavior,
+                        std::unique_ptr<Punishment_scheme> punishment, common::Rng rng,
+                        Ic_factory ic_factory = ic_eig());
+
+    void on_pulse(sim::Pulse_context& ctx) override;
+    void corrupt(common::Rng& rng) override;
+
+    [[nodiscard]] int clock() const { return clock_.value(); }
+    [[nodiscard]] const std::vector<Play_record>& plays() const { return plays_; }
+    [[nodiscard]] const Executive_service& executive() const { return executive_; }
+    [[nodiscard]] const game::Pure_profile& previous_outcome() const { return previous_; }
+
+private:
+    enum class Phase : int { outcome = 0, commit = 1, reveal = 2, foul = 3 };
+
+    [[nodiscard]] bft::Value phase_input(Phase phase, common::Pulse now);
+    void process_phase_result(Phase phase, common::Pulse now);
+    [[nodiscard]] static common::Bytes encode_profile(const game::Pure_profile& profile);
+    [[nodiscard]] std::optional<game::Pure_profile> decode_profile(const common::Bytes& bytes) const;
+
+    int n_;
+    int f_;
+    Game_spec spec_;
+    std::unique_ptr<Agent_behavior> behavior_;
+    std::unique_ptr<Punishment_scheme> punishment_;
+    Ic_factory ic_factory_;
+    int ic_rounds_;
+    clock::Clock_core clock_;
+    common::Rng rng_;
+    Judicial_service judicial_;
+    Executive_service executive_;
+
+    game::Pure_profile previous_;          ///< replicated previous outcome
+    std::unique_ptr<bft::Ic_session> session_;
+    int last_sent_phase_ = -1;             ///< own broadcast echo (the Session
+    common::Round last_sent_round_ = -1;   ///< contract includes self-delivery)
+    common::Bytes last_sent_payload_;
+    std::optional<crypto::Opening> my_opening_;
+    std::vector<Submission> submissions_;  ///< agreed commitments + openings
+    std::vector<Verdict> my_verdicts_;     ///< local audit of the agreed data
+    std::vector<Play_record> plays_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_AUTHORITY_PROCESSOR_H

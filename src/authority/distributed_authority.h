@@ -1,0 +1,63 @@
+// Harness for the distributed game-authority tier: builds the engine, installs
+// one Authority_processor per honest agent and arbitrary Byzantine processors
+// in the remaining slots, steps pulses, and enacts the executive's
+// disconnection orders on the physical network (the one action a replica
+// cannot perform from inside: cutting the wires).
+#ifndef GA_AUTHORITY_DISTRIBUTED_AUTHORITY_H
+#define GA_AUTHORITY_DISTRIBUTED_AUTHORITY_H
+
+#include <functional>
+#include <set>
+
+#include "authority/authority_processor.h"
+#include "sim/engine.h"
+
+namespace ga::authority {
+
+/// Fresh punishment-scheme instance per processor replica.
+using Punishment_factory = std::function<std::unique_ptr<Punishment_scheme>()>;
+
+/// Builds the Byzantine processor for a slot (defaults to a Random_babbler).
+using Byzantine_factory =
+    std::function<std::unique_ptr<sim::Processor>(common::Processor_id id, common::Rng rng)>;
+
+class Distributed_authority {
+public:
+    /// `behaviors[i]` may be null for slots listed in `byzantine` (those run
+    /// Byzantine processors instead of the protocol).
+    Distributed_authority(Game_spec spec, int f,
+                          std::vector<std::unique_ptr<Agent_behavior>> behaviors,
+                          const std::set<common::Processor_id>& byzantine,
+                          Punishment_factory make_punishment, common::Rng rng,
+                          Byzantine_factory make_byzantine = {},
+                          Ic_factory ic_factory = ic_eig());
+
+    /// Step the system; after every pulse, disconnection orders supported by
+    /// a majority of honest replicas are enacted on the engine.
+    void run_pulses(common::Pulse count);
+
+    /// Convenience: pulses for `plays` complete steady-state plays.
+    void run_plays(int plays);
+
+    /// Inject a transient fault into every processor (§4).
+    void inject_transient_fault();
+
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+    [[nodiscard]] int pulses_per_play() const;
+    [[nodiscard]] bool is_honest_slot(common::Processor_id id) const;
+    [[nodiscard]] const Authority_processor& processor(common::Processor_id id);
+    [[nodiscard]] std::vector<common::Processor_id> honest_slots() const;
+
+private:
+    void enact_disconnections();
+
+    int n_;
+    int f_;
+    int ic_rounds_;
+    std::set<common::Processor_id> byzantine_;
+    sim::Engine engine_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_DISTRIBUTED_AUTHORITY_H

@@ -1,0 +1,72 @@
+#include "authority/executive.h"
+
+#include "common/ensure.h"
+
+namespace ga::authority {
+
+Executive_service::Executive_service(int n_agents)
+    : standings_(static_cast<std::size_t>(n_agents))
+{
+    common::ensure(n_agents >= 1, "Executive_service: at least one agent");
+}
+
+const Standing& Executive_service::standing(common::Agent_id i) const
+{
+    common::ensure(i >= 0 && i < n_agents(), "standing: agent out of range");
+    return standings_[static_cast<std::size_t>(i)];
+}
+
+std::vector<bool> Executive_service::active_mask() const
+{
+    std::vector<bool> mask(standings_.size());
+    for (std::size_t i = 0; i < standings_.size(); ++i) mask[i] = standings_[i].active;
+    return mask;
+}
+
+int Executive_service::active_count() const
+{
+    int count = 0;
+    for (const Standing& s : standings_) {
+        if (s.active) ++count;
+    }
+    return count;
+}
+
+void Executive_service::publish_outcome(const game::Pure_profile& outcome,
+                                        const std::vector<double>& costs)
+{
+    common::ensure(costs.size() == standings_.size(), "publish_outcome: cost arity mismatch");
+    outcomes_.push_back(outcome);
+    for (std::size_t i = 0; i < standings_.size(); ++i) {
+        if (standings_[i].active) standings_[i].cumulative_cost += costs[i];
+    }
+}
+
+void Executive_service::record_foul(common::Agent_id i)
+{
+    common::ensure(i >= 0 && i < n_agents(), "record_foul: agent out of range");
+    ++standings_[static_cast<std::size_t>(i)].fouls;
+}
+
+void Executive_service::deactivate(common::Agent_id i)
+{
+    common::ensure(i >= 0 && i < n_agents(), "deactivate: agent out of range");
+    standings_[static_cast<std::size_t>(i)].active = false;
+}
+
+void Executive_service::fine(common::Agent_id i, double amount)
+{
+    common::ensure(i >= 0 && i < n_agents(), "fine: agent out of range");
+    common::ensure(amount >= 0.0, "fine: negative amount");
+    standings_[static_cast<std::size_t>(i)].fines += amount;
+    treasury_ += amount;
+}
+
+void Executive_service::scale_reputation(common::Agent_id i, double factor)
+{
+    common::ensure(i >= 0 && i < n_agents(), "scale_reputation: agent out of range");
+    common::ensure(factor >= 0.0 && factor <= 1.0, "scale_reputation: factor in [0,1]");
+    standings_[static_cast<std::size_t>(i)].reputation *= factor;
+}
+
+} // namespace ga::authority

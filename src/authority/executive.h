@@ -1,0 +1,64 @@
+// The executive service (§3.4): carries out the agents' actions, manages the
+// associated information (publishes utilities, collects choices, announces
+// outcomes) and, by order of the judicial service, restricts the actions of
+// dishonest agents according to the punishment scheme.
+//
+// The paper assumes the executive is trustworthy (a trusted third party in
+// mechanism-design terms); here that assumption is encoded by making the
+// service a deterministic replicated state machine over agreed inputs, so
+// every honest processor's replica stays identical.
+#ifndef GA_AUTHORITY_EXECUTIVE_H
+#define GA_AUTHORITY_EXECUTIVE_H
+
+#include <vector>
+
+#include "authority/judicial.h"
+
+namespace ga::authority {
+
+/// One agent's ledger entry as maintained by the executive.
+struct Standing {
+    bool active = true;          ///< false once disconnected (§3.4's strongest option)
+    double fines = 0.0;          ///< accumulated monetary punishment
+    double reputation = 1.0;     ///< multiplicative reputation score
+    double cumulative_cost = 0.0;///< game cost accrued over all plays
+    int fouls = 0;               ///< number of punished offences
+};
+
+class Executive_service {
+public:
+    explicit Executive_service(int n_agents);
+
+    [[nodiscard]] int n_agents() const { return static_cast<int>(standings_.size()); }
+    [[nodiscard]] const Standing& standing(common::Agent_id i) const;
+    [[nodiscard]] const std::vector<Standing>& standings() const { return standings_; }
+
+    /// Connected-agents mask (what the judicial service audits against).
+    [[nodiscard]] std::vector<bool> active_mask() const;
+    [[nodiscard]] int active_count() const;
+
+    /// Fines collected so far (the deposit pool of §3.4's money-based schemes).
+    [[nodiscard]] double treasury() const { return treasury_; }
+
+    /// Publish one play's outcome: record per-agent costs. Inactive agents
+    /// accrue nothing.
+    void publish_outcome(const game::Pure_profile& outcome, const std::vector<double>& costs);
+
+    /// The outcome history (the paper's "announcing the play outcome").
+    [[nodiscard]] const std::vector<game::Pure_profile>& outcomes() const { return outcomes_; }
+
+    // ---- Primitive punishments invoked by Punishment_scheme implementations.
+    void record_foul(common::Agent_id i);
+    void deactivate(common::Agent_id i);
+    void fine(common::Agent_id i, double amount);
+    void scale_reputation(common::Agent_id i, double factor);
+
+private:
+    std::vector<Standing> standings_;
+    std::vector<game::Pure_profile> outcomes_;
+    double treasury_ = 0.0;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_EXECUTIVE_H

@@ -1,0 +1,29 @@
+#include "authority/game_spec.h"
+
+#include "common/ensure.h"
+
+namespace ga::authority {
+
+game::Pure_profile first_play_profile(const Game_spec& spec)
+{
+    common::ensure(spec.game != nullptr, "first_play_profile: null game");
+    common::ensure(static_cast<int>(spec.equilibrium.size()) == spec.game->n_agents(),
+                   "first_play_profile: equilibrium arity mismatch");
+    game::Pure_profile profile(spec.equilibrium.size(), 0);
+    for (std::size_t i = 0; i < spec.equilibrium.size(); ++i) {
+        const auto& strategy = spec.equilibrium[i];
+        common::ensure(static_cast<int>(strategy.size()) ==
+                           spec.game->n_actions(static_cast<common::Agent_id>(i)),
+                       "first_play_profile: strategy length mismatch");
+        int arg_max = 0;
+        for (std::size_t a = 1; a < strategy.size(); ++a) {
+            if (strategy[a] > strategy[static_cast<std::size_t>(arg_max)]) {
+                arg_max = static_cast<int>(a);
+            }
+        }
+        profile[i] = arg_max;
+    }
+    return profile;
+}
+
+} // namespace ga::authority

@@ -1,0 +1,109 @@
+#include "authority/governance.h"
+
+namespace ga::authority {
+
+namespace {
+
+/// A behaviour wrapper that pins a disconnected agent: it never gets asked.
+class Null_behavior final : public Agent_behavior {
+public:
+    Play_decision decide(const Play_context& ctx) override
+    {
+        return Play_decision{ctx.prescribed_action, true};
+    }
+    [[nodiscard]] std::string name() const override { return "null"; }
+};
+
+} // namespace
+
+Governance::Governance(std::vector<Game_spec> candidates, int rounds_per_era, Voting_rule rule,
+                       Preference_provider preferences, Behavior_provider behaviors,
+                       Scheme_provider schemes, common::Rng rng)
+    : candidates_{std::move(candidates)},
+      rounds_per_era_{rounds_per_era},
+      rule_{rule},
+      preferences_{std::move(preferences)},
+      behaviors_{std::move(behaviors)},
+      schemes_{std::move(schemes)},
+      rng_{rng},
+      n_agents_{0}
+{
+    common::ensure(!candidates_.empty(), "Governance: at least one candidate game");
+    common::ensure(rounds_per_era_ >= 1, "Governance: at least one round per era");
+    common::ensure(preferences_ != nullptr && behaviors_ != nullptr && schemes_ != nullptr,
+                   "Governance: null provider");
+    n_agents_ = candidates_.front().game->n_agents();
+    for (const Game_spec& spec : candidates_) {
+        common::ensure(spec.game != nullptr, "Governance: candidate without game");
+        common::ensure(spec.game->n_agents() == n_agents_,
+                       "Governance: candidates must share the agent set");
+    }
+    standings_.resize(static_cast<std::size_t>(n_agents_));
+}
+
+int Governance::active_count() const
+{
+    int count = 0;
+    for (const Standing& s : standings_) {
+        if (s.active) ++count;
+    }
+    return count;
+}
+
+Era_report Governance::run_era()
+{
+    const int era = eras_completed();
+    Era_report report;
+    report.era = era;
+
+    // ---- Legislative phase: active agents vote (§3.1).
+    Legislative_service legislative{static_cast<int>(candidates_.size())};
+    std::vector<Ballot> ballots;
+    for (common::Agent_id i = 0; i < n_agents_; ++i) {
+        if (!standings_[static_cast<std::size_t>(i)].active) continue;
+        ballots.push_back(preferences_(i, era));
+    }
+    const Election_result election = legislative.elect(ballots, rule_);
+    report.elected_candidate = election.winner;
+
+    // ---- Play phase under a fresh authority for the elected game.
+    std::vector<std::unique_ptr<Agent_behavior>> behaviors;
+    behaviors.reserve(static_cast<std::size_t>(n_agents_));
+    for (common::Agent_id i = 0; i < n_agents_; ++i) {
+        if (standings_[static_cast<std::size_t>(i)].active) {
+            behaviors.push_back(behaviors_(i, era));
+        } else {
+            behaviors.push_back(std::make_unique<Null_behavior>());
+        }
+    }
+    Local_authority authority{candidates_[static_cast<std::size_t>(election.winner)],
+                              std::move(behaviors), schemes_(),
+                              rng_.split(static_cast<std::uint64_t>(era) + 1)};
+
+    // Import the carried-over exclusions into the fresh executive replica.
+    for (common::Agent_id i = 0; i < n_agents_; ++i) {
+        if (!standings_[static_cast<std::size_t>(i)].active) authority.exclude_agent(i);
+    }
+
+    for (int round = 0; round < rounds_per_era_; ++round) {
+        const Round_report round_report = authority.play_round();
+        report.fouls += round_report.foul_count();
+        ++report.rounds_played;
+    }
+
+    // ---- Merge era outcomes back into the persistent standings.
+    for (common::Agent_id i = 0; i < n_agents_; ++i) {
+        const Standing& fresh = authority.executive().standing(i);
+        Standing& carried = standings_[static_cast<std::size_t>(i)];
+        carried.active = carried.active && fresh.active;
+        carried.fines += fresh.fines;
+        carried.reputation *= fresh.reputation;
+        carried.cumulative_cost += fresh.cumulative_cost;
+        carried.fouls += fresh.fouls;
+    }
+    report.standings = standings_;
+    reports_.push_back(report);
+    return report;
+}
+
+} // namespace ga::authority

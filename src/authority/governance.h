@@ -1,0 +1,76 @@
+// Repeated re-election of the game (§3.1's proposed extension: "a possible
+// design extension can follow the agents' changing preferences and repeatedly
+// reelect the system's game").
+//
+// A Governance runs eras: at the start of each era the legislative service
+// collects one ballot per active agent (from a per-agent preference provider,
+// the application-layer stand-in for "users control programs") and elects a
+// Game_spec from the candidate list; the era then plays a fixed number of
+// supervised rounds under a fresh Local_authority. Executive standings
+// (disconnections, fines, fouls) persist across eras — a cheater expelled in
+// era 1 does not vote or play in era 2.
+#ifndef GA_AUTHORITY_GOVERNANCE_H
+#define GA_AUTHORITY_GOVERNANCE_H
+
+#include <functional>
+
+#include "authority/legislative.h"
+#include "authority/local_authority.h"
+
+namespace ga::authority {
+
+/// Produces agent i's ballot for the era starting after `eras_completed` eras.
+using Preference_provider = std::function<Ballot(common::Agent_id agent, int eras_completed)>;
+
+/// Builds the behaviour driving agent i for one era (fresh per era, so the
+/// same cheater behaviour can be re-instantiated).
+using Behavior_provider =
+    std::function<std::unique_ptr<Agent_behavior>(common::Agent_id agent, int era)>;
+
+/// Fresh punishment scheme per era (executive effects still persist through
+/// the standings carried across eras).
+using Scheme_provider = std::function<std::unique_ptr<Punishment_scheme>()>;
+
+struct Era_report {
+    int era = 0;
+    int elected_candidate = -1;
+    int rounds_played = 0;
+    int fouls = 0;
+    std::vector<Standing> standings; ///< snapshot at era end
+};
+
+class Governance {
+public:
+    /// `candidates` are the electable games (all must have the same agent
+    /// count); `rounds_per_era` supervised plays follow each election.
+    Governance(std::vector<Game_spec> candidates, int rounds_per_era, Voting_rule rule,
+               Preference_provider preferences, Behavior_provider behaviors,
+               Scheme_provider schemes, common::Rng rng);
+
+    /// Run one era: election, then supervised play. Disconnected agents
+    /// neither vote nor play.
+    Era_report run_era();
+
+    [[nodiscard]] int eras_completed() const { return static_cast<int>(reports_.size()); }
+    [[nodiscard]] const std::vector<Era_report>& reports() const { return reports_; }
+
+    /// Standings carried across eras (agent ids are stable).
+    [[nodiscard]] const std::vector<Standing>& standings() const { return standings_; }
+    [[nodiscard]] int active_count() const;
+
+private:
+    std::vector<Game_spec> candidates_;
+    int rounds_per_era_;
+    Voting_rule rule_;
+    Preference_provider preferences_;
+    Behavior_provider behaviors_;
+    Scheme_provider schemes_;
+    common::Rng rng_;
+    int n_agents_;
+    std::vector<Standing> standings_;
+    std::vector<Era_report> reports_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_GOVERNANCE_H

@@ -1,0 +1,136 @@
+#include "authority/judicial.h"
+
+#include "common/stats.h"
+#include "game/analysis.h"
+
+namespace ga::authority {
+
+std::string offence_name(Offence offence)
+{
+    switch (offence) {
+    case Offence::none: return "none";
+    case Offence::illegal_action: return "illegal-action";
+    case Offence::commitment_mismatch: return "commitment-mismatch";
+    case Offence::missing_commitment: return "missing-commitment";
+    case Offence::not_best_response: return "not-best-response";
+    case Offence::seed_violation: return "seed-violation";
+    case Offence::incredible_history: return "incredible-history";
+    }
+    return "unknown";
+}
+
+common::Bytes Judicial_service::encode_action(int action)
+{
+    common::Bytes payload;
+    common::put_u32(payload, static_cast<std::uint32_t>(action));
+    return payload;
+}
+
+std::optional<int> Judicial_service::decode_action(const common::Bytes& payload)
+{
+    try {
+        common::Byte_reader reader{payload};
+        const auto action = static_cast<int>(reader.get_u32());
+        if (!reader.exhausted()) return std::nullopt;
+        return action;
+    } catch (const common::Decode_error&) {
+        return std::nullopt;
+    }
+}
+
+std::vector<Verdict> Judicial_service::audit_play(const Game_spec& spec,
+                                                  const game::Pure_profile& previous,
+                                                  const std::vector<Submission>& submissions,
+                                                  const std::vector<int>& prescribed,
+                                                  const std::vector<bool>& active,
+                                                  std::vector<int>* actions_out) const
+{
+    common::ensure(spec.game != nullptr, "audit_play: null game");
+    const int n = spec.game->n_agents();
+    common::ensure(static_cast<int>(submissions.size()) == n, "audit_play: submissions arity");
+    common::ensure(static_cast<int>(active.size()) == n, "audit_play: active mask arity");
+    common::ensure(spec.audit_mode != Audit_mode::mixed_seed ||
+                       static_cast<int>(prescribed.size()) == n,
+                   "audit_play: prescribed actions required for mixed auditing");
+
+    std::vector<Verdict> verdicts;
+    verdicts.reserve(static_cast<std::size_t>(n));
+    if (actions_out != nullptr) actions_out->assign(static_cast<std::size_t>(n), -1);
+
+    for (common::Agent_id i = 0; i < n; ++i) {
+        Verdict verdict{i, Offence::none};
+        const Submission& sub = submissions[static_cast<std::size_t>(i)];
+
+        if (!active[static_cast<std::size_t>(i)]) {
+            verdicts.push_back(verdict);
+            continue;
+        }
+
+        if (!sub.commitment.has_value()) {
+            verdict.offence = Offence::missing_commitment;
+            verdicts.push_back(verdict);
+            continue;
+        }
+        if (!sub.opening.has_value() || !crypto::verify(*sub.commitment, *sub.opening)) {
+            verdict.offence = Offence::commitment_mismatch;
+            verdicts.push_back(verdict);
+            continue;
+        }
+
+        const std::optional<int> action = decode_action(sub.opening->payload);
+        if (!action.has_value() || !spec.game->is_legitimate_action(i, *action)) {
+            verdict.offence = Offence::illegal_action;
+            verdicts.push_back(verdict);
+            continue;
+        }
+        if (actions_out != nullptr) (*actions_out)[static_cast<std::size_t>(i)] = *action;
+
+        switch (spec.audit_mode) {
+        case Audit_mode::pure_best_response: {
+            // §3.2 requirement 3: pi_i must be a best response to pi_{-i} of
+            // the previous play. Ties never incriminate: any member of the
+            // best-response set is lawful.
+            game::Pure_profile probe = previous;
+            probe[static_cast<std::size_t>(i)] = *action;
+            if (!game::is_best_response(*spec.game, i, probe, eps_)) {
+                verdict.offence = Offence::not_best_response;
+            }
+            break;
+        }
+        case Audit_mode::mixed_seed:
+            if (*action != prescribed[static_cast<std::size_t>(i)]) {
+                verdict.offence = Offence::seed_violation;
+            }
+            break;
+        case Audit_mode::mixed_seed_batched:
+            // Per-play: only legitimacy and commitment discipline (checked
+            // above); the seed replay happens at the window edge (§5.3).
+            break;
+        }
+        verdicts.push_back(verdict);
+    }
+    return verdicts;
+}
+
+bool Judicial_service::credible_history(const std::vector<int>& actions,
+                                        const game::Mixed_strategy& strategy)
+{
+    common::ensure(!strategy.empty(), "credible_history: empty strategy");
+    std::vector<std::size_t> observed(strategy.size(), 0);
+    for (const int a : actions) {
+        if (a < 0 || a >= static_cast<int>(strategy.size())) return false;
+        if (strategy[static_cast<std::size_t>(a)] <= 0.0) return false; // unsupported action
+        ++observed[static_cast<std::size_t>(a)];
+    }
+    if (actions.empty()) return true;
+
+    std::size_t dof = 0;
+    for (const double p : strategy) {
+        if (p > 0.0) ++dof;
+    }
+    if (dof <= 1) return true; // degenerate mixture: support membership was the test
+    const double statistic = common::chi_square_statistic(observed, strategy);
+    return statistic <= common::chi_square_critical_999(dof - 1);
+}
+
+} // namespace ga::authority

@@ -1,0 +1,84 @@
+// The judicial service (§3.2): audits the actions the agents take in every
+// play and orders the executive service to punish foul play.
+//
+// Guarantees audited here:
+//  (1) legitimate action choice — the revealed action is inside Pi_i;
+//  (2) private and simultaneous choice — enforced structurally by the
+//      commit/reveal discipline; a reveal that does not open the agreed
+//      commitment is the detectable violation;
+//  (3) foul plays — under pure auditing, an action that is not a best
+//      response to the previous play's profile; under mixed auditing (§5.3),
+//      an action that deviates from the committed-seed sample of the elected
+//      mixed strategy. §5.2's credibility check (does a revealed history
+//      follow the distribution of a credible mixed strategy?) is provided as
+//      a chi-square test for batched audits.
+#ifndef GA_AUTHORITY_JUDICIAL_H
+#define GA_AUTHORITY_JUDICIAL_H
+
+#include <optional>
+#include <string>
+
+#include "authority/game_spec.h"
+#include "crypto/commitment.h"
+
+namespace ga::authority {
+
+enum class Offence {
+    none,
+    illegal_action,      ///< action outside Pi_i (§3.2 requirement 1)
+    commitment_mismatch, ///< reveal does not open the agreed commitment
+    missing_commitment,  ///< no commitment arrived for the play
+    not_best_response,   ///< pure-audit foul (§3.2 requirement 3)
+    seed_violation,      ///< mixed-audit foul (§5.3): action != seed sample
+    incredible_history,  ///< §5.2: empirical play defies the elected mixture
+};
+
+/// Human-readable offence name (for reports and examples).
+std::string offence_name(Offence offence);
+
+struct Verdict {
+    common::Agent_id agent = -1;
+    Offence offence = Offence::none;
+
+    friend bool operator==(const Verdict&, const Verdict&) = default;
+};
+
+/// One agent's submission to a play, as seen after agreement: the commitment
+/// all processors agreed on and the opening revealed afterwards.
+struct Submission {
+    std::optional<crypto::Commitment> commitment;
+    std::optional<crypto::Opening> opening;
+};
+
+class Judicial_service {
+public:
+    explicit Judicial_service(double eps = 1e-9) : eps_{eps} {}
+
+    /// Full audit of one play. `previous` is the agreed profile of the
+    /// previous play; `prescribed` holds the seed-derived action per agent
+    /// under mixed auditing (ignored under pure auditing); `active[i]` marks
+    /// agents still connected (inactive agents are not audited).
+    /// Returns one verdict per agent (Offence::none when clean) plus the
+    /// decoded action in `actions_out` (-1 where no action could be decoded).
+    [[nodiscard]] std::vector<Verdict>
+    audit_play(const Game_spec& spec, const game::Pure_profile& previous,
+               const std::vector<Submission>& submissions, const std::vector<int>& prescribed,
+               const std::vector<bool>& active, std::vector<int>* actions_out = nullptr) const;
+
+    /// §5.2 credibility test: does the action history plausibly follow
+    /// `strategy`? Chi-square at significance 0.001 (conservative: honest
+    /// agents are flagged with probability ~1e-3 per audited window).
+    [[nodiscard]] static bool credible_history(const std::vector<int>& actions,
+                                               const game::Mixed_strategy& strategy);
+
+    /// Wire codec for committed actions (shared by both authority tiers).
+    static common::Bytes encode_action(int action);
+    static std::optional<int> decode_action(const common::Bytes& payload);
+
+private:
+    double eps_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_JUDICIAL_H

@@ -1,0 +1,87 @@
+#include "authority/legislative.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace ga::authority {
+
+Legislative_service::Legislative_service(int candidate_count)
+    : candidate_count_{candidate_count}
+{
+    common::ensure(candidate_count_ >= 1, "Legislative_service: at least one candidate");
+}
+
+Election_result Legislative_service::elect(const std::vector<Ballot>& ballots,
+                                           Voting_rule rule) const
+{
+    Election_result result;
+    result.scores.assign(static_cast<std::size_t>(candidate_count_), 0.0);
+
+    for (const Ballot& ballot : ballots) {
+        const bool well_formed = [&] {
+            if (ballot.ranking.empty()) return false;
+            if (static_cast<int>(ballot.ranking.size()) > candidate_count_) return false;
+            std::vector<bool> seen(static_cast<std::size_t>(candidate_count_), false);
+            for (const int c : ballot.ranking) {
+                if (c < 0 || c >= candidate_count_) return false;
+                if (seen[static_cast<std::size_t>(c)]) return false;
+                seen[static_cast<std::size_t>(c)] = true;
+            }
+            return true;
+        }();
+        if (!well_formed) {
+            ++result.invalid_ballots;
+            continue;
+        }
+        ++result.valid_ballots;
+
+        switch (rule) {
+        case Voting_rule::plurality:
+            result.scores[static_cast<std::size_t>(ballot.ranking.front())] += 1.0;
+            break;
+        case Voting_rule::borda:
+            for (std::size_t pos = 0; pos < ballot.ranking.size(); ++pos) {
+                result.scores[static_cast<std::size_t>(ballot.ranking[pos])] +=
+                    static_cast<double>(candidate_count_ - 1 - static_cast<int>(pos));
+            }
+            break;
+        }
+    }
+
+    result.winner = 0;
+    for (int c = 1; c < candidate_count_; ++c) {
+        if (result.scores[static_cast<std::size_t>(c)] >
+            result.scores[static_cast<std::size_t>(result.winner)]) {
+            result.winner = c;
+        }
+    }
+    return result;
+}
+
+bool Legislative_service::safe_against(const Election_result& result, int f,
+                                       Voting_rule rule) const
+{
+    common::ensure(f >= 0, "safe_against: negative f");
+    if (candidate_count_ == 1) return true;
+    // Worst case: f of the counted ballots were Byzantine; each could have
+    // both withdrawn a maximal contribution from the winner and granted a
+    // maximal contribution to one challenger.
+    const double per_ballot =
+        rule == Voting_rule::plurality ? 1.0 : static_cast<double>(candidate_count_ - 1);
+    const double winner_worst =
+        std::max(0.0, result.scores[static_cast<std::size_t>(result.winner)] -
+                          per_ballot * static_cast<double>(f));
+    for (int c = 0; c < candidate_count_; ++c) {
+        if (c == result.winner) continue;
+        const double challenger_best =
+            result.scores[static_cast<std::size_t>(c)] + per_ballot * static_cast<double>(f);
+        if (challenger_best > winner_worst ||
+            (challenger_best == winner_worst && c < result.winner)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace ga::authority

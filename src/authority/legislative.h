@@ -1,0 +1,59 @@
+// The legislative service (§3.1): lets agents set up the rules of the game in
+// a democratic manner. Ballots are preference orderings over candidate games;
+// the tally is deterministic, so once the ballot set has been agreed upon via
+// Byzantine agreement (interactive consistency), every honest processor elects
+// the same game. The service is stateless — hence trivially self-stabilizing
+// (§4: "the legislative service is stateless and therefore self-stabilizing").
+#ifndef GA_AUTHORITY_LEGISLATIVE_H
+#define GA_AUTHORITY_LEGISLATIVE_H
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace ga::authority {
+
+/// A ballot: candidate indices in decreasing preference. Missing candidates
+/// rank below all listed ones; malformed entries invalidate the ballot.
+struct Ballot {
+    common::Agent_id voter = -1;
+    std::vector<int> ranking;
+};
+
+enum class Voting_rule {
+    plurality, ///< first choice only
+    borda,     ///< candidate c gets (k-1-position) points per ballot
+};
+
+struct Election_result {
+    int winner = -1;
+    std::vector<double> scores;  ///< per-candidate tally
+    int valid_ballots = 0;
+    int invalid_ballots = 0;
+};
+
+class Legislative_service {
+public:
+    explicit Legislative_service(int candidate_count);
+
+    /// Tally agreed-upon ballots. Deterministic; ties break to the lowest
+    /// candidate index. Ballots with out-of-range or duplicate entries are
+    /// rejected (they count as invalid, the robust-voting analogue of a spoilt
+    /// vote — a Byzantine voter can waste its own ballot, nothing more).
+    [[nodiscard]] Election_result elect(const std::vector<Ballot>& ballots,
+                                        Voting_rule rule) const;
+
+    /// Margin-based manipulation bound: the winner is safe against `f`
+    /// Byzantine ballots iff even f additional adversarial ballots could not
+    /// overturn it under the given rule.
+    [[nodiscard]] bool safe_against(const Election_result& result, int f,
+                                    Voting_rule rule) const;
+
+private:
+    int candidate_count_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_LEGISLATIVE_H

@@ -1,0 +1,184 @@
+#include "authority/local_authority.h"
+
+#include "game/analysis.h"
+
+namespace ga::authority {
+
+int Round_report::foul_count() const
+{
+    int count = 0;
+    for (const Verdict& v : verdicts) {
+        if (v.offence != Offence::none) ++count;
+    }
+    return count;
+}
+
+Local_authority::Local_authority(Game_spec spec,
+                                 std::vector<std::unique_ptr<Agent_behavior>> behaviors,
+                                 std::unique_ptr<Punishment_scheme> punishment, common::Rng rng)
+    : spec_{std::move(spec)},
+      behaviors_{std::move(behaviors)},
+      punishment_{std::move(punishment)},
+      rng_{rng},
+      executive_{spec_.game ? spec_.game->n_agents() : 1}
+{
+    common::ensure(spec_.game != nullptr, "Local_authority: null game");
+    const int n = spec_.game->n_agents();
+    common::ensure(static_cast<int>(behaviors_.size()) == n,
+                   "Local_authority: one behavior per agent required");
+    for (const auto& b : behaviors_)
+        common::ensure(b != nullptr, "Local_authority: null behavior");
+    common::ensure(punishment_ != nullptr, "Local_authority: null punishment scheme");
+
+    common::ensure(spec_.audit_window >= 1, "Local_authority: audit_window must be >= 1");
+    previous_ = first_play_profile(spec_);
+    histories_.resize(static_cast<std::size_t>(n));
+    revealed_.resize(static_cast<std::size_t>(n));
+    prescribed_.resize(static_cast<std::size_t>(n));
+
+    if (mixed_mode()) {
+        seeds_.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) seeds_.push_back(crypto::commit_seed(rng_));
+    }
+}
+
+int Local_authority::prescribed_action(common::Agent_id i) const
+{
+    switch (spec_.audit_mode) {
+    case Audit_mode::pure_best_response:
+        return game::best_response(*spec_.game, i, previous_);
+    case Audit_mode::mixed_seed:
+    case Audit_mode::mixed_seed_batched:
+        return crypto::sampled_action(seeds_[static_cast<std::size_t>(i)].opening.payload,
+                                      static_cast<std::uint64_t>(i),
+                                      static_cast<std::uint64_t>(round_),
+                                      spec_.equilibrium[static_cast<std::size_t>(i)]);
+    }
+    common::ensure(false, "prescribed_action: unknown audit mode");
+    return 0;
+}
+
+Round_report Local_authority::play_round()
+{
+    const int n = spec_.game->n_agents();
+    Round_report report;
+    report.round = round_;
+
+    // A disconnection breaks the elected game's agent set; following the
+    // §3.4 semantics the play is suspended — no further costs accrue.
+    report.suspended = executive_.active_count() < n;
+
+    // ---- Choice phase: every active agent decides and commits (§3.3).
+    std::vector<Submission> submissions(static_cast<std::size_t>(n));
+    std::vector<int> prescribed(static_cast<std::size_t>(n), 0);
+    const std::vector<bool> active = executive_.active_mask();
+    for (common::Agent_id i = 0; i < n; ++i) {
+        if (!active[static_cast<std::size_t>(i)]) continue;
+        prescribed[static_cast<std::size_t>(i)] = prescribed_action(i);
+
+        Play_context ctx;
+        ctx.game = spec_.game.get();
+        ctx.self = i;
+        ctx.previous = &previous_;
+        ctx.prescribed_action = prescribed[static_cast<std::size_t>(i)];
+        ctx.round = round_;
+        ctx.rng = &rng_;
+        const Play_decision decision = behaviors_[static_cast<std::size_t>(i)]->decide(ctx);
+
+        crypto::Committed committed =
+            crypto::commit(Judicial_service::encode_action(decision.action), rng_);
+        Submission& sub = submissions[static_cast<std::size_t>(i)];
+        sub.commitment = committed.commitment;
+        sub.opening = committed.opening;
+        if (!decision.honest_opening) {
+            // The cheater reveals an opening for a different payload.
+            sub.opening->payload = Judicial_service::encode_action(decision.action + 1);
+        }
+    }
+
+    // ---- Audit phase (§3.2) and punishment (§3.4).
+    report.verdicts = judicial_.audit_play(spec_, previous_, submissions, prescribed, active,
+                                           &report.revealed);
+    for (const Verdict& v : report.verdicts) {
+        if (v.offence != Offence::none) punishment_->punish(executive_, v.agent, v.offence);
+    }
+
+    // ---- Outcome: the revealed profile, with unusable entries replaced by
+    // the prescription so the next play's best-response audit is well defined.
+    report.outcome = report.revealed;
+    for (common::Agent_id i = 0; i < n; ++i) {
+        auto& entry = report.outcome[static_cast<std::size_t>(i)];
+        if (entry < 0 || entry >= spec_.game->n_actions(i))
+            entry = active[static_cast<std::size_t>(i)]
+                        ? prescribed[static_cast<std::size_t>(i)]
+                        : previous_[static_cast<std::size_t>(i)];
+        histories_[static_cast<std::size_t>(i)].push_back(entry);
+        revealed_[static_cast<std::size_t>(i)].push_back(
+            report.revealed[static_cast<std::size_t>(i)]);
+        prescribed_[static_cast<std::size_t>(i)].push_back(
+            active[static_cast<std::size_t>(i)] ? prescribed[static_cast<std::size_t>(i)] : -1);
+    }
+
+    // ---- §5.3 extension: batched seed audit at the window edge.
+    if (spec_.audit_mode == Audit_mode::mixed_seed_batched &&
+        (round_ + 1) % spec_.audit_window == 0) {
+        window_audit(report);
+    }
+
+    report.costs.assign(static_cast<std::size_t>(n), 0.0);
+    if (!report.suspended) {
+        for (common::Agent_id i = 0; i < n; ++i)
+            report.costs[static_cast<std::size_t>(i)] = spec_.game->cost(i, report.outcome);
+    }
+    executive_.publish_outcome(report.outcome, report.costs);
+    previous_ = report.outcome;
+    ++round_;
+    return report;
+}
+
+Round_report Local_authority::play_rounds(int count)
+{
+    common::ensure(count >= 1, "play_rounds: positive count required");
+    Round_report report;
+    for (int i = 0; i < count; ++i) report = play_round();
+    return report;
+}
+
+void Local_authority::window_audit(Round_report& report)
+{
+    const int window = spec_.audit_window;
+    const int first = round_ + 1 - window;
+    const std::vector<bool> active = executive_.active_mask();
+    for (common::Agent_id i = 0; i < spec_.game->n_agents(); ++i) {
+        if (!active[static_cast<std::size_t>(i)]) continue;
+        bool violated = false;
+        for (int t = first; t <= round_ && !violated; ++t) {
+            const int want = prescribed_[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)];
+            const int got = revealed_[static_cast<std::size_t>(i)][static_cast<std::size_t>(t)];
+            if (want >= 0 && got != want) violated = true;
+        }
+        if (violated) {
+            const Verdict verdict{i, Offence::seed_violation};
+            report.verdicts.push_back(verdict);
+            punishment_->punish(executive_, i, verdict.offence);
+        }
+    }
+}
+
+std::vector<Verdict> Local_authority::credibility_audit()
+{
+    std::vector<Verdict> verdicts;
+    if (!mixed_mode()) return verdicts;
+    const std::vector<bool> active = executive_.active_mask();
+    for (common::Agent_id i = 0; i < spec_.game->n_agents(); ++i) {
+        if (!active[static_cast<std::size_t>(i)]) continue;
+        if (!Judicial_service::credible_history(histories_[static_cast<std::size_t>(i)],
+                                                spec_.equilibrium[static_cast<std::size_t>(i)])) {
+            verdicts.push_back(Verdict{i, Offence::incredible_history});
+            punishment_->punish(executive_, i, Offence::incredible_history);
+        }
+    }
+    return verdicts;
+}
+
+} // namespace ga::authority

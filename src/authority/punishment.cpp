@@ -1,0 +1,45 @@
+#include "authority/punishment.h"
+
+#include "common/ensure.h"
+
+namespace ga::authority {
+
+void Disconnect_scheme::punish(Executive_service& executive, common::Agent_id agent,
+                               Offence offence)
+{
+    if (offence == Offence::none) return;
+    executive.record_foul(agent);
+    executive.deactivate(agent);
+}
+
+Fine_scheme::Fine_scheme(double fine, double deposit) : fine_{fine}, deposit_{deposit}
+{
+    common::ensure(fine_ > 0.0, "Fine_scheme: positive fine required");
+    common::ensure(deposit_ >= 0.0, "Fine_scheme: non-negative deposit required");
+}
+
+void Fine_scheme::punish(Executive_service& executive, common::Agent_id agent, Offence offence)
+{
+    if (offence == Offence::none) return;
+    executive.record_foul(agent);
+    executive.fine(agent, fine_);
+    if (executive.standing(agent).fines > deposit_) executive.deactivate(agent);
+}
+
+Reputation_scheme::Reputation_scheme(double decay, double threshold)
+    : decay_{decay}, threshold_{threshold}
+{
+    common::ensure(decay_ > 0.0 && decay_ < 1.0, "Reputation_scheme: decay in (0,1)");
+    common::ensure(threshold_ > 0.0 && threshold_ < 1.0, "Reputation_scheme: threshold in (0,1)");
+}
+
+void Reputation_scheme::punish(Executive_service& executive, common::Agent_id agent,
+                               Offence offence)
+{
+    if (offence == Offence::none) return;
+    executive.record_foul(agent);
+    executive.scale_reputation(agent, decay_);
+    if (executive.standing(agent).reputation < threshold_) executive.deactivate(agent);
+}
+
+} // namespace ga::authority

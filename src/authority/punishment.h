@@ -1,0 +1,63 @@
+// Punishment schemes (§3.4). Punishment is what makes detection matter: it is
+// "an essential mechanism for reducing the price of malice". The paper lists
+// three families — disconnection (the only effective option against a complete
+// Byzantine agent), real-money deposits/fines, and reputation — all behind one
+// interface so bench E9 can ablate them.
+#ifndef GA_AUTHORITY_PUNISHMENT_H
+#define GA_AUTHORITY_PUNISHMENT_H
+
+#include <string>
+
+#include "authority/executive.h"
+
+namespace ga::authority {
+
+class Punishment_scheme {
+public:
+    virtual ~Punishment_scheme() = default;
+
+    /// Apply this scheme's sanction for one proven offence. Implementations
+    /// must be deterministic: the executive is a replicated state machine.
+    virtual void punish(Executive_service& executive, common::Agent_id agent,
+                        Offence offence) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Disconnect on the first offence (§3.4: "disconnect Byzantine agents from
+/// the network").
+class Disconnect_scheme final : public Punishment_scheme {
+public:
+    void punish(Executive_service& executive, common::Agent_id agent, Offence offence) override;
+    [[nodiscard]] std::string name() const override { return "disconnect"; }
+};
+
+/// Charge a fixed fine per offence; disconnect once accumulated fines exceed
+/// `deposit` (the agent's posted real-money deposit is exhausted).
+class Fine_scheme final : public Punishment_scheme {
+public:
+    Fine_scheme(double fine, double deposit);
+    void punish(Executive_service& executive, common::Agent_id agent, Offence offence) override;
+    [[nodiscard]] std::string name() const override { return "fine"; }
+
+private:
+    double fine_;
+    double deposit_;
+};
+
+/// Multiply reputation by `decay` per offence; disconnect when it falls below
+/// `threshold`.
+class Reputation_scheme final : public Punishment_scheme {
+public:
+    Reputation_scheme(double decay, double threshold);
+    void punish(Executive_service& executive, common::Agent_id agent, Offence offence) override;
+    [[nodiscard]] std::string name() const override { return "reputation"; }
+
+private:
+    double decay_;
+    double threshold_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_PUNISHMENT_H

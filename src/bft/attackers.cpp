@@ -1,0 +1,71 @@
+#include "bft/attackers.h"
+
+#include "common/ensure.h"
+
+namespace ga::bft {
+
+std::optional<common::Bytes> Garbage_attacker::message_for(common::Round, common::Processor_id)
+{
+    if (rng_.chance(0.2)) return std::nullopt; // mix in omissions
+    common::Bytes payload;
+    const std::size_t len = static_cast<std::size_t>(rng_.below(max_payload_ + 1));
+    payload.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        payload.push_back(static_cast<std::uint8_t>(rng_.below(256)));
+    return payload;
+}
+
+Split_brain_attacker::Split_brain_attacker(const Session_factory& make_session, Value face_a,
+                                           Value face_b, common::Processor_id split_at)
+    : face_a_{make_session(std::move(face_a))},
+      face_b_{make_session(std::move(face_b))},
+      split_at_{split_at}
+{
+    common::ensure(face_a_ != nullptr && face_b_ != nullptr,
+                   "Split_brain_attacker: factory returned null");
+}
+
+std::optional<common::Bytes> Split_brain_attacker::message_for(common::Round r,
+                                                               common::Processor_id to)
+{
+    if (r != cached_round_) {
+        cached_a_ = face_a_->message_for_round(r);
+        cached_b_ = face_b_->message_for_round(r);
+        cached_round_ = r;
+    }
+    return to < split_at_ ? cached_a_ : cached_b_;
+}
+
+void Split_brain_attacker::deliver_round(common::Round r, const Round_payloads& payloads)
+{
+    face_a_->deliver_round(r, payloads);
+    face_b_->deliver_round(r, payloads);
+}
+
+Mutating_attacker::Mutating_attacker(const Session_factory& make_session, Value input,
+                                     common::Rng rng, double flip_chance)
+    : inner_{make_session(std::move(input))}, rng_{rng}, flip_chance_{flip_chance}
+{
+    common::ensure(inner_ != nullptr, "Mutating_attacker: factory returned null");
+}
+
+std::optional<common::Bytes> Mutating_attacker::message_for(common::Round r,
+                                                            common::Processor_id)
+{
+    if (r != cached_round_) {
+        cached_ = inner_->message_for_round(r);
+        cached_round_ = r;
+    }
+    common::Bytes payload = cached_;
+    for (auto& byte : payload) {
+        if (rng_.chance(flip_chance_)) byte = static_cast<std::uint8_t>(rng_.below(256));
+    }
+    return payload;
+}
+
+void Mutating_attacker::deliver_round(common::Round r, const Round_payloads& payloads)
+{
+    inner_->deliver_round(r, payloads);
+}
+
+} // namespace ga::bft

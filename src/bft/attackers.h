@@ -1,0 +1,89 @@
+// Byzantine attacker strategies for the protocol driver.
+//
+// The agreement properties must hold against *every* adversary; these
+// families cover the standard attack classes exercised by the test suite:
+// silence (omission), garbage (malformed payloads), split-brain simulation
+// (protocol-compliant equivocation — the strongest generic attack), and
+// payload mutation of otherwise honest traffic.
+#ifndef GA_BFT_ATTACKERS_H
+#define GA_BFT_ATTACKERS_H
+
+#include <functional>
+#include <memory>
+
+#include "bft/driver.h"
+#include "common/rng.h"
+
+namespace ga::bft {
+
+/// Builds a fresh honest session with the given input (used by attackers that
+/// simulate honest behaviour with fabricated inputs).
+using Session_factory = std::function<std::unique_ptr<Session>(Value input)>;
+
+/// Never sends anything (omission failure).
+class Silent_attacker final : public Attacker {
+public:
+    std::optional<common::Bytes> message_for(common::Round, common::Processor_id) override
+    {
+        return std::nullopt;
+    }
+    void deliver_round(common::Round, const Round_payloads&) override {}
+};
+
+/// Sends independent random bytes to every recipient every round.
+class Garbage_attacker final : public Attacker {
+public:
+    Garbage_attacker(common::Rng rng, std::size_t max_payload = 48)
+        : rng_{rng}, max_payload_{max_payload}
+    {
+    }
+
+    std::optional<common::Bytes> message_for(common::Round r, common::Processor_id to) override;
+    void deliver_round(common::Round, const Round_payloads&) override {}
+
+private:
+    common::Rng rng_;
+    std::size_t max_payload_;
+};
+
+/// Runs two honest shadow sessions with different inputs and shows one face to
+/// recipients below `split_at` and the other face to the rest. Every message
+/// it sends is perfectly protocol-compliant — only mutually inconsistent.
+class Split_brain_attacker final : public Attacker {
+public:
+    Split_brain_attacker(const Session_factory& make_session, Value face_a, Value face_b,
+                         common::Processor_id split_at);
+
+    std::optional<common::Bytes> message_for(common::Round r, common::Processor_id to) override;
+    void deliver_round(common::Round r, const Round_payloads& payloads) override;
+
+private:
+    std::unique_ptr<Session> face_a_;
+    std::unique_ptr<Session> face_b_;
+    common::Processor_id split_at_;
+    common::Round cached_round_ = -1;
+    common::Bytes cached_a_;
+    common::Bytes cached_b_;
+};
+
+/// Behaves honestly but randomly mutates bytes of its outgoing payloads with
+/// probability `flip_chance` per recipient (stale/garbled relay traffic).
+class Mutating_attacker final : public Attacker {
+public:
+    Mutating_attacker(const Session_factory& make_session, Value input, common::Rng rng,
+                      double flip_chance = 0.5);
+
+    std::optional<common::Bytes> message_for(common::Round r, common::Processor_id to) override;
+    void deliver_round(common::Round r, const Round_payloads& payloads) override;
+
+private:
+    std::unique_ptr<Session> inner_;
+    common::Rng rng_;
+    double flip_chance_;
+    common::Round cached_round_ = -1;
+    common::Bytes cached_;
+};
+
+} // namespace ga::bft
+
+#endif // GA_BFT_ATTACKERS_H

@@ -1,0 +1,72 @@
+#include "bft/driver.h"
+
+#include "common/ensure.h"
+
+namespace ga::bft {
+
+Drive_result drive(std::vector<Participant>& participants)
+{
+    const int n = static_cast<int>(participants.size());
+    common::ensure(n > 0, "drive: no participants");
+
+    common::Round rounds = -1;
+    for (const auto& p : participants) {
+        common::ensure((p.session != nullptr) != (p.attacker != nullptr),
+                       "drive: each participant is exactly one of session/attacker");
+        if (p.session) {
+            if (rounds < 0) rounds = p.session->total_rounds();
+            common::ensure(p.session->total_rounds() == rounds,
+                           "drive: sessions disagree on round count");
+        }
+    }
+    common::ensure(rounds >= 0, "drive: at least one honest session required");
+
+    Drive_result result;
+    result.rounds = rounds;
+
+    for (common::Round r = 0; r < rounds; ++r) {
+        // Honest broadcasts: one payload for everyone.
+        std::vector<std::optional<common::Bytes>> broadcast(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
+            if (participants[static_cast<std::size_t>(i)].session)
+                broadcast[static_cast<std::size_t>(i)] =
+                    participants[static_cast<std::size_t>(i)].session->message_for_round(r);
+        }
+
+        // Per-recipient views (attackers may equivocate).
+        for (int to = 0; to < n; ++to) {
+            Round_payloads view(static_cast<std::size_t>(n));
+            for (int from = 0; from < n; ++from) {
+                auto& p = participants[static_cast<std::size_t>(from)];
+                if (p.session) {
+                    view[static_cast<std::size_t>(from)] = broadcast[static_cast<std::size_t>(from)];
+                } else {
+                    view[static_cast<std::size_t>(from)] = p.attacker->message_for(r, to);
+                }
+                if (from != to && view[static_cast<std::size_t>(from)].has_value()) {
+                    result.messages += 1;
+                    result.payload_bytes +=
+                        static_cast<std::int64_t>(view[static_cast<std::size_t>(from)]->size());
+                }
+            }
+            auto& p = participants[static_cast<std::size_t>(to)];
+            if (p.session) {
+                p.session->deliver_round(r, view);
+            } else {
+                p.attacker->deliver_round(r, view);
+            }
+        }
+    }
+
+    result.decisions.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto& p = participants[static_cast<std::size_t>(i)];
+        if (p.session) {
+            common::ensure(p.session->done(), "drive: session did not terminate on schedule");
+            result.decisions[static_cast<std::size_t>(i)] = p.session->decision();
+        }
+    }
+    return result;
+}
+
+} // namespace ga::bft

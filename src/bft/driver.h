@@ -1,0 +1,51 @@
+// Light synchronous driver for protocol sessions.
+//
+// Runs one activation across a full mesh with per-round lock-step delivery —
+// the same schedule the sim engine provides, but without message objects, so
+// protocol unit tests and the message-complexity bench (E7) stay fast. The
+// driver supports Byzantine slots through Attacker objects that may equivocate
+// (send different payloads to different recipients), which the honest Session
+// interface deliberately cannot express.
+#ifndef GA_BFT_DRIVER_H
+#define GA_BFT_DRIVER_H
+
+#include <memory>
+
+#include "bft/session.h"
+
+namespace ga::bft {
+
+/// A Byzantine participant under the driver: produces an arbitrary payload per
+/// (round, recipient) and observes everything honest processors broadcast.
+class Attacker {
+public:
+    virtual ~Attacker() = default;
+
+    /// Payload this attacker sends to `to` in round r; nullopt = stay silent.
+    virtual std::optional<common::Bytes> message_for(common::Round r, common::Processor_id to) = 0;
+
+    /// Observe round-r traffic (same view an honest processor gets).
+    virtual void deliver_round(common::Round r, const Round_payloads& payloads) = 0;
+};
+
+/// One slot of the driven system: exactly one of session / attacker is set.
+struct Participant {
+    std::unique_ptr<Session> session;   ///< honest
+    std::unique_ptr<Attacker> attacker; ///< Byzantine
+};
+
+struct Drive_result {
+    /// Decisions of honest slots (index = processor id); nullopt for Byzantine.
+    std::vector<std::optional<Value>> decisions;
+    common::Round rounds = 0;
+    std::int64_t messages = 0;      ///< point-to-point payload deliveries
+    std::int64_t payload_bytes = 0; ///< total bytes across those deliveries
+};
+
+/// Run one complete activation. All honest sessions must agree on the round
+/// count; the driver runs exactly that many rounds.
+Drive_result drive(std::vector<Participant>& participants);
+
+} // namespace ga::bft
+
+#endif // GA_BFT_DRIVER_H

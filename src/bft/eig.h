@@ -1,0 +1,63 @@
+// Exponential-information-gathering Byzantine agreement
+// (Lamport-Shostak-Pease [19] / Bar-Noy-Dolev-Dwork-Strong formulation).
+//
+// f+1 rounds, optimal resilience n > 3f, exponential message size — exactly
+// the "proof of existence" protocol the paper invokes in §3.3/§4. One
+// activation simultaneously yields:
+//   * interactive consistency: an agreed vector with one slot per processor,
+//     where honest slots carry the honest processors' real inputs — this is
+//     what the play protocol uses to agree on the set of commitments; and
+//   * consensus: a deterministic reduction of that vector.
+#ifndef GA_BFT_EIG_H
+#define GA_BFT_EIG_H
+
+#include <map>
+
+#include "bft/session.h"
+
+namespace ga::bft {
+
+class Eig_session final : public Ic_session {
+public:
+    /// One activation for processor `self` of an n-processor system tolerating
+    /// f Byzantine faults; requires n > 3f. `input` is this processor's value.
+    Eig_session(int n, int f, common::Processor_id self, Value input);
+
+    [[nodiscard]] common::Round total_rounds() const override { return f_ + 1; }
+    common::Bytes message_for_round(common::Round r) override;
+    void deliver_round(common::Round r, const Round_payloads& payloads) override;
+    [[nodiscard]] bool done() const override { return done_; }
+
+    /// Consensus value: the most frequent non-bottom entry of the agreed
+    /// vector (lexicographically smallest on ties), or bottom if none.
+    [[nodiscard]] Value decision() const override;
+
+    /// Interactive-consistency output: slot j is the value all honest
+    /// processors attribute to processor j. Valid only when done().
+    [[nodiscard]] const std::vector<Value>& agreed_vector() const override;
+
+private:
+    using Path = std::vector<common::Processor_id>;
+
+    void resolve_all();
+    Value resolve(const Path& path) const;
+    [[nodiscard]] bool valid_path(const Path& path, std::size_t expected_len) const;
+
+    int n_;
+    int f_;
+    common::Processor_id self_;
+    Value input_;
+    // tree_[path] = value attributed to the node labelled by `path`
+    // (path = [p1..pk] reads: pk said that p(k-1) said ... that p1's input is v).
+    std::map<Path, Value> tree_;
+    std::vector<Value> agreed_vector_;
+    bool done_ = false;
+};
+
+/// The number of (path, value) pairs an honest processor relays in round r —
+/// the per-message payload growth that makes EIG exponential (bench E7).
+std::int64_t eig_pairs_in_round(int n, common::Round r);
+
+} // namespace ga::bft
+
+#endif // GA_BFT_EIG_H

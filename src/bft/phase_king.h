@@ -1,0 +1,44 @@
+// Phase-king binary Byzantine consensus (Berman-Garay-Perry family).
+//
+// f+1 phases of two rounds each; polynomial message complexity O(f n^2) with
+// constant-size payloads, at the price of resilience n > 4f (the classic
+// two-round-per-phase variant, cf. Attiya & Welch, ch. 5). This is the
+// "further research can improve the design and allow better scalability"
+// counterpart to EIG: bench E7 contrasts the two.
+#ifndef GA_BFT_PHASE_KING_H
+#define GA_BFT_PHASE_KING_H
+
+#include "bft/session.h"
+
+namespace ga::bft {
+
+class Phase_king_session final : public Session {
+public:
+    /// Binary consensus for processor `self`; input must be 0 or 1.
+    /// Requires n > 4f.
+    Phase_king_session(int n, int f, common::Processor_id self, int input);
+
+    [[nodiscard]] common::Round total_rounds() const override { return 2 * (f_ + 1); }
+    common::Bytes message_for_round(common::Round r) override;
+    void deliver_round(common::Round r, const Round_payloads& payloads) override;
+    [[nodiscard]] bool done() const override { return done_; }
+
+    /// Decision encoded as a 1-byte Value (0x00 or 0x01).
+    [[nodiscard]] Value decision() const override;
+
+    /// Convenience access to the binary decision.
+    [[nodiscard]] int binary_decision() const;
+
+private:
+    int n_;
+    int f_;
+    common::Processor_id self_;
+    int pref_; // current preference, 0 or 1
+    int maj_ = 0;
+    int mult_ = 0;
+    bool done_ = false;
+};
+
+} // namespace ga::bft
+
+#endif // GA_BFT_PHASE_KING_H

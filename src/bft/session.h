@@ -1,0 +1,71 @@
+// Round-based protocol sessions.
+//
+// A Session is one activation of a synchronous full-information protocol,
+// factored out of the transport so it can be embedded anywhere: in the light
+// driver (unit tests, message-complexity benches), in a sim::Processor (the
+// SSBA composition of §4), or in the game-authority play protocol (§3.3).
+//
+// Schedule contract, for r = 0 .. total_rounds()-1:
+//   1. the owner obtains message_for_round(r) and broadcasts it;
+//   2. the owner collects the payloads all processors sent in round r
+//      (including this session's own, at index self) and calls
+//      deliver_round(r, payloads), with std::nullopt for missing senders.
+// After deliver_round(total_rounds()-1) the session is done() and exposes its
+// outputs. Sessions must tolerate arbitrary payload bytes from any sender
+// (Byzantine garbage decodes to "missing"), and any call pattern reachable
+// after a transient fault must not crash — out-of-schedule calls are ignored.
+#ifndef GA_BFT_SESSION_H
+#define GA_BFT_SESSION_H
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace ga::bft {
+
+/// Agreement values are opaque byte strings; the empty string is the default
+/// ("bottom") value decided when the protocol cannot attribute a real value.
+using Value = common::Bytes;
+
+/// Per-sender payloads for one round; index j holds what processor j sent.
+using Round_payloads = std::vector<std::optional<common::Bytes>>;
+
+class Session {
+public:
+    virtual ~Session() = default;
+
+    /// Number of synchronous send rounds this activation uses.
+    [[nodiscard]] virtual common::Round total_rounds() const = 0;
+
+    /// Payload to broadcast in round r. Must be callable exactly once per
+    /// round in increasing order; defensive implementations may return an
+    /// empty payload for out-of-schedule rounds.
+    virtual common::Bytes message_for_round(common::Round r) = 0;
+
+    /// Deliver everything received in round r.
+    virtual void deliver_round(common::Round r, const Round_payloads& payloads) = 0;
+
+    /// True once the final round has been delivered.
+    [[nodiscard]] virtual bool done() const = 0;
+
+    /// The agreed value; valid only when done(). Consensus semantics:
+    /// termination, agreement, and validity for at most f Byzantine senders.
+    [[nodiscard]] virtual Value decision() const = 0;
+};
+
+/// A session that additionally provides interactive consistency: an agreed
+/// vector with one slot per processor, where every honest processor's slot
+/// carries that processor's real input. Both Eig_session (exponential,
+/// optimal resilience) and Parallel_ic_session (polynomial, n > 4f with
+/// phase-king) implement this — the game authority runs on either.
+class Ic_session : public Session {
+public:
+    /// Valid only when done(); identical at every honest processor.
+    [[nodiscard]] virtual const std::vector<Value>& agreed_vector() const = 0;
+};
+
+} // namespace ga::bft
+
+#endif // GA_BFT_SESSION_H

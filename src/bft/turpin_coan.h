@@ -1,0 +1,51 @@
+// Turpin-Coan reduction: multivalued Byzantine consensus from binary
+// consensus at the cost of two extra rounds.
+//
+// Used to lift Phase_king_session to the arbitrary byte-string values the
+// game authority agrees on (outcomes, commitment digests, foul sets), giving
+// a fully polynomial multivalued path alongside EIG.
+#ifndef GA_BFT_TURPIN_COAN_H
+#define GA_BFT_TURPIN_COAN_H
+
+#include <functional>
+#include <memory>
+
+#include "bft/session.h"
+
+namespace ga::bft {
+
+/// Builds the underlying binary session once the binary input is known.
+using Binary_session_factory =
+    std::function<std::unique_ptr<Session>(int n, int f, common::Processor_id self, int input)>;
+
+class Turpin_coan_session final : public Session {
+public:
+    /// Multivalued consensus on `input` (any byte string). The resilience is
+    /// that of the inner binary protocol (n > 4f with phase king; the
+    /// reduction itself only needs n > 3f).
+    Turpin_coan_session(int n, int f, common::Processor_id self, Value input,
+                        Binary_session_factory make_binary);
+
+    [[nodiscard]] common::Round total_rounds() const override;
+    common::Bytes message_for_round(common::Round r) override;
+    void deliver_round(common::Round r, const Round_payloads& payloads) override;
+    [[nodiscard]] bool done() const override { return done_; }
+    [[nodiscard]] Value decision() const override;
+
+private:
+    int n_;
+    int f_;
+    common::Processor_id self_;
+    Value input_;
+    Binary_session_factory make_binary_;
+    std::unique_ptr<Session> binary_;
+
+    std::optional<Value> x_;         // round-0 quorum value (nullopt = bottom)
+    Value candidate_;                // most common non-bottom x seen in round 1
+    bool candidate_valid_ = false;
+    bool done_ = false;
+};
+
+} // namespace ga::bft
+
+#endif // GA_BFT_TURPIN_COAN_H

@@ -1,0 +1,57 @@
+#include "clock/clock_sync.h"
+
+#include <vector>
+
+namespace ga::clock {
+
+common::Bytes encode_clock(int value)
+{
+    common::Bytes payload;
+    common::put_u32(payload, static_cast<std::uint32_t>(value));
+    return payload;
+}
+
+std::optional<int> decode_clock(const common::Bytes& payload, int period)
+{
+    try {
+        common::Byte_reader reader{payload};
+        const auto value = static_cast<int>(reader.get_u32());
+        if (!reader.exhausted()) return std::nullopt;
+        if (value < 0 || value >= period) return std::nullopt;
+        return value;
+    } catch (const common::Decode_error&) {
+        return std::nullopt;
+    }
+}
+
+Clock_sync_processor::Clock_sync_processor(common::Processor_id id, int n, int f, int period,
+                                           common::Rng rng, int initial_value)
+    : Processor{id}, core_{n, f, period, rng, initial_value}
+{
+}
+
+void Clock_sync_processor::on_pulse(sim::Pulse_context& ctx)
+{
+    // First message per sender wins; later ones in the same pulse are
+    // Byzantine duplicates.
+    std::vector<bool> seen(static_cast<std::size_t>(ctx.system_size()), false);
+    std::vector<int> received;
+    received.reserve(ctx.inbox().size());
+    for (const sim::Message& msg : ctx.inbox()) {
+        if (msg.from < 0 || msg.from >= ctx.system_size()) continue;
+        if (seen[static_cast<std::size_t>(msg.from)]) continue;
+        seen[static_cast<std::size_t>(msg.from)] = true;
+        const auto value = decode_clock(msg.payload, core_.period());
+        if (value.has_value()) received.push_back(*value);
+    }
+
+    core_.step(received);
+    ctx.broadcast(encode_clock(core_.value()));
+}
+
+void Clock_sync_processor::corrupt(common::Rng& rng)
+{
+    core_.set_value(static_cast<int>(rng.below(static_cast<std::uint64_t>(core_.period()))));
+}
+
+} // namespace ga::clock

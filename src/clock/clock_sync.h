@@ -1,0 +1,35 @@
+// Standalone self-stabilizing clock-synchronization processor: Clock_core on
+// the simulator transport. Used directly by the convergence/closure tests and
+// by bench E2; the SSBA composition embeds Clock_core itself to bundle clock
+// and agreement traffic into one payload per pulse.
+#ifndef GA_CLOCK_CLOCK_SYNC_H
+#define GA_CLOCK_CLOCK_SYNC_H
+
+#include <optional>
+
+#include "clock/clock_core.h"
+#include "sim/processor.h"
+
+namespace ga::clock {
+
+/// Wire helpers shared with the SSBA composition.
+common::Bytes encode_clock(int value);
+std::optional<int> decode_clock(const common::Bytes& payload, int period);
+
+class Clock_sync_processor final : public sim::Processor {
+public:
+    Clock_sync_processor(common::Processor_id id, int n, int f, int period, common::Rng rng,
+                         int initial_value = 0);
+
+    [[nodiscard]] int clock() const { return core_.value(); }
+
+    void on_pulse(sim::Pulse_context& ctx) override;
+    void corrupt(common::Rng& rng) override;
+
+private:
+    Clock_core core_;
+};
+
+} // namespace ga::clock
+
+#endif // GA_CLOCK_CLOCK_SYNC_H

@@ -1,0 +1,28 @@
+// Error-handling primitives shared by every ga:: module.
+//
+// Contract violations (caller bugs) throw ga::common::Contract_error; runtime
+// protocol failures that a caller can meaningfully handle throw dedicated
+// exception types defined near the code that raises them (E.14).
+#ifndef GA_COMMON_ENSURE_H
+#define GA_COMMON_ENSURE_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ga::common {
+
+/// Thrown when a documented precondition or invariant is violated.
+class Contract_error : public std::logic_error {
+public:
+    explicit Contract_error(const std::string& what_arg) : std::logic_error{what_arg} {}
+};
+
+/// Verify a precondition; throws Contract_error with `msg` on failure.
+inline void ensure(bool condition, const char* msg)
+{
+    if (!condition) throw Contract_error{msg};
+}
+
+} // namespace ga::common
+
+#endif // GA_COMMON_ENSURE_H

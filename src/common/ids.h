@@ -1,0 +1,28 @@
+// Identifier vocabulary shared across the simulator, BFT substrate, and the
+// game-authority middleware.
+//
+// The paper associates every agent with a unique processor (§2), so a single
+// integer id addresses both the game-layer agent and the network-layer
+// processor. We keep them as distinct aliases for readability of signatures.
+#ifndef GA_COMMON_IDS_H
+#define GA_COMMON_IDS_H
+
+#include <cstdint>
+
+namespace ga::common {
+
+/// Index of a processor in the communication graph (0-based, dense).
+using Processor_id = std::int32_t;
+
+/// Index of an agent in the game (0-based, dense); agent i runs on processor i.
+using Agent_id = std::int32_t;
+
+/// Pulse counter of the synchronous schedule (§4.1: one step per common pulse).
+using Pulse = std::int64_t;
+
+/// Round number within one protocol activation (0-based).
+using Round = std::int32_t;
+
+} // namespace ga::common
+
+#endif // GA_COMMON_IDS_H

@@ -1,0 +1,91 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component in this repository draws randomness through an
+// explicitly injected Rng (no global state, I.2), which makes each simulation
+// run, test, and benchmark replayable from a single 64-bit seed.
+//
+// Engine: xoshiro256** seeded through SplitMix64, the standard pairing
+// recommended by the xoshiro authors.
+#ifndef GA_COMMON_RNG_H
+#define GA_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace ga::common {
+
+/// SplitMix64 stream; used for seeding and for cheap decorrelated substreams.
+class Split_mix64 {
+public:
+    explicit Split_mix64(std::uint64_t seed) : state_{seed} {}
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// xoshiro256** deterministic generator with convenience samplers.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seed the four-word state via SplitMix64 (never all-zero).
+    explicit Rng(std::uint64_t seed = 0x6a09e667f3bcc908ULL);
+
+    /// Raw 64 uniformly random bits.
+    std::uint64_t next_u64();
+
+    /// UniformRandomBitGenerator interface so <random> distributions work too.
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~static_cast<result_type>(0); }
+    result_type operator()() { return next_u64(); }
+
+    /// Uniform integer in [0, bound); bound must be positive. Unbiased
+    /// (rejection sampling on the top of the range).
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1) with 53 random bits.
+    double uniform01();
+
+    /// Bernoulli trial with success probability p in [0, 1].
+    bool chance(double p);
+
+    /// Index sampled from a discrete distribution given by non-negative
+    /// weights (need not be normalized; at least one weight must be > 0).
+    std::size_t weighted(const std::vector<double>& weights);
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(below(i));
+            using std::swap;
+            swap(items[i - 1], items[j]);
+        }
+    }
+
+    /// Independent child generator; distinct `stream` values give streams that
+    /// are decorrelated from this generator and from each other.
+    Rng split(std::uint64_t stream);
+
+private:
+    std::array<std::uint64_t, 4> state_{};
+};
+
+} // namespace ga::common
+
+#endif // GA_COMMON_RNG_H

@@ -1,0 +1,72 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/ensure.h"
+
+namespace ga::common {
+
+Table::Table(std::vector<std::string> headers) : headers_{std::move(headers)}
+{
+    ensure(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells)
+{
+    ensure(cells.size() == headers_.size(), "Table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& cells, int precision)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (const double value : cells) text.push_back(fixed(value, precision));
+    add_row(std::move(text));
+}
+
+void Table::print(std::ostream& out) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "  " << std::setw(static_cast<int>(widths[c])) << row[c];
+        }
+        out << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t rule_width = 0;
+    for (const std::size_t w : widths) rule_width += w + 2;
+    out << std::string(rule_width, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& out) const
+{
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c != 0) out << ',';
+            out << row[c];
+        }
+        out << '\n';
+    };
+    print_row(headers_);
+    for (const auto& row : rows_) print_row(row);
+}
+
+std::string fixed(double value, int precision)
+{
+    std::ostringstream stream;
+    stream << std::fixed << std::setprecision(precision) << value;
+    return stream.str();
+}
+
+} // namespace ga::common

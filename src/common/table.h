@@ -1,0 +1,42 @@
+// Column-aligned text tables for the benchmark harness. Every experiment bench
+// prints its paper-shaped rows through this writer so EXPERIMENTS.md can quote
+// the output verbatim; an optional CSV dump supports downstream plotting.
+#ifndef GA_COMMON_TABLE_H
+#define GA_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ga::common {
+
+/// Accumulates rows of stringified cells and pretty-prints them aligned.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append one row; must have exactly as many cells as there are headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles/ints into a row.
+    void add_row(const std::vector<double>& cells, int precision = 4);
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with a header rule, columns padded to the widest cell.
+    void print(std::ostream& out) const;
+
+    /// Comma-separated dump (no escaping; cells must not contain commas).
+    void print_csv(std::ostream& out) const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fixed(double value, int precision = 4);
+
+} // namespace ga::common
+
+#endif // GA_COMMON_TABLE_H

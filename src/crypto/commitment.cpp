@@ -1,0 +1,65 @@
+#include "crypto/commitment.h"
+
+namespace ga::crypto {
+
+namespace {
+
+constexpr std::size_t nonce_size = 32;
+
+} // namespace
+
+Committed commit(const common::Bytes& payload, common::Rng& rng)
+{
+    Opening opening;
+    opening.nonce.reserve(nonce_size);
+    for (std::size_t i = 0; i < nonce_size; i += 8) {
+        const std::uint64_t word = rng.next_u64();
+        for (int b = 0; b < 8; ++b)
+            opening.nonce.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+    opening.payload = payload;
+    return Committed{recommit(opening), std::move(opening)};
+}
+
+Commitment recommit(const Opening& opening)
+{
+    common::Bytes preimage;
+    common::put_bytes(preimage, opening.nonce);
+    common::put_bytes(preimage, opening.payload);
+    return Commitment{sha256(preimage)};
+}
+
+bool verify(const Commitment& commitment, const Opening& opening)
+{
+    return recommit(opening) == commitment;
+}
+
+common::Bytes encode(const Commitment& commitment)
+{
+    return common::Bytes{commitment.digest.begin(), commitment.digest.end()};
+}
+
+Commitment decode_commitment(common::Byte_reader& reader)
+{
+    Commitment commitment;
+    for (auto& byte : commitment.digest) byte = reader.get_u8();
+    return commitment;
+}
+
+common::Bytes encode(const Opening& opening)
+{
+    common::Bytes out;
+    common::put_bytes(out, opening.nonce);
+    common::put_bytes(out, opening.payload);
+    return out;
+}
+
+Opening decode_opening(common::Byte_reader& reader)
+{
+    Opening opening;
+    opening.nonce = reader.get_bytes();
+    opening.payload = reader.get_bytes();
+    return opening;
+}
+
+} // namespace ga::crypto

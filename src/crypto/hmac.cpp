@@ -1,0 +1,40 @@
+#include "crypto/hmac.h"
+
+namespace ga::crypto {
+
+Digest hmac_sha256(const common::Bytes& key, const common::Bytes& message)
+{
+    constexpr std::size_t block_size = 64;
+
+    common::Bytes key_block = key;
+    if (key_block.size() > block_size) {
+        const Digest hashed = sha256(key_block);
+        key_block.assign(hashed.begin(), hashed.end());
+    }
+    key_block.resize(block_size, 0x00);
+
+    common::Bytes inner;
+    inner.reserve(block_size + message.size());
+    for (const std::uint8_t byte : key_block) inner.push_back(byte ^ 0x36);
+    inner.insert(inner.end(), message.begin(), message.end());
+    const Digest inner_digest = sha256(inner);
+
+    common::Bytes outer;
+    outer.reserve(block_size + inner_digest.size());
+    for (const std::uint8_t byte : key_block) outer.push_back(byte ^ 0x5c);
+    outer.insert(outer.end(), inner_digest.begin(), inner_digest.end());
+    return sha256(outer);
+}
+
+std::uint64_t prf_u64(const common::Bytes& seed, std::uint64_t label, std::uint64_t counter)
+{
+    common::Bytes message;
+    common::put_u64(message, label);
+    common::put_u64(message, counter);
+    const Digest mac = hmac_sha256(seed, message);
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) value |= static_cast<std::uint64_t>(mac[static_cast<std::size_t>(i)]) << (8 * i);
+    return value;
+}
+
+} // namespace ga::crypto

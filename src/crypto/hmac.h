@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104). Used to derive per-round pseudo-random values from a
+// committed seed in the mixed-strategy audit (§5.3): the judicial service can
+// replay exactly the key stream an agent claimed to use.
+#ifndef GA_CRYPTO_HMAC_H
+#define GA_CRYPTO_HMAC_H
+
+#include "crypto/sha256.h"
+
+namespace ga::crypto {
+
+/// HMAC-SHA256 of `message` under `key`.
+Digest hmac_sha256(const common::Bytes& key, const common::Bytes& message);
+
+/// Deterministic 64-bit value derived from (seed, label, counter); the basis
+/// of the auditable PRNG used by honest agents for mixed-strategy sampling.
+std::uint64_t prf_u64(const common::Bytes& seed, std::uint64_t label, std::uint64_t counter);
+
+} // namespace ga::crypto
+
+#endif // GA_CRYPTO_HMAC_H

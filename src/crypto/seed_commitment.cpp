@@ -1,0 +1,52 @@
+#include "crypto/seed_commitment.h"
+
+#include <cmath>
+
+#include "crypto/hmac.h"
+
+namespace ga::crypto {
+
+Seed_commitment commit_seed(common::Rng& rng)
+{
+    common::Bytes seed;
+    seed.reserve(32);
+    for (int i = 0; i < 4; ++i) {
+        const std::uint64_t word = rng.next_u64();
+        for (int b = 0; b < 8; ++b) seed.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+    Committed committed = commit(seed, rng);
+    return Seed_commitment{committed.commitment, std::move(committed.opening)};
+}
+
+int sampled_action(const common::Bytes& seed, std::uint64_t agent_label, std::uint64_t counter,
+                   const std::vector<double>& distribution)
+{
+    common::ensure(!distribution.empty(), "sampled_action: empty distribution");
+    const std::uint64_t raw = prf_u64(seed, agent_label, counter);
+    const double point = static_cast<double>(raw >> 11) * 0x1.0p-53;
+
+    double cumulative = 0.0;
+    int last_positive = -1;
+    for (std::size_t a = 0; a < distribution.size(); ++a) {
+        common::ensure(distribution[a] >= 0.0 && std::isfinite(distribution[a]),
+                       "sampled_action: invalid probability");
+        if (distribution[a] > 0.0) last_positive = static_cast<int>(a);
+        cumulative += distribution[a];
+        if (point < cumulative) return static_cast<int>(a);
+    }
+    common::ensure(last_positive >= 0, "sampled_action: all-zero distribution");
+    return last_positive; // numerical slack when probabilities sum to slightly < 1
+}
+
+bool audit_history(const common::Bytes& seed, std::uint64_t agent_label,
+                   std::uint64_t first_counter, const std::vector<double>& distribution,
+                   const std::vector<int>& actions)
+{
+    for (std::size_t t = 0; t < actions.size(); ++t) {
+        if (actions[t] != sampled_action(seed, agent_label, first_counter + t, distribution))
+            return false;
+    }
+    return true;
+}
+
+} // namespace ga::crypto

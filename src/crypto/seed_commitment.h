@@ -1,0 +1,44 @@
+// Seed commitments and the auditable PRNG for mixed strategies (§5.2-5.3).
+//
+// An honest agent commits to a private seed before a sequence of plays. In
+// round t it draws its action from the elected mixed strategy by inverse-CDF
+// sampling on prf_u64(seed, agent, t). When the seed is revealed, any auditor
+// can replay every draw and confirm that each revealed action was exactly the
+// one the committed seed dictates — a sequence of "random" choices is thereby
+// validated as following the distribution of a credible mixed strategy.
+#ifndef GA_CRYPTO_SEED_COMMITMENT_H
+#define GA_CRYPTO_SEED_COMMITMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/commitment.h"
+
+namespace ga::crypto {
+
+/// A committed PRNG seed (32 random bytes under a hash commitment).
+struct Seed_commitment {
+    Commitment commitment;
+    Opening opening; ///< held privately until the audit point
+};
+
+/// Draw a fresh seed and commit to it.
+Seed_commitment commit_seed(common::Rng& rng);
+
+/// The deterministic action an agent with `seed` must play in round `counter`
+/// when its elected mixed strategy is `distribution` (probabilities, sum ~1).
+/// Sampling is inverse-CDF on a 53-bit uniform value derived from the seed, so
+/// auditor and agent agree bit-for-bit.
+int sampled_action(const common::Bytes& seed, std::uint64_t agent_label, std::uint64_t counter,
+                   const std::vector<double>& distribution);
+
+/// Replay an entire revealed history: true iff every `actions[t]` equals
+/// sampled_action(seed, label, first_counter + t, distribution).
+bool audit_history(const common::Bytes& seed, std::uint64_t agent_label,
+                   std::uint64_t first_counter, const std::vector<double>& distribution,
+                   const std::vector<int>& actions);
+
+} // namespace ga::crypto
+
+#endif // GA_CRYPTO_SEED_COMMITMENT_H

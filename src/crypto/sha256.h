@@ -1,0 +1,52 @@
+// From-scratch SHA-256 (FIPS 180-4).
+//
+// The commitment scheme of §3.3/§5.3 needs a collision-resistant hash; nothing
+// else in the repository depends on external crypto libraries, so the whole
+// middleware builds offline.
+#ifndef GA_CRYPTO_SHA256_H
+#define GA_CRYPTO_SHA256_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ga::crypto {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+public:
+    Sha256();
+
+    /// Absorb more input; may be called repeatedly.
+    void update(const std::uint8_t* data, std::size_t len);
+    void update(const common::Bytes& data) { update(data.data(), data.size()); }
+
+    /// Finish and return the digest; the context must not be reused afterwards.
+    Digest finish();
+
+private:
+    void process_block(const std::uint8_t* block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bits_ = 0;
+    bool finished_ = false;
+};
+
+/// One-shot convenience.
+Digest sha256(const common::Bytes& data);
+
+/// Digest as a 64-char lower-case hex string.
+std::string digest_hex(const Digest& digest);
+
+/// Digest copied into a Bytes buffer (for embedding in messages).
+common::Bytes digest_bytes(const Digest& digest);
+
+} // namespace ga::crypto
+
+#endif // GA_CRYPTO_SHA256_H

@@ -1,0 +1,135 @@
+#include "game/analysis.h"
+
+#include <limits>
+
+namespace ga::game {
+
+void for_each_profile(const Strategic_game& game,
+                      const std::function<void(const Pure_profile&)>& visit)
+{
+    const int n = game.n_agents();
+    Pure_profile profile(static_cast<std::size_t>(n), 0);
+    while (true) {
+        visit(profile);
+        int digit = n - 1;
+        while (digit >= 0) {
+            if (++profile[static_cast<std::size_t>(digit)] < game.n_actions(digit)) break;
+            profile[static_cast<std::size_t>(digit)] = 0;
+            --digit;
+        }
+        if (digit < 0) return;
+    }
+}
+
+std::vector<int> best_response_set(const Strategic_game& game, common::Agent_id i,
+                                   const Pure_profile& pi, double eps)
+{
+    common::ensure(i >= 0 && i < game.n_agents(), "best_response_set: agent out of range");
+    Pure_profile probe = pi;
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<double> costs(static_cast<std::size_t>(game.n_actions(i)));
+    for (int a = 0; a < game.n_actions(i); ++a) {
+        probe[static_cast<std::size_t>(i)] = a;
+        costs[static_cast<std::size_t>(a)] = game.cost(i, probe);
+        best = std::min(best, costs[static_cast<std::size_t>(a)]);
+    }
+    std::vector<int> responses;
+    for (int a = 0; a < game.n_actions(i); ++a) {
+        if (costs[static_cast<std::size_t>(a)] <= best + eps) responses.push_back(a);
+    }
+    return responses;
+}
+
+int best_response(const Strategic_game& game, common::Agent_id i, const Pure_profile& pi)
+{
+    return best_response_set(game, i, pi).front();
+}
+
+bool is_best_response(const Strategic_game& game, common::Agent_id i, const Pure_profile& pi,
+                      double eps)
+{
+    const std::vector<int> responses = best_response_set(game, i, pi, eps);
+    const int played = pi[static_cast<std::size_t>(i)];
+    for (const int a : responses) {
+        if (a == played) return true;
+    }
+    return false;
+}
+
+bool is_pure_nash(const Strategic_game& game, const Pure_profile& pi, double eps)
+{
+    game.validate_profile(pi);
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        if (!is_best_response(game, i, pi, eps)) return false;
+    }
+    return true;
+}
+
+std::vector<Pure_profile> pure_nash_equilibria(const Strategic_game& game, double eps)
+{
+    std::vector<Pure_profile> equilibria;
+    for_each_profile(game, [&](const Pure_profile& pi) {
+        if (is_pure_nash(game, pi, eps)) equilibria.push_back(pi);
+    });
+    return equilibria;
+}
+
+double social_cost(const Strategic_game& game, const Pure_profile& pi,
+                   const std::vector<bool>& honest)
+{
+    game.validate_profile(pi);
+    common::ensure(honest.empty() || static_cast<int>(honest.size()) == game.n_agents(),
+                   "social_cost: honest mask size mismatch");
+    double total = 0.0;
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        if (!honest.empty() && !honest[static_cast<std::size_t>(i)]) continue;
+        total += game.cost(i, pi);
+    }
+    return total;
+}
+
+Social_optimum social_optimum(const Strategic_game& game)
+{
+    Social_optimum best;
+    best.cost = std::numeric_limits<double>::infinity();
+    for_each_profile(game, [&](const Pure_profile& pi) {
+        const double cost = social_cost(game, pi);
+        if (cost < best.cost) {
+            best.cost = cost;
+            best.profile = pi;
+        }
+    });
+    return best;
+}
+
+namespace {
+
+std::optional<double> equilibrium_ratio(const Strategic_game& game, bool worst)
+{
+    const std::vector<Pure_profile> equilibria = pure_nash_equilibria(game);
+    if (equilibria.empty()) return std::nullopt;
+    const double optimum = social_optimum(game).cost;
+    if (optimum <= 0.0) return std::nullopt;
+
+    double selected = worst ? -std::numeric_limits<double>::infinity()
+                            : std::numeric_limits<double>::infinity();
+    for (const Pure_profile& pi : equilibria) {
+        const double cost = social_cost(game, pi);
+        selected = worst ? std::max(selected, cost) : std::min(selected, cost);
+    }
+    return selected / optimum;
+}
+
+} // namespace
+
+std::optional<double> price_of_anarchy(const Strategic_game& game)
+{
+    return equilibrium_ratio(game, /*worst=*/true);
+}
+
+std::optional<double> price_of_stability(const Strategic_game& game)
+{
+    return equilibrium_ratio(game, /*worst=*/false);
+}
+
+} // namespace ga::game

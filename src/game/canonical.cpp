@@ -1,0 +1,37 @@
+#include "game/canonical.h"
+
+namespace ga::game {
+
+Matrix_game matching_pennies()
+{
+    // Payoffs as usually tabulated; rows = A in {Heads, Tails}.
+    return Matrix_game::from_payoffs_2p("matching-pennies",
+                                        {{+1, -1}, {-1, +1}},  // A
+                                        {{-1, +1}, {+1, -1}}); // B
+}
+
+Matrix_game manipulated_matching_pennies()
+{
+    // Fig. 1 of the paper: columns = B in {Heads, Tails, Manipulate}.
+    return Matrix_game::from_payoffs_2p("matching-pennies-fig1",
+                                        {{+1, -1, +1}, {-1, +1, -9}},  // A
+                                        {{-1, +1, -1}, {+1, -1, +9}}); // B
+}
+
+Matrix_game prisoners_dilemma()
+{
+    return Matrix_game{"prisoners-dilemma",
+                       {2, 2},
+                       {{1, 3, 0, 2},   // agent 0 cost: (C,C) (C,D) (D,C) (D,D)
+                        {1, 0, 3, 2}}}; // agent 1 cost
+}
+
+Matrix_game coordination_game()
+{
+    return Matrix_game{"coordination",
+                       {2, 2},
+                       {{1, 5, 5, 3},   // agent 0 cost
+                        {1, 5, 5, 3}}}; // agent 1 cost
+}
+
+} // namespace ga::game

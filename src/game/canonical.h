@@ -1,0 +1,34 @@
+// Canonical example games, including the paper's Fig. 1.
+#ifndef GA_GAME_CANONICAL_H
+#define GA_GAME_CANONICAL_H
+
+#include "game/matrix_game.h"
+
+namespace ga::game {
+
+/// Action names for the matching-pennies family.
+inline constexpr int mp_heads = 0;
+inline constexpr int mp_tails = 1;
+inline constexpr int mp_manipulate = 2;
+
+/// Matching pennies (§5): zero-sum 2x2, no PNE, unique mixed NE at (1/2, 1/2).
+/// Agent A (row) wins 1 on a match; agent B (column) wins 1 on a mismatch.
+Matrix_game matching_pennies();
+
+/// Fig. 1 — matching pennies with B's hidden "Manipulate" strategy: identical
+/// to Heads except that a mismatch with A's Tails pays B +9 (A pays 9).
+/// Against A's honest (1/2, 1/2), B's expected payoff rises from 0 to 4 and
+/// A's falls from 0 to -4.
+Matrix_game manipulated_matching_pennies();
+
+/// Prisoner's dilemma in prison-years costs: actions {0=cooperate, 1=defect};
+/// (C,C)=(1,1), (C,D)=(3,0), (D,C)=(0,3), (D,D)=(2,2). Unique PNE (D,D).
+Matrix_game prisoners_dilemma();
+
+/// A 2x2 coordination game with two PNEs of different social cost, so PoA=3
+/// and PoS=1: costs (A,A)=(1,1), (B,B)=(3,3), mixed coordinations (5,5).
+Matrix_game coordination_game();
+
+} // namespace ga::game
+
+#endif // GA_GAME_CANONICAL_H

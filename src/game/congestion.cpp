@@ -1,0 +1,68 @@
+#include "game/congestion.h"
+
+namespace ga::game {
+
+Singleton_congestion_game::Singleton_congestion_game(int agents,
+                                                     std::vector<Affine_latency> resources)
+    : agents_{agents}, resources_{std::move(resources)}
+{
+    common::ensure(agents_ >= 1, "Singleton_congestion_game: at least one agent");
+    common::ensure(!resources_.empty(), "Singleton_congestion_game: at least one resource");
+    for (const auto& r : resources_)
+        common::ensure(r.slope >= 0.0 && r.offset >= 0.0,
+                       "Singleton_congestion_game: non-negative latencies required");
+}
+
+double Singleton_congestion_game::cost(common::Agent_id i, const Pure_profile& profile) const
+{
+    validate_profile(profile);
+    const int chosen = profile[static_cast<std::size_t>(i)];
+    int load = 0;
+    for (const int a : profile) {
+        if (a == chosen) ++load;
+    }
+    const auto& r = resources_[static_cast<std::size_t>(chosen)];
+    return r.slope * static_cast<double>(load) + r.offset;
+}
+
+double Singleton_congestion_game::rosenthal_potential(const Pure_profile& profile) const
+{
+    validate_profile(profile);
+    std::vector<int> load(resources_.size(), 0);
+    for (const int a : profile) ++load[static_cast<std::size_t>(a)];
+    double potential = 0.0;
+    for (std::size_t e = 0; e < resources_.size(); ++e) {
+        for (int x = 1; x <= load[e]; ++x)
+            potential += resources_[e].slope * static_cast<double>(x) + resources_[e].offset;
+    }
+    return potential;
+}
+
+Pure_profile Singleton_congestion_game::better_response_equilibrium(common::Rng& rng,
+                                                                    int step_cap) const
+{
+    Pure_profile profile(static_cast<std::size_t>(agents_), 0);
+    for (auto& a : profile)
+        a = static_cast<int>(rng.below(static_cast<std::uint64_t>(n_actions(0))));
+
+    for (int step = 0; step < step_cap; ++step) {
+        bool improved = false;
+        for (common::Agent_id i = 0; i < agents_; ++i) {
+            const double current = cost(i, profile);
+            Pure_profile probe = profile;
+            for (int a = 0; a < n_actions(i); ++a) {
+                probe[static_cast<std::size_t>(i)] = a;
+                if (cost(i, probe) < current - 1e-12) {
+                    profile[static_cast<std::size_t>(i)] = a;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if (!improved) return profile;
+    }
+    common::ensure(false, "better_response_equilibrium: dynamics did not converge");
+    return profile;
+}
+
+} // namespace ga::game

@@ -1,0 +1,46 @@
+// Singleton linear congestion games (machine scheduling on identical-speed
+// links with affine latencies). A Rosenthal potential game: pure Nash
+// equilibria always exist and better-response dynamics converge — the class
+// of games whose predictable outcome §6 argues a designer should elect.
+#ifndef GA_GAME_CONGESTION_H
+#define GA_GAME_CONGESTION_H
+
+#include "common/rng.h"
+#include "game/strategic_game.h"
+
+namespace ga::game {
+
+/// Latency of a resource: latency(x) = slope * x + offset for load x.
+struct Affine_latency {
+    double slope = 1.0;
+    double offset = 0.0;
+};
+
+class Singleton_congestion_game final : public Strategic_game {
+public:
+    Singleton_congestion_game(int agents, std::vector<Affine_latency> resources);
+
+    [[nodiscard]] int n_agents() const override { return agents_; }
+    [[nodiscard]] int n_actions(common::Agent_id) const override
+    {
+        return static_cast<int>(resources_.size());
+    }
+    /// Cost of agent i: latency of its chosen resource under the profile load.
+    [[nodiscard]] double cost(common::Agent_id i, const Pure_profile& profile) const override;
+
+    /// Rosenthal potential: sum over resources of latency(1)+...+latency(load).
+    /// Every improving unilateral deviation strictly decreases it.
+    [[nodiscard]] double rosenthal_potential(const Pure_profile& profile) const;
+
+    /// A pure NE via better-response dynamics from a random start.
+    [[nodiscard]] Pure_profile better_response_equilibrium(common::Rng& rng,
+                                                           int step_cap = 100000) const;
+
+private:
+    int agents_;
+    std::vector<Affine_latency> resources_;
+};
+
+} // namespace ga::game
+
+#endif // GA_GAME_CONGESTION_H

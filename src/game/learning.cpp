@@ -1,0 +1,120 @@
+#include "game/learning.h"
+
+#include <limits>
+
+#include "game/mixed.h"
+
+namespace ga::game {
+
+namespace {
+
+Mixed_profile normalized_counts(const Strategic_game& game,
+                                const std::vector<std::vector<double>>& counts)
+{
+    Mixed_profile empirical;
+    empirical.reserve(counts.size());
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        const auto& agent_counts = counts[static_cast<std::size_t>(i)];
+        double total = 0.0;
+        for (const double c : agent_counts) total += c;
+        Mixed_strategy strategy(agent_counts.size(), 0.0);
+        if (total > 0.0) {
+            for (std::size_t a = 0; a < agent_counts.size(); ++a)
+                strategy[a] = agent_counts[a] / total;
+        } else {
+            strategy[0] = 1.0;
+        }
+        empirical.push_back(std::move(strategy));
+    }
+    return empirical;
+}
+
+} // namespace
+
+Learning_result fictitious_play(const Strategic_game& game, int iterations)
+{
+    common::ensure(iterations >= 1, "fictitious_play: at least one iteration");
+    const int n = game.n_agents();
+    std::vector<std::vector<double>> counts(static_cast<std::size_t>(n));
+    for (common::Agent_id i = 0; i < n; ++i)
+        counts[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(game.n_actions(i)),
+                                                   0.0);
+
+    Pure_profile previous(static_cast<std::size_t>(n), 0);
+    for (common::Agent_id i = 0; i < n; ++i)
+        counts[static_cast<std::size_t>(i)][0] += 1.0; // seed round
+
+    for (int t = 1; t < iterations; ++t) {
+        // Everyone best-responds simultaneously to the empirical mixture.
+        const Mixed_profile beliefs = normalized_counts(game, counts);
+        Pure_profile play(static_cast<std::size_t>(n), 0);
+        for (common::Agent_id i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            int best_action = 0;
+            for (int a = 0; a < game.n_actions(i); ++a) {
+                const double cost = expected_cost_of_action(game, i, a, beliefs);
+                if (cost < best - 1e-12) {
+                    best = cost;
+                    best_action = a;
+                }
+            }
+            play[static_cast<std::size_t>(i)] = best_action;
+        }
+        for (common::Agent_id i = 0; i < n; ++i)
+            counts[static_cast<std::size_t>(i)]
+                  [static_cast<std::size_t>(play[static_cast<std::size_t>(i)])] += 1.0;
+        previous = play;
+    }
+    (void)previous;
+    return Learning_result{normalized_counts(game, counts), iterations};
+}
+
+Learning_result regret_matching(const Strategic_game& game, int iterations, common::Rng& rng)
+{
+    common::ensure(iterations >= 1, "regret_matching: at least one iteration");
+    const int n = game.n_agents();
+    std::vector<std::vector<double>> regrets(static_cast<std::size_t>(n));
+    std::vector<std::vector<double>> counts(static_cast<std::size_t>(n));
+    for (common::Agent_id i = 0; i < n; ++i) {
+        regrets[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(game.n_actions(i)),
+                                                    0.0);
+        counts[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(game.n_actions(i)),
+                                                   0.0);
+    }
+
+    for (int t = 0; t < iterations; ++t) {
+        // Sample a profile from the positive-regret distributions.
+        Pure_profile play(static_cast<std::size_t>(n), 0);
+        for (common::Agent_id i = 0; i < n; ++i) {
+            const auto& regret = regrets[static_cast<std::size_t>(i)];
+            std::vector<double> weights(regret.size(), 0.0);
+            double total = 0.0;
+            for (std::size_t a = 0; a < regret.size(); ++a) {
+                weights[a] = regret[a] > 0.0 ? regret[a] : 0.0;
+                total += weights[a];
+            }
+            if (total <= 0.0) {
+                play[static_cast<std::size_t>(i)] = static_cast<int>(
+                    rng.below(static_cast<std::uint64_t>(game.n_actions(i))));
+            } else {
+                play[static_cast<std::size_t>(i)] = static_cast<int>(rng.weighted(weights));
+            }
+        }
+
+        // Update regrets: how much cheaper would each alternative have been?
+        for (common::Agent_id i = 0; i < n; ++i) {
+            const double paid = game.cost(i, play);
+            Pure_profile probe = play;
+            for (int a = 0; a < game.n_actions(i); ++a) {
+                probe[static_cast<std::size_t>(i)] = a;
+                regrets[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)] +=
+                    paid - game.cost(i, probe);
+            }
+            counts[static_cast<std::size_t>(i)]
+                  [static_cast<std::size_t>(play[static_cast<std::size_t>(i)])] += 1.0;
+        }
+    }
+    return Learning_result{normalized_counts(game, counts), iterations};
+}
+
+} // namespace ga::game

@@ -1,0 +1,36 @@
+// Learning dynamics for repeated games.
+//
+// The legislative service needs an equilibrium profile to elect (§3.1); these
+// classic uncoupled dynamics are how a society of selfish agents can discover
+// one before voting on it (and they connect to the authors' follow-up work on
+// strategies for repeated games, [10] in the paper):
+//   * fictitious play — each agent best-responds to the empirical mixture of
+//     the others' past actions; the empirical frequencies converge to a Nash
+//     equilibrium in zero-sum and dominance-solvable games;
+//   * regret matching (Hart & Mas-Colell) — play actions with probability
+//     proportional to positive cumulative regret; the empirical joint
+//     distribution converges to the set of correlated equilibria.
+#ifndef GA_GAME_LEARNING_H
+#define GA_GAME_LEARNING_H
+
+#include "common/rng.h"
+#include "game/strategic_game.h"
+
+namespace ga::game {
+
+struct Learning_result {
+    /// Per-agent empirical action frequencies over all iterations.
+    Mixed_profile empirical;
+    int iterations = 0;
+};
+
+/// Simultaneous fictitious play for `iterations` rounds from the all-zeros
+/// profile. Deterministic (best-response ties break to the lowest index).
+Learning_result fictitious_play(const Strategic_game& game, int iterations);
+
+/// Regret matching for `iterations` rounds; stochastic via `rng`.
+Learning_result regret_matching(const Strategic_game& game, int iterations, common::Rng& rng);
+
+} // namespace ga::game
+
+#endif // GA_GAME_LEARNING_H

@@ -1,0 +1,43 @@
+#include "game/linalg.h"
+
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace ga::game {
+
+std::optional<std::vector<double>> solve_linear_system(std::vector<std::vector<double>> a,
+                                                       std::vector<double> b, double pivot_eps)
+{
+    const std::size_t n = a.size();
+    common::ensure(b.size() == n, "solve_linear_system: dimension mismatch");
+    for (const auto& row : a)
+        common::ensure(row.size() == n, "solve_linear_system: non-square matrix");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+        }
+        if (std::abs(a[pivot][col]) <= pivot_eps) return std::nullopt;
+        std::swap(a[pivot], a[col]);
+        std::swap(b[pivot], b[col]);
+
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / a[col][col];
+            if (factor == 0.0) continue;
+            for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double acc = b[row];
+        for (std::size_t k = row + 1; k < n; ++k) acc -= a[row][k] * x[k];
+        x[row] = acc / a[row][row];
+    }
+    return x;
+}
+
+} // namespace ga::game

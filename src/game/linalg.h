@@ -1,0 +1,20 @@
+// Minimal dense linear algebra: Gaussian elimination with partial pivoting,
+// sized for the indifference systems of support enumeration (a handful of
+// unknowns). Not a general-purpose BLAS.
+#ifndef GA_GAME_LINALG_H
+#define GA_GAME_LINALG_H
+
+#include <optional>
+#include <vector>
+
+namespace ga::game {
+
+/// Solve A x = b for square A (row-major); nullopt when A is singular within
+/// `pivot_eps`.
+std::optional<std::vector<double>> solve_linear_system(std::vector<std::vector<double>> a,
+                                                       std::vector<double> b,
+                                                       double pivot_eps = 1e-12);
+
+} // namespace ga::game
+
+#endif // GA_GAME_LINALG_H

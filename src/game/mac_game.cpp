@@ -1,0 +1,61 @@
+#include "game/mac_game.h"
+
+#include <limits>
+
+#include "game/analysis.h"
+
+namespace ga::game {
+
+Mac_game::Mac_game(int stations, std::vector<double> probability_grid, double energy_cost)
+    : stations_{stations}, grid_{std::move(probability_grid)}, energy_{energy_cost}
+{
+    common::ensure(stations_ >= 2, "Mac_game: at least two stations");
+    common::ensure(!grid_.empty(), "Mac_game: non-empty probability grid");
+    double previous = 0.0;
+    for (const double p : grid_) {
+        common::ensure(p > previous && p <= 1.0, "Mac_game: grid must increase within (0, 1]");
+        previous = p;
+    }
+    common::ensure(energy_ >= 0.0, "Mac_game: non-negative energy cost");
+}
+
+double Mac_game::throughput(common::Agent_id i, const Pure_profile& profile) const
+{
+    validate_profile(profile);
+    double success = grid_[static_cast<std::size_t>(profile[static_cast<std::size_t>(i)])];
+    for (common::Agent_id j = 0; j < stations_; ++j) {
+        if (j == i) continue;
+        success *= 1.0 - grid_[static_cast<std::size_t>(profile[static_cast<std::size_t>(j)])];
+    }
+    return success;
+}
+
+double Mac_game::total_throughput(const Pure_profile& profile) const
+{
+    double total = 0.0;
+    for (common::Agent_id i = 0; i < stations_; ++i) total += throughput(i, profile);
+    return total;
+}
+
+double Mac_game::cost(common::Agent_id i, const Pure_profile& profile) const
+{
+    const double p = grid_[static_cast<std::size_t>(profile[static_cast<std::size_t>(i)])];
+    return energy_ * p - throughput(i, profile);
+}
+
+Pure_profile Mac_game::best_symmetric_profile() const
+{
+    int best_action = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int a = 0; a < n_actions(0); ++a) {
+        const Pure_profile symmetric(static_cast<std::size_t>(stations_), a);
+        const double cost = social_cost(*this, symmetric);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best_action = a;
+        }
+    }
+    return Pure_profile(static_cast<std::size_t>(stations_), best_action);
+}
+
+} // namespace ga::game

@@ -1,0 +1,57 @@
+// Selfish medium access (slotted ALOHA), the motivating example from the
+// paper's introduction: "the selfish MAC layer that does not back off"
+// (Cagalj et al. [5]).
+//
+// n stations each pick a transmission probability from a discrete grid. In a
+// slot, station i succeeds iff it transmits and nobody else does:
+//   throughput_i(p) = p_i * prod_{j != i} (1 - p_j)
+// and pays an energy price per transmission attempt:
+//   cost_i(p) = energy * p_i - throughput_i(p).
+// With cheap energy, defecting to the most aggressive probability dominates
+// and the channel collapses — a tragedy of the commons whose PoA explodes.
+// Under the game authority the society elects a backoff-compliant symmetric
+// profile; per-slot transmission decisions are PRNG samples of the elected
+// probability, so the §5.3 seed audit makes "refusing to back off" a
+// detectable, punishable foul.
+#ifndef GA_GAME_MAC_GAME_H
+#define GA_GAME_MAC_GAME_H
+
+#include "game/strategic_game.h"
+
+namespace ga::game {
+
+class Mac_game final : public Strategic_game {
+public:
+    /// `probability_grid` lists the selectable transmission probabilities in
+    /// (0, 1], increasing; `energy_cost` is the per-attempt price.
+    Mac_game(int stations, std::vector<double> probability_grid, double energy_cost);
+
+    [[nodiscard]] int n_agents() const override { return stations_; }
+    [[nodiscard]] int n_actions(common::Agent_id) const override
+    {
+        return static_cast<int>(grid_.size());
+    }
+    [[nodiscard]] double cost(common::Agent_id i, const Pure_profile& profile) const override;
+
+    [[nodiscard]] const std::vector<double>& probability_grid() const { return grid_; }
+    [[nodiscard]] double energy_cost() const { return energy_; }
+
+    /// Success probability of station i in one slot under `profile`.
+    [[nodiscard]] double throughput(common::Agent_id i, const Pure_profile& profile) const;
+
+    /// Channel throughput: the probability that some station succeeds.
+    [[nodiscard]] double total_throughput(const Pure_profile& profile) const;
+
+    /// The symmetric profile (same grid index for everyone) with the lowest
+    /// social cost — what a backoff-respecting society would elect.
+    [[nodiscard]] Pure_profile best_symmetric_profile() const;
+
+private:
+    int stations_;
+    std::vector<double> grid_;
+    double energy_;
+};
+
+} // namespace ga::game
+
+#endif // GA_GAME_MAC_GAME_H

@@ -1,0 +1,70 @@
+#include "game/matrix_game.h"
+
+namespace ga::game {
+
+Matrix_game::Matrix_game(std::string name, std::vector<int> action_counts,
+                         std::vector<std::vector<double>> costs)
+    : name_{std::move(name)}, action_counts_{std::move(action_counts)}, costs_{std::move(costs)}
+{
+    common::ensure(!action_counts_.empty(), "Matrix_game: at least one agent required");
+    common::ensure(costs_.size() == action_counts_.size(),
+                   "Matrix_game: one cost tensor per agent required");
+    std::size_t profiles = 1;
+    for (const int actions : action_counts_) {
+        common::ensure(actions >= 1, "Matrix_game: every agent needs an action");
+        profiles *= static_cast<std::size_t>(actions);
+    }
+    for (const auto& tensor : costs_)
+        common::ensure(tensor.size() == profiles, "Matrix_game: cost tensor size mismatch");
+}
+
+Matrix_game Matrix_game::from_payoffs_2p(std::string name,
+                                         const std::vector<std::vector<double>>& payoff_a,
+                                         const std::vector<std::vector<double>>& payoff_b)
+{
+    common::ensure(!payoff_a.empty() && !payoff_a.front().empty(),
+                   "from_payoffs_2p: empty payoff matrix");
+    const auto rows = payoff_a.size();
+    const auto cols = payoff_a.front().size();
+    common::ensure(payoff_b.size() == rows, "from_payoffs_2p: payoff shape mismatch");
+
+    std::vector<std::vector<double>> costs(2);
+    costs[0].reserve(rows * cols);
+    costs[1].reserve(rows * cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+        common::ensure(payoff_a[i].size() == cols && payoff_b[i].size() == cols,
+                       "from_payoffs_2p: ragged payoff matrix");
+        for (std::size_t j = 0; j < cols; ++j) {
+            costs[0].push_back(-payoff_a[i][j]);
+            costs[1].push_back(-payoff_b[i][j]);
+        }
+    }
+    return Matrix_game{std::move(name),
+                       {static_cast<int>(rows), static_cast<int>(cols)},
+                       std::move(costs)};
+}
+
+int Matrix_game::n_actions(common::Agent_id i) const
+{
+    common::ensure(i >= 0 && i < n_agents(), "n_actions: agent out of range");
+    return action_counts_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Matrix_game::flat_index(const Pure_profile& profile) const
+{
+    validate_profile(profile);
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < profile.size(); ++i) {
+        index = index * static_cast<std::size_t>(action_counts_[i]) +
+                static_cast<std::size_t>(profile[i]);
+    }
+    return index;
+}
+
+double Matrix_game::cost(common::Agent_id i, const Pure_profile& profile) const
+{
+    common::ensure(i >= 0 && i < n_agents(), "cost: agent out of range");
+    return costs_[static_cast<std::size_t>(i)][flat_index(profile)];
+}
+
+} // namespace ga::game

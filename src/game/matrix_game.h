@@ -1,0 +1,43 @@
+// Explicit (tensor) strategic-form games for small agent counts; the concrete
+// representation behind every canonical example game.
+#ifndef GA_GAME_MATRIX_GAME_H
+#define GA_GAME_MATRIX_GAME_H
+
+#include <string>
+#include <vector>
+
+#include "game/strategic_game.h"
+
+namespace ga::game {
+
+class Matrix_game final : public Strategic_game {
+public:
+    /// `action_counts[i]` = |Π_i|; `costs[i]` = flat tensor of agent i's cost,
+    /// indexed by mixed-radix profile (agent 0 is the most significant digit).
+    Matrix_game(std::string name, std::vector<int> action_counts,
+                std::vector<std::vector<double>> costs);
+
+    /// Two-player builder from *payoff* matrices (as printed in Fig. 1):
+    /// payoff_a[i][j] / payoff_b[i][j] for row player action i, column player
+    /// action j. Costs are the negated payoffs.
+    static Matrix_game from_payoffs_2p(std::string name,
+                                       const std::vector<std::vector<double>>& payoff_a,
+                                       const std::vector<std::vector<double>>& payoff_b);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] int n_agents() const override { return static_cast<int>(action_counts_.size()); }
+    [[nodiscard]] int n_actions(common::Agent_id i) const override;
+    [[nodiscard]] double cost(common::Agent_id i, const Pure_profile& profile) const override;
+
+    /// Flat index of a profile in the cost tensors.
+    [[nodiscard]] std::size_t flat_index(const Pure_profile& profile) const;
+
+private:
+    std::string name_;
+    std::vector<int> action_counts_;
+    std::vector<std::vector<double>> costs_;
+};
+
+} // namespace ga::game
+
+#endif // GA_GAME_MATRIX_GAME_H

@@ -1,0 +1,187 @@
+#include "game/mixed.h"
+
+#include <cmath>
+#include <limits>
+
+#include "game/analysis.h"
+#include "game/linalg.h"
+
+namespace ga::game {
+
+namespace {
+
+void validate_mixed_profile(const Strategic_game& game, const Mixed_profile& sigma)
+{
+    common::ensure(static_cast<int>(sigma.size()) == game.n_agents(),
+                   "mixed profile: wrong arity");
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        common::ensure(static_cast<int>(sigma[static_cast<std::size_t>(i)].size()) ==
+                           game.n_actions(i),
+                       "mixed profile: wrong strategy length");
+        common::ensure(is_distribution(sigma[static_cast<std::size_t>(i)], 1e-6),
+                       "mixed profile: strategy is not a distribution");
+    }
+}
+
+} // namespace
+
+double expected_cost(const Strategic_game& game, common::Agent_id i, const Mixed_profile& sigma)
+{
+    validate_mixed_profile(game, sigma);
+    double total = 0.0;
+    for_each_profile(game, [&](const Pure_profile& pi) {
+        double probability = 1.0;
+        for (common::Agent_id j = 0; j < game.n_agents(); ++j) {
+            probability *= sigma[static_cast<std::size_t>(j)]
+                                [static_cast<std::size_t>(pi[static_cast<std::size_t>(j)])];
+            if (probability == 0.0) return;
+        }
+        total += probability * game.cost(i, pi);
+    });
+    return total;
+}
+
+double expected_cost_of_action(const Strategic_game& game, common::Agent_id i, int a,
+                               const Mixed_profile& sigma)
+{
+    common::ensure(game.is_legitimate_action(i, a), "expected_cost_of_action: illegal action");
+    Mixed_profile deviated = sigma;
+    deviated[static_cast<std::size_t>(i)] = pure_as_mixed(a, game.n_actions(i));
+    return expected_cost(game, i, deviated);
+}
+
+bool is_mixed_nash(const Strategic_game& game, const Mixed_profile& sigma, double eps)
+{
+    validate_mixed_profile(game, sigma);
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        std::vector<double> action_costs(static_cast<std::size_t>(game.n_actions(i)));
+        for (int a = 0; a < game.n_actions(i); ++a) {
+            action_costs[static_cast<std::size_t>(a)] = expected_cost_of_action(game, i, a, sigma);
+            best = std::min(best, action_costs[static_cast<std::size_t>(a)]);
+        }
+        for (int a = 0; a < game.n_actions(i); ++a) {
+            const double p = sigma[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)];
+            if (p > eps && action_costs[static_cast<std::size_t>(a)] > best + eps) return false;
+        }
+    }
+    return true;
+}
+
+std::optional<Mixed_profile> mixed_nash_2x2(const Strategic_game& game)
+{
+    common::ensure(game.n_agents() == 2 && game.n_actions(0) == 2 && game.n_actions(1) == 2,
+                   "mixed_nash_2x2 requires a 2x2 game");
+    const auto c = [&](common::Agent_id who, int a0, int a1) {
+        return game.cost(who, Pure_profile{a0, a1});
+    };
+
+    // p = P[agent 0 plays action 0] chosen to make agent 1 indifferent.
+    const double denom_p = c(1, 0, 0) - c(1, 1, 0) - c(1, 0, 1) + c(1, 1, 1);
+    // q = P[agent 1 plays action 0] chosen to make agent 0 indifferent.
+    const double denom_q = c(0, 0, 0) - c(0, 0, 1) - c(0, 1, 0) + c(0, 1, 1);
+    if (std::abs(denom_p) < 1e-12 || std::abs(denom_q) < 1e-12) return std::nullopt;
+
+    const double p = (c(1, 1, 1) - c(1, 1, 0)) / denom_p;
+    const double q = (c(0, 1, 1) - c(0, 0, 1)) / denom_q;
+    if (p < 0.0 || p > 1.0 || q < 0.0 || q > 1.0) return std::nullopt;
+
+    Mixed_profile sigma{{p, 1.0 - p}, {q, 1.0 - q}};
+    if (!is_mixed_nash(game, sigma, 1e-7)) return std::nullopt;
+    return sigma;
+}
+
+namespace {
+
+/// Enumerate non-empty subsets of {0..count-1} as index vectors.
+std::vector<std::vector<int>> non_empty_subsets(int count)
+{
+    std::vector<std::vector<int>> subsets;
+    for (unsigned mask = 1; mask < (1u << count); ++mask) {
+        std::vector<int> subset;
+        for (int a = 0; a < count; ++a) {
+            if (mask & (1u << a)) subset.push_back(a);
+        }
+        subsets.push_back(std::move(subset));
+    }
+    return subsets;
+}
+
+/// Solve for the mixed strategy of `owner` supported on `support` that makes
+/// the *other* player indifferent across `other_support`.
+/// Unknowns: probabilities on `support` plus the common cost level.
+std::optional<Mixed_strategy> solve_indifference(const Strategic_game& game,
+                                                 common::Agent_id owner,
+                                                 const std::vector<int>& support,
+                                                 common::Agent_id other,
+                                                 const std::vector<int>& other_support,
+                                                 double eps)
+{
+    if (support.size() != other_support.size()) return std::nullopt; // square system only
+    const std::size_t k = support.size();
+    // Unknowns x_0..x_{k-1} (probabilities), v (indifference cost level).
+    std::vector<std::vector<double>> a(k + 1, std::vector<double>(k + 1, 0.0));
+    std::vector<double> b(k + 1, 0.0);
+
+    for (std::size_t row = 0; row < k; ++row) {
+        // Expected cost of `other` playing other_support[row] equals v.
+        for (std::size_t col = 0; col < k; ++col) {
+            Pure_profile pi(2, 0);
+            pi[static_cast<std::size_t>(owner)] = support[col];
+            pi[static_cast<std::size_t>(other)] = other_support[row];
+            a[row][col] = game.cost(other, pi);
+        }
+        a[row][k] = -1.0; // -v
+        b[row] = 0.0;
+    }
+    for (std::size_t col = 0; col < k; ++col) a[k][col] = 1.0; // probabilities sum to 1
+    b[k] = 1.0;
+
+    const auto solution = solve_linear_system(a, b);
+    if (!solution.has_value()) return std::nullopt;
+
+    Mixed_strategy strategy(static_cast<std::size_t>(game.n_actions(owner)), 0.0);
+    for (std::size_t col = 0; col < k; ++col) {
+        if ((*solution)[col] < -eps) return std::nullopt;
+        strategy[static_cast<std::size_t>(support[col])] = std::max(0.0, (*solution)[col]);
+    }
+    return strategy;
+}
+
+} // namespace
+
+std::vector<Mixed_profile> support_enumeration_2p(const Strategic_game& game, double eps)
+{
+    common::ensure(game.n_agents() == 2, "support_enumeration_2p requires two players");
+    std::vector<Mixed_profile> equilibria;
+
+    const auto supports0 = non_empty_subsets(game.n_actions(0));
+    const auto supports1 = non_empty_subsets(game.n_actions(1));
+    for (const auto& s0 : supports0) {
+        for (const auto& s1 : supports1) {
+            if (s0.size() != s1.size()) continue;
+            const auto sigma0 = solve_indifference(game, 0, s0, 1, s1, eps);
+            if (!sigma0.has_value()) continue;
+            const auto sigma1 = solve_indifference(game, 1, s1, 0, s0, eps);
+            if (!sigma1.has_value()) continue;
+            Mixed_profile sigma{*sigma0, *sigma1};
+            if (!is_mixed_nash(game, sigma, 1e-7)) continue;
+
+            const bool duplicate = [&] {
+                for (const auto& known : equilibria) {
+                    double distance = 0.0;
+                    for (int i = 0; i < 2; ++i)
+                        for (std::size_t a = 0; a < known[static_cast<std::size_t>(i)].size(); ++a)
+                            distance += std::abs(known[static_cast<std::size_t>(i)][a] -
+                                                 sigma[static_cast<std::size_t>(i)][a]);
+                    if (distance < 1e-6) return true;
+                }
+                return false;
+            }();
+            if (!duplicate) equilibria.push_back(std::move(sigma));
+        }
+    }
+    return equilibria;
+}
+
+} // namespace ga::game

@@ -1,0 +1,36 @@
+// Mixed-strategy machinery (§2: Nash's theorem guarantees an equilibrium once
+// strategies may be mixed; §5 audits agents that play them).
+#ifndef GA_GAME_MIXED_H
+#define GA_GAME_MIXED_H
+
+#include <optional>
+
+#include "game/strategic_game.h"
+
+namespace ga::game {
+
+/// Expected cost of agent i under a mixed profile (full enumeration of the
+/// profile space — small games only).
+double expected_cost(const Strategic_game& game, common::Agent_id i, const Mixed_profile& sigma);
+
+/// Expected cost of agent i when it deviates to pure action `a` while the
+/// others keep playing sigma.
+double expected_cost_of_action(const Strategic_game& game, common::Agent_id i, int a,
+                               const Mixed_profile& sigma);
+
+/// Mixed Nash test: every action in every agent's support attains the minimal
+/// expected cost against the others (within eps), and no action beats it.
+bool is_mixed_nash(const Strategic_game& game, const Mixed_profile& sigma, double eps = 1e-7);
+
+/// Fully-mixed equilibrium of a 2x2 game via the indifference principle;
+/// nullopt when none exists in the open simplex (e.g. dominance-solvable games).
+std::optional<Mixed_profile> mixed_nash_2x2(const Strategic_game& game);
+
+/// All mixed equilibria of a two-player game found by support enumeration
+/// (solves the indifference system for every support pair and keeps the
+/// consistent ones). Exponential in action counts — small games only.
+std::vector<Mixed_profile> support_enumeration_2p(const Strategic_game& game, double eps = 1e-9);
+
+} // namespace ga::game
+
+#endif // GA_GAME_MIXED_H

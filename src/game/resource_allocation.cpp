@@ -1,0 +1,221 @@
+#include "game/resource_allocation.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ga::game {
+
+Rra_stage_game::Rra_stage_game(std::vector<std::int64_t> loads, int agents)
+    : loads_{std::move(loads)}, agents_{agents}
+{
+    common::ensure(!loads_.empty(), "Rra_stage_game: at least one bin required");
+    common::ensure(agents_ >= 1, "Rra_stage_game: at least one agent required");
+}
+
+double Rra_stage_game::cost(common::Agent_id i, const Pure_profile& profile) const
+{
+    validate_profile(profile);
+    const int chosen = profile[static_cast<std::size_t>(i)];
+    int demand = 0;
+    for (const int a : profile) {
+        if (a == chosen) ++demand;
+    }
+    return static_cast<double>(loads_[static_cast<std::size_t>(chosen)] + demand);
+}
+
+Rra_process::Rra_process(int agents, int bins, Rra_rule rule, common::Rng rng)
+    : agents_{agents}, rule_{rule}, rng_{rng}, loads_(static_cast<std::size_t>(bins), 0)
+{
+    common::ensure(agents_ >= 1, "Rra_process: at least one agent required");
+    common::ensure(bins >= 2, "Rra_process: the paper's model has b > 1");
+}
+
+std::int64_t Rra_process::max_load() const
+{
+    return *std::max_element(loads_.begin(), loads_.end());
+}
+
+std::int64_t Rra_process::min_load() const
+{
+    return *std::min_element(loads_.begin(), loads_.end());
+}
+
+double Rra_process::anarchy_ratio() const
+{
+    common::ensure(rounds_ > 0, "anarchy_ratio: no rounds played yet");
+    const std::int64_t nk = static_cast<std::int64_t>(agents_) * rounds_;
+    const double opt = static_cast<double>(nk / bins() + 1); // floor(nk/b) + 1
+    return static_cast<double>(max_load()) / opt;
+}
+
+double Rra_process::theorem5_bound() const
+{
+    common::ensure(rounds_ > 0, "theorem5_bound: no rounds played yet");
+    return 1.0 + 2.0 * static_cast<double>(bins()) / static_cast<double>(rounds_);
+}
+
+Mixed_strategy Rra_process::symmetric_equilibrium() const
+{
+    // Water-filling: support the k least-loaded bins; on the support the
+    // expected perceived load lambda = l_a + 1 + (n-1) x_a is constant and
+    // unsupported bins satisfy l_b + 1 >= lambda.
+    const int b = bins();
+    std::vector<int> order(static_cast<std::size_t>(b));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int x, int y) {
+        if (loads_[static_cast<std::size_t>(x)] != loads_[static_cast<std::size_t>(y)])
+            return loads_[static_cast<std::size_t>(x)] < loads_[static_cast<std::size_t>(y)];
+        return x < y;
+    });
+
+    Mixed_strategy strategy(static_cast<std::size_t>(b), 0.0);
+    const double spread_budget = static_cast<double>(agents_ - 1);
+    for (int k = b; k >= 1; --k) {
+        std::int64_t load_sum = 0;
+        for (int j = 0; j < k; ++j) load_sum += loads_[static_cast<std::size_t>(order[static_cast<std::size_t>(j)])];
+        const double lambda =
+            (spread_budget + static_cast<double>(k) + static_cast<double>(load_sum)) /
+            static_cast<double>(k);
+
+        // Feasibility: every supported bin gets x_a >= 0, every unsupported
+        // bin already exceeds the common level.
+        const double heaviest_supported =
+            static_cast<double>(loads_[static_cast<std::size_t>(order[static_cast<std::size_t>(k - 1)])]);
+        if (lambda < heaviest_supported + 1.0 - 1e-12) continue;
+        if (k < b) {
+            const double lightest_unsupported =
+                static_cast<double>(loads_[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])]);
+            if (lightest_unsupported + 1.0 < lambda - 1e-12) continue;
+        }
+
+        if (agents_ == 1) {
+            // Degenerate: a single agent best-responds to the least-loaded bin.
+            strategy[static_cast<std::size_t>(order[0])] = 1.0;
+            return strategy;
+        }
+        for (int j = 0; j < k; ++j) {
+            const int bin = order[static_cast<std::size_t>(j)];
+            strategy[static_cast<std::size_t>(bin)] =
+                (lambda - 1.0 - static_cast<double>(loads_[static_cast<std::size_t>(bin)])) /
+                spread_budget;
+        }
+        return strategy;
+    }
+    common::ensure(false, "symmetric_equilibrium: water-filling found no support");
+    return strategy;
+}
+
+std::vector<int> Rra_process::greedy_assignment() const
+{
+    // Sequential best response; ties resolved toward the lowest index.
+    const int b = bins();
+    std::vector<int> counts(static_cast<std::size_t>(b), 0);
+    for (int agent = 0; agent < agents_; ++agent) {
+        int best_bin = 0;
+        std::int64_t best_total = std::numeric_limits<std::int64_t>::max();
+        for (int a = 0; a < b; ++a) {
+            const std::int64_t total =
+                loads_[static_cast<std::size_t>(a)] + counts[static_cast<std::size_t>(a)] + 1;
+            if (total < best_total) {
+                best_total = total;
+                best_bin = a;
+            }
+        }
+        ++counts[static_cast<std::size_t>(best_bin)];
+    }
+    return counts;
+}
+
+std::vector<int> Rra_process::adversarial_assignment() const
+{
+    // A pure profile with bin counts c is a stage NE iff every used bin's
+    // total t_a = l_a + c_a satisfies t_a <= t_b + 1 for *every* bin b.
+    // The worst NE therefore raises one bin to the largest T such that all
+    // bins can be topped up to at least T-1 within the n demands.
+    const int b = bins();
+    std::vector<int> counts(static_cast<std::size_t>(b), 0);
+
+    std::int64_t best_t = -1;
+    int best_bin = -1;
+    for (int target = 0; target < b; ++target) {
+        // Binary search the largest T for raising bin `target` to T.
+        std::int64_t lo = loads_[static_cast<std::size_t>(target)] + 1;
+        std::int64_t hi = loads_[static_cast<std::size_t>(target)] + agents_;
+        while (lo <= hi) {
+            const std::int64_t t = lo + (hi - lo) / 2;
+            std::int64_t needed = t - loads_[static_cast<std::size_t>(target)];
+            for (int a = 0; a < b; ++a) {
+                if (a == target) continue;
+                needed += std::max<std::int64_t>(0, t - 1 - loads_[static_cast<std::size_t>(a)]);
+            }
+            if (needed <= agents_) {
+                if (t > best_t) {
+                    best_t = t;
+                    best_bin = target;
+                }
+                lo = t + 1;
+            } else {
+                hi = t - 1;
+            }
+        }
+    }
+    common::ensure(best_bin >= 0, "adversarial_assignment: no feasible NE found");
+
+    // Meet the minima...
+    int placed = 0;
+    counts[static_cast<std::size_t>(best_bin)] =
+        static_cast<int>(best_t - loads_[static_cast<std::size_t>(best_bin)]);
+    placed += counts[static_cast<std::size_t>(best_bin)];
+    for (int a = 0; a < b; ++a) {
+        if (a == best_bin) continue;
+        const int need =
+            static_cast<int>(std::max<std::int64_t>(0, best_t - 1 - loads_[static_cast<std::size_t>(a)]));
+        counts[static_cast<std::size_t>(a)] = need;
+        placed += need;
+    }
+    // ...then drop the leftover demands on currently-minimal totals, which
+    // preserves the NE property.
+    while (placed < agents_) {
+        int arg_min = 0;
+        std::int64_t min_total = std::numeric_limits<std::int64_t>::max();
+        for (int a = 0; a < b; ++a) {
+            const std::int64_t total =
+                loads_[static_cast<std::size_t>(a)] + counts[static_cast<std::size_t>(a)];
+            if (total < min_total) {
+                min_total = total;
+                arg_min = a;
+            }
+        }
+        ++counts[static_cast<std::size_t>(arg_min)];
+        ++placed;
+    }
+    return counts;
+}
+
+void Rra_process::play_round()
+{
+    std::vector<int> counts;
+    switch (rule_) {
+    case Rra_rule::symmetric_mixed: {
+        const Mixed_strategy x = symmetric_equilibrium();
+        counts.assign(static_cast<std::size_t>(bins()), 0);
+        for (int agent = 0; agent < agents_; ++agent) {
+            const std::size_t bin = rng_.weighted(x);
+            ++counts[bin];
+        }
+        break;
+    }
+    case Rra_rule::greedy_pure:
+        counts = greedy_assignment();
+        break;
+    case Rra_rule::adversarial_pure:
+        counts = adversarial_assignment();
+        break;
+    }
+
+    for (std::size_t a = 0; a < loads_.size(); ++a) loads_[a] += counts[a];
+    ++rounds_;
+}
+
+} // namespace ga::game

@@ -1,0 +1,101 @@
+// The repeated resource allocation (RRA) game of §6.
+//
+// n agents each place one unit demand on one of b resources ("bins") every
+// round; after the round all loads are public; the time to service a demand on
+// resource a is a's cumulative load, so an agent's stage cost for choosing a
+// is l_a(k) + (number of demands placed on a this round, including its own).
+// Every play is a fresh (round-independent) Nash equilibrium of the stage
+// game — the paper's "repeated Nash equilibrium".
+//
+// Equilibrium selectors:
+//  * symmetric_mixed   — the canonical symmetric mixed NE: the water-filling
+//                        distribution over the least-loaded bins (this is the
+//                        equilibrium structure Lemma 6's proof reasons about);
+//  * greedy_pure       — balanced pure NE via sequential best response;
+//  * adversarial_pure  — the pure NE maximizing the resulting maximum load
+//                        (worst case over pure equilibria, for SC(k)).
+//
+// Theorem 5: under game-authority supervision R(k) <= 1 + 2b/k and R -> 1;
+// Lemma 6: M(k) - l_a(k) <= 2n - 1 for every bin a.
+#ifndef GA_GAME_RESOURCE_ALLOCATION_H
+#define GA_GAME_RESOURCE_ALLOCATION_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "game/strategic_game.h"
+
+namespace ga::game {
+
+enum class Rra_rule {
+    symmetric_mixed,
+    greedy_pure,
+    adversarial_pure,
+};
+
+/// The one-round stage game induced by the current loads (exposed as a
+/// Strategic_game so generic analysis/tests apply to it).
+class Rra_stage_game final : public Strategic_game {
+public:
+    Rra_stage_game(std::vector<std::int64_t> loads, int agents);
+
+    [[nodiscard]] int n_agents() const override { return agents_; }
+    [[nodiscard]] int n_actions(common::Agent_id) const override
+    {
+        return static_cast<int>(loads_.size());
+    }
+    /// Stage cost: load of the chosen bin plus every demand placed on it now.
+    [[nodiscard]] double cost(common::Agent_id i, const Pure_profile& profile) const override;
+
+    [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+
+private:
+    std::vector<std::int64_t> loads_;
+    int agents_;
+};
+
+/// The repeated process: plays round after round under a fixed selector.
+class Rra_process {
+public:
+    Rra_process(int agents, int bins, Rra_rule rule, common::Rng rng);
+
+    /// Play one round: select a stage equilibrium, realize choices, add loads.
+    void play_round();
+
+    [[nodiscard]] int rounds_played() const { return rounds_; }
+    [[nodiscard]] int agents() const { return agents_; }
+    [[nodiscard]] int bins() const { return static_cast<int>(loads_.size()); }
+    [[nodiscard]] const std::vector<std::int64_t>& loads() const { return loads_; }
+    [[nodiscard]] std::int64_t max_load() const;
+    [[nodiscard]] std::int64_t min_load() const;
+
+    /// Delta(k) = M(k) - m(k); Lemma 6 bounds it by 2n-1.
+    [[nodiscard]] std::int64_t spread() const { return max_load() - min_load(); }
+
+    /// k-round anarchy ratio of this run: M(k) / OPT(k), OPT(k) = floor(nk/b)+1.
+    [[nodiscard]] double anarchy_ratio() const;
+
+    /// Theorem 5's bound for the current k: 1 + 2b/k.
+    [[nodiscard]] double theorem5_bound() const;
+
+    /// The symmetric water-filling mixed NE of the current stage game
+    /// (support = least-loaded bins, probabilities equalize expected loads).
+    [[nodiscard]] Mixed_strategy symmetric_equilibrium() const;
+
+    /// The pure assignment (bin counts) the adversarial selector would choose
+    /// now; exposed for the NE-property tests.
+    [[nodiscard]] std::vector<int> adversarial_assignment() const;
+
+private:
+    std::vector<int> greedy_assignment() const;
+
+    int agents_;
+    Rra_rule rule_;
+    common::Rng rng_;
+    std::vector<std::int64_t> loads_;
+    int rounds_ = 0;
+};
+
+} // namespace ga::game
+
+#endif // GA_GAME_RESOURCE_ALLOCATION_H

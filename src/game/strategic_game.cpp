@@ -1,0 +1,48 @@
+#include "game/strategic_game.h"
+
+#include <cmath>
+
+namespace ga::game {
+
+bool is_distribution(const Mixed_strategy& strategy, double eps)
+{
+    if (strategy.empty()) return false;
+    double total = 0.0;
+    for (const double p : strategy) {
+        if (!(p >= -eps) || !std::isfinite(p)) return false;
+        total += p;
+    }
+    return std::abs(total - 1.0) <= eps * static_cast<double>(strategy.size());
+}
+
+Mixed_strategy pure_as_mixed(int action, int n_actions)
+{
+    common::ensure(action >= 0 && action < n_actions, "pure_as_mixed: action out of range");
+    Mixed_strategy strategy(static_cast<std::size_t>(n_actions), 0.0);
+    strategy[static_cast<std::size_t>(action)] = 1.0;
+    return strategy;
+}
+
+std::int64_t Strategic_game::profile_count() const
+{
+    std::int64_t count = 1;
+    for (common::Agent_id i = 0; i < n_agents(); ++i) {
+        const std::int64_t actions = n_actions(i);
+        common::ensure(actions > 0, "profile_count: agent with no actions");
+        common::ensure(count <= (static_cast<std::int64_t>(1) << 40) / actions,
+                       "profile_count: profile space too large to enumerate");
+        count *= actions;
+    }
+    return count;
+}
+
+void Strategic_game::validate_profile(const Pure_profile& profile) const
+{
+    common::ensure(static_cast<int>(profile.size()) == n_agents(),
+                   "validate_profile: wrong arity");
+    for (common::Agent_id i = 0; i < n_agents(); ++i)
+        common::ensure(is_legitimate_action(i, profile[static_cast<std::size_t>(i)]),
+                       "validate_profile: illegitimate action");
+}
+
+} // namespace ga::game

@@ -1,0 +1,52 @@
+// The strategic-form game abstraction Γ = ⟨N, (Π_i), (u_i)⟩ of §2.
+//
+// Following the paper, u_i is a *cost* function: a selfish agent unilaterally
+// deviates to a profile with strictly smaller individual cost, and the social
+// cost of a profile is the sum of individual costs of honest agents. Payoff
+// views (higher-is-better, as displayed in Fig. 1) are provided as negated
+// costs.
+#ifndef GA_GAME_STRATEGIC_GAME_H
+#define GA_GAME_STRATEGIC_GAME_H
+
+#include <cstdint>
+
+#include "game/strategy.h"
+
+namespace ga::game {
+
+class Strategic_game {
+public:
+    virtual ~Strategic_game() = default;
+
+    /// |N| — number of agents.
+    [[nodiscard]] virtual int n_agents() const = 0;
+
+    /// |Π_i| — number of applicable actions of agent i.
+    [[nodiscard]] virtual int n_actions(common::Agent_id i) const = 0;
+
+    /// u_i(π) — the cost agent i pays under pure profile π (lower is better).
+    [[nodiscard]] virtual double cost(common::Agent_id i, const Pure_profile& profile) const = 0;
+
+    /// Payoff view: -cost (what Fig. 1 tabulates).
+    [[nodiscard]] double payoff(common::Agent_id i, const Pure_profile& profile) const
+    {
+        return -cost(i, profile);
+    }
+
+    /// Number of pure strategy profiles |Π| (guarded against overflow).
+    [[nodiscard]] std::int64_t profile_count() const;
+
+    /// Throws Contract_error unless `profile` is a well-formed PSP of this game.
+    void validate_profile(const Pure_profile& profile) const;
+
+    /// True iff `action` is an applicable action of agent i (the judicial
+    /// service's "legitimate action choice" check, §3.2).
+    [[nodiscard]] bool is_legitimate_action(common::Agent_id i, int action) const
+    {
+        return action >= 0 && action < n_actions(i);
+    }
+};
+
+} // namespace ga::game
+
+#endif // GA_GAME_STRATEGIC_GAME_H

@@ -1,0 +1,29 @@
+// Strategy-profile vocabulary (§2 of the paper, following Osborne-Rubinstein).
+#ifndef GA_GAME_STRATEGY_H
+#define GA_GAME_STRATEGY_H
+
+#include <vector>
+
+#include "common/ensure.h"
+#include "common/ids.h"
+
+namespace ga::game {
+
+/// A pure strategy profile (PSP): one action index per agent.
+using Pure_profile = std::vector<int>;
+
+/// A mixed strategy for one agent: a probability for each of its actions.
+using Mixed_strategy = std::vector<double>;
+
+/// A mixed strategy profile: one distribution per agent.
+using Mixed_profile = std::vector<Mixed_strategy>;
+
+/// True iff the vector is a probability distribution up to `eps` slack.
+bool is_distribution(const Mixed_strategy& strategy, double eps = 1e-9);
+
+/// Degenerate (pure) distribution over `n_actions` actions playing `action`.
+Mixed_strategy pure_as_mixed(int action, int n_actions);
+
+} // namespace ga::game
+
+#endif // GA_GAME_STRATEGY_H

@@ -1,0 +1,62 @@
+#include "game/virus_inoculation.h"
+
+#include <cmath>
+
+namespace ga::game {
+
+Virus_inoculation_game::Virus_inoculation_game(const sim::Graph* graph, double inoculation_cost,
+                                               double loss)
+    : graph_{graph}, c_{inoculation_cost}, l_{loss}
+{
+    common::ensure(graph_ != nullptr, "Virus_inoculation_game: null graph");
+    common::ensure(graph_->size() >= 1, "Virus_inoculation_game: empty graph");
+    common::ensure(c_ > 0.0 && l_ > 0.0, "Virus_inoculation_game: positive C and L required");
+    common::ensure(c_ < l_, "Virus_inoculation_game: C < L required for a non-trivial game");
+}
+
+int Virus_inoculation_game::insecure_component_size(common::Agent_id i,
+                                                    const Pure_profile& profile) const
+{
+    if (profile[static_cast<std::size_t>(i)] == vi_inoculate) return 0;
+    std::vector<bool> removed(static_cast<std::size_t>(n_agents()), false);
+    for (common::Agent_id j = 0; j < n_agents(); ++j)
+        removed[static_cast<std::size_t>(j)] = profile[static_cast<std::size_t>(j)] == vi_inoculate;
+    return static_cast<int>(graph_->component_of(i, removed).size());
+}
+
+double Virus_inoculation_game::cost(common::Agent_id i, const Pure_profile& profile) const
+{
+    validate_profile(profile);
+    if (profile[static_cast<std::size_t>(i)] == vi_inoculate) return c_;
+    const int k = insecure_component_size(i, profile);
+    return l_ * static_cast<double>(k) / static_cast<double>(n_agents());
+}
+
+Pure_profile Virus_inoculation_game::best_response_equilibrium(int sweep_cap) const
+{
+    Pure_profile profile(static_cast<std::size_t>(n_agents()), vi_insecure);
+    for (int sweep = 0; sweep < sweep_cap; ++sweep) {
+        bool changed = false;
+        for (common::Agent_id i = 0; i < n_agents(); ++i) {
+            const int current = profile[static_cast<std::size_t>(i)];
+            Pure_profile probe = profile;
+            probe[static_cast<std::size_t>(i)] = vi_insecure;
+            const double cost_insecure = cost(i, probe);
+            probe[static_cast<std::size_t>(i)] = vi_inoculate;
+            const double cost_inoculate = cost(i, probe);
+            // Strict improvement only; indifferent nodes stay put so that the
+            // dynamics cannot cycle.
+            const int better = cost_inoculate < cost_insecure - 1e-12 ? vi_inoculate : vi_insecure;
+            if (better != current &&
+                std::abs(cost_inoculate - cost_insecure) > 1e-12) {
+                profile[static_cast<std::size_t>(i)] = better;
+                changed = true;
+            }
+        }
+        if (!changed) return profile;
+    }
+    common::ensure(false, "best_response_equilibrium: dynamics did not converge");
+    return profile;
+}
+
+} // namespace ga::game

@@ -1,0 +1,53 @@
+// The virus-inoculation game of Moscibroda, Schmid and Wattenhofer (PODC'06),
+// reference [21] of the paper — the game that defines the price of malice the
+// game authority is shown to reduce (§1.2, §5.4).
+//
+// n nodes on a social graph each choose to inoculate (action 1, fixed cost C)
+// or stay insecure (action 0). A virus starts at one uniformly random node and
+// infects everything reachable through insecure nodes, costing each infected
+// node L. An insecure node in an insecure component of size k therefore pays
+// L * k / n in expectation; social cost is the sum over all nodes.
+#ifndef GA_GAME_VIRUS_INOCULATION_H
+#define GA_GAME_VIRUS_INOCULATION_H
+
+#include "game/strategic_game.h"
+#include "sim/graph.h"
+
+namespace ga::game {
+
+inline constexpr int vi_insecure = 0;
+inline constexpr int vi_inoculate = 1;
+
+class Virus_inoculation_game final : public Strategic_game {
+public:
+    /// `graph` is the social graph; C and L are the paper's [21] parameters
+    /// (inoculation cost and infection loss), with C < L required for the
+    /// game to be non-trivial.
+    Virus_inoculation_game(const sim::Graph* graph, double inoculation_cost, double loss);
+
+    [[nodiscard]] int n_agents() const override { return graph_->size(); }
+    [[nodiscard]] int n_actions(common::Agent_id) const override { return 2; }
+    [[nodiscard]] double cost(common::Agent_id i, const Pure_profile& profile) const override;
+
+    [[nodiscard]] double inoculation_cost() const { return c_; }
+    [[nodiscard]] double loss() const { return l_; }
+    [[nodiscard]] const sim::Graph& graph() const { return *graph_; }
+
+    /// Size of node i's insecure component under `profile` (0 if inoculated).
+    [[nodiscard]] int insecure_component_size(common::Agent_id i, const Pure_profile& profile) const;
+
+    /// A pure Nash equilibrium reached by round-robin best-response dynamics
+    /// from the all-insecure profile ([21] proves pure NEs exist; the
+    /// dynamics converge because every improving switch strictly decreases a
+    /// bounded potential). `sweep_cap` guards against non-termination bugs.
+    [[nodiscard]] Pure_profile best_response_equilibrium(int sweep_cap = 1000) const;
+
+private:
+    const sim::Graph* graph_;
+    double c_;
+    double l_;
+};
+
+} // namespace ga::game
+
+#endif // GA_GAME_VIRUS_INOCULATION_H

@@ -1,0 +1,44 @@
+#include "metrics/anarchy.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace ga::metrics {
+
+std::vector<Anarchy_point> rra_anarchy_series(const Anarchy_config& config,
+                                              const std::vector<int>& checkpoints,
+                                              common::Rng& rng)
+{
+    common::ensure(!checkpoints.empty(), "rra_anarchy_series: no checkpoints");
+    common::ensure(std::is_sorted(checkpoints.begin(), checkpoints.end()),
+                   "rra_anarchy_series: checkpoints must be increasing");
+    common::ensure(checkpoints.front() >= 1, "rra_anarchy_series: checkpoints start at 1");
+
+    std::vector<Anarchy_point> series(checkpoints.size());
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+        series[c].k = checkpoints[c];
+        series[c].bound =
+            1.0 + 2.0 * static_cast<double>(config.bins) / static_cast<double>(checkpoints[c]);
+    }
+
+    for (int trial = 0; trial < config.trials; ++trial) {
+        game::Rra_process process{config.agents, config.bins, config.rule,
+                                  rng.split(static_cast<std::uint64_t>(trial) + 1)};
+        std::size_t next_checkpoint = 0;
+        for (int k = 1; k <= checkpoints.back(); ++k) {
+            process.play_round();
+            if (next_checkpoint < checkpoints.size() && k == checkpoints[next_checkpoint]) {
+                Anarchy_point& point = series[next_checkpoint];
+                const double ratio = process.anarchy_ratio();
+                point.mean_ratio += ratio / static_cast<double>(config.trials);
+                point.max_ratio = std::max(point.max_ratio, ratio);
+                point.max_spread = std::max(point.max_spread, process.spread());
+                ++next_checkpoint;
+            }
+        }
+    }
+    return series;
+}
+
+} // namespace ga::metrics

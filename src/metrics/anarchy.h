@@ -1,0 +1,35 @@
+// Multi-round anarchy cost measurement for the supervised RRA game (§6):
+// the R(k) series against Theorem 5's bound 1 + 2b/k and Lemma 6's spread
+// invariant Delta(k) <= 2n-1.
+#ifndef GA_METRICS_ANARCHY_H
+#define GA_METRICS_ANARCHY_H
+
+#include "common/rng.h"
+#include "game/resource_allocation.h"
+
+namespace ga::metrics {
+
+struct Anarchy_point {
+    int k = 0;                 ///< rounds played
+    double mean_ratio = 0.0;   ///< mean R(k) over trials (EM(k)/OPT(k))
+    double max_ratio = 0.0;    ///< worst trial
+    double bound = 0.0;        ///< Theorem 5: 1 + 2b/k
+    std::int64_t max_spread = 0; ///< worst Delta(k); Lemma 6 bound is 2n-1
+};
+
+struct Anarchy_config {
+    int agents = 16;
+    int bins = 4;
+    game::Rra_rule rule = game::Rra_rule::symmetric_mixed;
+    int trials = 8;
+};
+
+/// Play the RRA process to max(checkpoints) rounds, recording R(k) at each
+/// checkpoint (checkpoints must be increasing).
+std::vector<Anarchy_point> rra_anarchy_series(const Anarchy_config& config,
+                                              const std::vector<int>& checkpoints,
+                                              common::Rng& rng);
+
+} // namespace ga::metrics
+
+#endif // GA_METRICS_ANARCHY_H

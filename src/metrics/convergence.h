@@ -1,0 +1,54 @@
+// Empirical validation harness for Theorem 1 (Lemmas 2 and 3): convergence
+// time of the self-stabilizing clock substrate from arbitrary configurations,
+// and the closure audit — one correct Byzantine agreement per M-pulse window
+// after convergence.
+#ifndef GA_METRICS_CONVERGENCE_H
+#define GA_METRICS_CONVERGENCE_H
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ga::metrics {
+
+struct Convergence_config {
+    int n = 4;
+    int f = 1;
+    int period = 4;        ///< clock size M
+    int trials = 20;       ///< random initial configurations
+    int pulse_cap = 200000; ///< per-trial safety cap
+};
+
+struct Convergence_result {
+    int converged_trials = 0;
+    int total_trials = 0;
+    common::Running_stats pulses; ///< pulses until all honest clocks agree
+};
+
+/// Start every trial from uniformly random clock values with f Byzantine
+/// babblers; count pulses until every honest clock holds the same value (the
+/// safe-configuration predicate of Lemma 2 — from there closure is
+/// deterministic).
+Convergence_result measure_clock_convergence(const Convergence_config& config,
+                                             common::Rng& rng);
+
+struct Closure_config {
+    int n = 4;
+    int f = 1;
+    int windows = 20; ///< agreement windows to audit after convergence
+};
+
+struct Closure_result {
+    int windows_audited = 0;
+    int windows_correct = 0; ///< termination + agreement + validity all held
+    int convergence_pulses = 0;
+};
+
+/// Run the full SSBA composition from a random configuration with Byzantine
+/// babblers; after honest clocks agree, audit `windows` consecutive M-pulse
+/// windows: every honest processor must decide exactly once per window, all
+/// decisions must match, and when every honest input is v the decision is v.
+Closure_result audit_ssba_closure(const Closure_config& config, common::Rng& rng);
+
+} // namespace ga::metrics
+
+#endif // GA_METRICS_CONVERGENCE_H

@@ -1,0 +1,186 @@
+#include "metrics/pom.h"
+
+#include <algorithm>
+
+#include "game/analysis.h"
+
+namespace ga::metrics {
+
+namespace {
+
+/// Honest nodes best-respond to the *claimed* profile (liars claim
+/// inoculation). Returns the realized profile: honest equilibrium actions,
+/// liars actually insecure.
+game::Pure_profile equilibrium_with_liars(const game::Virus_inoculation_game& game,
+                                          const std::vector<bool>& liar)
+{
+    const int n = game.n_agents();
+
+    // Best-response dynamics over honest nodes only, against claimed actions.
+    game::Pure_profile claimed(static_cast<std::size_t>(n), game::vi_insecure);
+    for (common::Agent_id i = 0; i < n; ++i) {
+        if (liar[static_cast<std::size_t>(i)]) claimed[static_cast<std::size_t>(i)] = game::vi_inoculate;
+    }
+    for (int sweep = 0; sweep < 1000; ++sweep) {
+        bool changed = false;
+        for (common::Agent_id i = 0; i < n; ++i) {
+            if (liar[static_cast<std::size_t>(i)]) continue;
+            game::Pure_profile probe = claimed;
+            probe[static_cast<std::size_t>(i)] = game::vi_insecure;
+            const double cost_insecure = game.cost(i, probe);
+            probe[static_cast<std::size_t>(i)] = game::vi_inoculate;
+            const double cost_inoculate = game.cost(i, probe);
+            const int better = cost_inoculate < cost_insecure - 1e-12 ? game::vi_inoculate
+                                                                      : game::vi_insecure;
+            if (better != claimed[static_cast<std::size_t>(i)] &&
+                std::abs(cost_inoculate - cost_insecure) > 1e-12) {
+                claimed[static_cast<std::size_t>(i)] = better;
+                changed = true;
+            }
+        }
+        if (!changed) break;
+    }
+
+    // Reality: the liars are insecure.
+    game::Pure_profile actual = claimed;
+    for (common::Agent_id i = 0; i < n; ++i) {
+        if (liar[static_cast<std::size_t>(i)]) actual[static_cast<std::size_t>(i)] = game::vi_insecure;
+    }
+    return actual;
+}
+
+/// Honest social cost of `profile` (liars excluded from the sum — the paper's
+/// §2 social cost sums the costs of honest agents).
+double honest_cost(const game::Virus_inoculation_game& game, const game::Pure_profile& profile,
+                   const std::vector<bool>& liar)
+{
+    double total = 0.0;
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        if (!liar[static_cast<std::size_t>(i)]) total += game.cost(i, profile);
+    }
+    return total;
+}
+
+} // namespace
+
+Pom_point measure_pom(const Pom_config& config, int byzantine, bool with_authority,
+                      common::Rng& rng)
+{
+    const sim::Graph grid = sim::grid_graph(config.rows, config.cols);
+    const game::Virus_inoculation_game game{&grid, config.inoculation_cost, config.loss};
+    const int n = game.n_agents();
+    common::ensure(byzantine >= 0 && byzantine < n, "measure_pom: byzantine count out of range");
+
+    // Baseline: all-selfish equilibrium cost on the full grid.
+    const game::Pure_profile selfish = game.best_response_equilibrium();
+    const double selfish_cost = game::social_cost(game, selfish);
+
+    Pom_point point;
+    point.byzantine = byzantine;
+    point.selfish_cost = selfish_cost;
+
+    if (byzantine == 0) {
+        point.byzantine_cost = selfish_cost;
+        point.pom = 1.0;
+        return point;
+    }
+
+    double accumulated = 0.0;
+    for (int trial = 0; trial < config.trials; ++trial) {
+        // Random liar placement.
+        std::vector<common::Agent_id> ids(static_cast<std::size_t>(n));
+        for (common::Agent_id i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
+        rng.shuffle(ids);
+        std::vector<bool> liar(static_cast<std::size_t>(n), false);
+        for (int b = 0; b < byzantine; ++b) liar[static_cast<std::size_t>(ids[static_cast<std::size_t>(b)])] = true;
+
+        if (with_authority) {
+            // Judicial detection + executive disconnection (§5.4): liars are
+            // removed from the social graph; the honest re-equilibrate on the
+            // reduced game, evaluated truthfully.
+            sim::Graph reduced{n};
+            for (common::Agent_id a = 0; a < n; ++a) {
+                if (liar[static_cast<std::size_t>(a)]) continue;
+                for (const common::Agent_id bgn : grid.neighbors(a)) {
+                    if (bgn > a && !liar[static_cast<std::size_t>(bgn)]) reduced.add_edge(a, bgn);
+                }
+            }
+            const game::Virus_inoculation_game reduced_game{&reduced, config.inoculation_cost,
+                                                            config.loss};
+            game::Pure_profile eq = reduced_game.best_response_equilibrium();
+            // Liar slots are irrelevant in the reduced graph (isolated); their
+            // cost is not counted.
+            accumulated += honest_cost(reduced_game, eq, liar);
+        } else {
+            const game::Pure_profile actual = equilibrium_with_liars(game, liar);
+            accumulated += honest_cost(game, actual, liar);
+        }
+    }
+
+    point.byzantine_cost = accumulated / static_cast<double>(config.trials);
+    point.pom = point.byzantine_cost / selfish_cost;
+    return point;
+}
+
+Pom_point measure_pom_worst_case(const Pom_config& config, int byzantine, bool with_authority)
+{
+    const sim::Graph grid = sim::grid_graph(config.rows, config.cols);
+    const game::Virus_inoculation_game game{&grid, config.inoculation_cost, config.loss};
+    const int n = game.n_agents();
+    common::ensure(byzantine >= 0 && byzantine < n,
+                   "measure_pom_worst_case: byzantine count out of range");
+
+    const game::Pure_profile selfish = game.best_response_equilibrium();
+    const double selfish_cost = game::social_cost(game, selfish);
+
+    const auto cost_of_placement = [&](const std::vector<bool>& liar) {
+        if (with_authority) {
+            sim::Graph reduced{n};
+            for (common::Agent_id a = 0; a < n; ++a) {
+                if (liar[static_cast<std::size_t>(a)]) continue;
+                for (const common::Agent_id b : grid.neighbors(a)) {
+                    if (b > a && !liar[static_cast<std::size_t>(b)]) reduced.add_edge(a, b);
+                }
+            }
+            const game::Virus_inoculation_game reduced_game{&reduced, config.inoculation_cost,
+                                                            config.loss};
+            return honest_cost(reduced_game, reduced_game.best_response_equilibrium(), liar);
+        }
+        return honest_cost(game, equilibrium_with_liars(game, liar), liar);
+    };
+
+    std::vector<bool> liar(static_cast<std::size_t>(n), false);
+    for (int placed = 0; placed < byzantine; ++placed) {
+        int best_node = -1;
+        double worst = -1.0;
+        for (common::Agent_id v = 0; v < n; ++v) {
+            if (liar[static_cast<std::size_t>(v)]) continue;
+            liar[static_cast<std::size_t>(v)] = true;
+            const double cost = cost_of_placement(liar);
+            liar[static_cast<std::size_t>(v)] = false;
+            if (cost > worst) {
+                worst = cost;
+                best_node = v;
+            }
+        }
+        liar[static_cast<std::size_t>(best_node)] = true;
+    }
+
+    Pom_point point;
+    point.byzantine = byzantine;
+    point.selfish_cost = selfish_cost;
+    point.byzantine_cost = byzantine == 0 ? selfish_cost : cost_of_placement(liar);
+    point.pom = point.byzantine_cost / selfish_cost;
+    return point;
+}
+
+std::vector<Pom_point> pom_curve(const Pom_config& config, int max_byzantine, bool with_authority,
+                                 common::Rng& rng)
+{
+    std::vector<Pom_point> curve;
+    for (int b = 0; b <= max_byzantine; ++b)
+        curve.push_back(measure_pom(config, b, with_authority, rng));
+    return curve;
+}
+
+} // namespace ga::metrics

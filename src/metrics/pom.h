@@ -1,0 +1,56 @@
+// Price-of-malice measurement (§1.2, §5.4; definition from Moscibroda,
+// Schmid, Wattenhofer [21]).
+//
+// Workload: the virus-inoculation game on a grid. b Byzantine nodes *lie* —
+// they claim to be inoculated but stay insecure. Honest selfish nodes
+// best-respond to the claimed profile; the realized social cost is evaluated
+// on the actual profile. PoM(b) is the ratio of that cost to the all-selfish
+// equilibrium cost.
+//
+// With the game authority, the judicial service audits actions against
+// claims, the executive disconnects the liars (§3.4), and the honest agents
+// re-equilibrate among themselves — so the measured PoM collapses to ~1,
+// which is exactly the benefit the paper claims in §5.4.
+#ifndef GA_METRICS_POM_H
+#define GA_METRICS_POM_H
+
+#include "common/rng.h"
+#include "game/virus_inoculation.h"
+
+namespace ga::metrics {
+
+struct Pom_point {
+    int byzantine = 0;
+    double selfish_cost = 0.0;   ///< equilibrium social cost, no Byzantine agents
+    double byzantine_cost = 0.0; ///< realized honest social cost with b liars
+    double pom = 1.0;            ///< byzantine_cost / selfish_cost
+};
+
+struct Pom_config {
+    int rows = 8;
+    int cols = 8;
+    double inoculation_cost = 1.0;
+    double loss = 4.0;
+    int trials = 10; ///< random liar placements averaged per point
+};
+
+/// Measure PoM(b) for one Byzantine count. `with_authority` switches the
+/// game-authority pipeline (detect, punish by disconnection, re-equilibrate)
+/// on or off.
+Pom_point measure_pom(const Pom_config& config, int byzantine, bool with_authority,
+                      common::Rng& rng);
+
+/// Full curve over byzantine = 0..max_byzantine.
+std::vector<Pom_point> pom_curve(const Pom_config& config, int max_byzantine,
+                                 bool with_authority, common::Rng& rng);
+
+/// Deterministic greedy *worst-case* liar placement ([21] defines PoM over
+/// worst-case Byzantine behaviour): liars are added one at a time, each time
+/// at the node that maximizes the honest agents' realized social cost.
+/// Exponentially cheaper than exhaustive search and a certified lower bound
+/// on the true worst case. `config.trials` is ignored.
+Pom_point measure_pom_worst_case(const Pom_config& config, int byzantine, bool with_authority);
+
+} // namespace ga::metrics
+
+#endif // GA_METRICS_POM_H

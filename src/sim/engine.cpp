@@ -1,0 +1,123 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace ga::sim {
+
+Engine::Engine(Graph graph, common::Rng rng)
+    : graph_{std::move(graph)},
+      rng_{rng},
+      byzantine_(static_cast<std::size_t>(graph_.size()), false),
+      disconnected_(static_cast<std::size_t>(graph_.size()), false),
+      inboxes_(static_cast<std::size_t>(graph_.size()))
+{
+}
+
+void Engine::install(std::unique_ptr<Processor> processor, bool byzantine)
+{
+    common::ensure(processor != nullptr, "Engine::install: null processor");
+    common::ensure(static_cast<int>(processors_.size()) < graph_.size(),
+                   "Engine::install: all slots filled");
+    const auto slot = static_cast<common::Processor_id>(processors_.size());
+    common::ensure(processor->id() == slot, "Engine::install: processor id must equal its slot");
+    byzantine_[static_cast<std::size_t>(slot)] = byzantine;
+    processors_.push_back(std::move(processor));
+}
+
+bool Engine::is_byzantine(common::Processor_id id) const
+{
+    common::ensure(id >= 0 && id < size(), "is_byzantine: id out of range");
+    return byzantine_[static_cast<std::size_t>(id)];
+}
+
+int Engine::byzantine_count() const
+{
+    return static_cast<int>(std::count(byzantine_.begin(), byzantine_.end(), true));
+}
+
+Processor& Engine::processor(common::Processor_id id)
+{
+    common::ensure(id >= 0 && id < static_cast<int>(processors_.size()),
+                   "processor: id out of range");
+    return *processors_[static_cast<std::size_t>(id)];
+}
+
+void Engine::run_pulse()
+{
+    common::ensure(static_cast<int>(processors_.size()) == graph_.size(),
+                   "Engine::run_pulse: not all processors installed");
+
+    std::vector<std::vector<Message>> next_inboxes(static_cast<std::size_t>(size()));
+    for (common::Processor_id id = 0; id < size(); ++id) {
+        if (disconnected_[static_cast<std::size_t>(id)]) continue;
+        std::vector<Message> outbox;
+        Pulse_context ctx{pulse_, id, size(), &graph_.neighbors(id),
+                          &inboxes_[static_cast<std::size_t>(id)], &outbox};
+        processors_[static_cast<std::size_t>(id)]->on_pulse(ctx);
+
+        for (Message& msg : outbox) {
+            const bool target_valid = msg.to >= 0 && msg.to < size() && msg.to != id;
+            const bool edge_exists = target_valid && graph_.has_edge(id, msg.to);
+            if (!edge_exists || disconnected_[static_cast<std::size_t>(msg.to)]) {
+                // Honest protocol code must not address non-neighbors; a
+                // Byzantine processor attempting it just loses the message.
+                common::ensure(byzantine_[static_cast<std::size_t>(id)] || !target_valid ||
+                                   disconnected_[static_cast<std::size_t>(msg.to)] || edge_exists,
+                               "honest processor sent to a non-neighbor");
+                continue;
+            }
+            stats_.messages += 1;
+            stats_.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
+            next_inboxes[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+        }
+    }
+
+    inboxes_ = std::move(next_inboxes);
+    ++pulse_;
+    ++stats_.pulses;
+}
+
+void Engine::run(common::Pulse count)
+{
+    for (common::Pulse i = 0; i < count; ++i) run_pulse();
+}
+
+void Engine::inject_transient_fault()
+{
+    for (auto& processor : processors_) processor->corrupt(rng_);
+    // In-flight messages become arbitrary: some dropped, some garbled.
+    for (auto& inbox : inboxes_) {
+        std::vector<Message> corrupted;
+        for (Message& msg : inbox) {
+            if (rng_.chance(0.5)) continue; // dropped
+            for (auto& byte : msg.payload)
+                if (rng_.chance(0.5)) byte = static_cast<std::uint8_t>(rng_.below(256));
+            corrupted.push_back(std::move(msg));
+        }
+        inbox = std::move(corrupted);
+    }
+}
+
+void Engine::inject_fault_at(common::Processor_id id)
+{
+    common::ensure(id >= 0 && id < static_cast<int>(processors_.size()),
+                   "inject_fault_at: id out of range");
+    processors_[static_cast<std::size_t>(id)]->corrupt(rng_);
+}
+
+void Engine::disconnect(common::Processor_id id)
+{
+    common::ensure(id >= 0 && id < size(), "disconnect: id out of range");
+    disconnected_[static_cast<std::size_t>(id)] = true;
+    inboxes_[static_cast<std::size_t>(id)].clear();
+}
+
+bool Engine::is_disconnected(common::Processor_id id) const
+{
+    common::ensure(id >= 0 && id < size(), "is_disconnected: id out of range");
+    return disconnected_[static_cast<std::size_t>(id)];
+}
+
+} // namespace ga::sim

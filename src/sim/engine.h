@@ -1,0 +1,84 @@
+// Deterministic synchronous execution engine.
+//
+// Executes the model of §4.1: at every pulse all processors step
+// simultaneously; messages sent at pulse t are delivered at pulse t+1;
+// delivery respects the communication graph. The engine also implements the
+// fault model: a designated Byzantine set (whose Processor implementations
+// may do anything) and transient faults (state corruption of every processor
+// plus arbitrary in-flight messages).
+#ifndef GA_SIM_ENGINE_H
+#define GA_SIM_ENGINE_H
+
+#include <memory>
+#include <vector>
+
+#include "sim/graph.h"
+#include "sim/processor.h"
+
+namespace ga::sim {
+
+/// Message/byte accounting for the benchmark harness.
+struct Traffic_stats {
+    std::int64_t pulses = 0;
+    std::int64_t messages = 0;
+    std::int64_t payload_bytes = 0;
+};
+
+class Engine {
+public:
+    /// The graph fixes both the system size and who can talk to whom.
+    explicit Engine(Graph graph, common::Rng rng = common::Rng{0});
+
+    /// Install the processor with id = number of processors installed so far.
+    /// All `graph.size()` slots must be filled before running.
+    void install(std::unique_ptr<Processor> processor, bool byzantine = false);
+
+    [[nodiscard]] int size() const { return graph_.size(); }
+    [[nodiscard]] const Graph& graph() const { return graph_; }
+    [[nodiscard]] bool is_byzantine(common::Processor_id id) const;
+    [[nodiscard]] int byzantine_count() const;
+    [[nodiscard]] common::Pulse now() const { return pulse_; }
+    [[nodiscard]] const Traffic_stats& stats() const { return stats_; }
+
+    /// Typed access to an installed processor (tests and result harvesting).
+    [[nodiscard]] Processor& processor(common::Processor_id id);
+    template <typename T>
+    [[nodiscard]] T& processor_as(common::Processor_id id)
+    {
+        return dynamic_cast<T&>(processor(id));
+    }
+
+    /// Execute one common pulse for the whole system.
+    void run_pulse();
+
+    /// Execute `count` pulses.
+    void run(common::Pulse count);
+
+    /// Transient fault (§4): corrupt the state of every processor and replace
+    /// the in-flight messages with arbitrary garbage.
+    void inject_transient_fault();
+
+    /// Corrupt a single processor's state.
+    void inject_fault_at(common::Processor_id id);
+
+    /// Permanently remove a processor from the network: all its future
+    /// messages are dropped and it receives nothing (the executive service's
+    /// strongest punishment, §3.4).
+    void disconnect(common::Processor_id id);
+
+    [[nodiscard]] bool is_disconnected(common::Processor_id id) const;
+
+private:
+    Graph graph_;
+    common::Rng rng_;
+    std::vector<std::unique_ptr<Processor>> processors_;
+    std::vector<bool> byzantine_;
+    std::vector<bool> disconnected_;
+    std::vector<std::vector<Message>> inboxes_; // indexed by recipient
+    common::Pulse pulse_ = 0;
+    Traffic_stats stats_;
+};
+
+} // namespace ga::sim
+
+#endif // GA_SIM_ENGINE_H

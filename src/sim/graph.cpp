@@ -1,0 +1,188 @@
+#include "sim/graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/ensure.h"
+
+namespace ga::sim {
+
+Graph::Graph(int n)
+{
+    common::ensure(n >= 0, "Graph size must be non-negative");
+    adjacency_.resize(static_cast<std::size_t>(n));
+}
+
+void Graph::add_edge(common::Processor_id a, common::Processor_id b)
+{
+    common::ensure(a >= 0 && a < size() && b >= 0 && b < size(), "add_edge: vertex out of range");
+    common::ensure(a != b, "add_edge: self-loops not allowed");
+    if (has_edge(a, b)) return;
+    auto& na = adjacency_[static_cast<std::size_t>(a)];
+    auto& nb = adjacency_[static_cast<std::size_t>(b)];
+    na.insert(std::lower_bound(na.begin(), na.end(), b), b);
+    nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+}
+
+bool Graph::has_edge(common::Processor_id a, common::Processor_id b) const
+{
+    common::ensure(a >= 0 && a < size() && b >= 0 && b < size(), "has_edge: vertex out of range");
+    const auto& na = adjacency_[static_cast<std::size_t>(a)];
+    return std::binary_search(na.begin(), na.end(), b);
+}
+
+const std::vector<common::Processor_id>& Graph::neighbors(common::Processor_id v) const
+{
+    common::ensure(v >= 0 && v < size(), "neighbors: vertex out of range");
+    return adjacency_[static_cast<std::size_t>(v)];
+}
+
+int Graph::edge_count() const
+{
+    std::size_t degree_sum = 0;
+    for (const auto& list : adjacency_) degree_sum += list.size();
+    return static_cast<int>(degree_sum / 2);
+}
+
+bool Graph::is_connected() const
+{
+    if (size() <= 1) return true;
+    const std::vector<bool> removed(static_cast<std::size_t>(size()), false);
+    return static_cast<int>(component_of(0, removed).size()) == size();
+}
+
+std::vector<common::Processor_id>
+Graph::component_of(common::Processor_id start, const std::vector<bool>& removed) const
+{
+    common::ensure(start >= 0 && start < size(), "component_of: vertex out of range");
+    common::ensure(static_cast<int>(removed.size()) == size(), "component_of: mask size mismatch");
+    std::vector<common::Processor_id> component;
+    if (removed[static_cast<std::size_t>(start)]) return component;
+
+    std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+    std::queue<common::Processor_id> frontier;
+    frontier.push(start);
+    seen[static_cast<std::size_t>(start)] = true;
+    while (!frontier.empty()) {
+        const common::Processor_id v = frontier.front();
+        frontier.pop();
+        component.push_back(v);
+        for (const common::Processor_id w : neighbors(v)) {
+            if (!seen[static_cast<std::size_t>(w)] && !removed[static_cast<std::size_t>(w)]) {
+                seen[static_cast<std::size_t>(w)] = true;
+                frontier.push(w);
+            }
+        }
+    }
+    std::sort(component.begin(), component.end());
+    return component;
+}
+
+int Graph::max_vertex_disjoint_paths(common::Processor_id s, common::Processor_id t) const
+{
+    // Unit-capacity max-flow on the split graph: each vertex v becomes
+    // v_in (2v) -> v_out (2v+1) with capacity 1 (infinite for s and t);
+    // each edge {a, b} becomes a_out -> b_in and b_out -> a_in.
+    const int n = size();
+    const int nodes = 2 * n;
+    constexpr int inf = 1 << 28;
+
+    std::vector<std::vector<int>> capacity(static_cast<std::size_t>(nodes),
+                                           std::vector<int>(static_cast<std::size_t>(nodes), 0));
+    for (int v = 0; v < n; ++v)
+        capacity[static_cast<std::size_t>(2 * v)][static_cast<std::size_t>(2 * v + 1)] =
+            (v == s || v == t) ? inf : 1;
+    for (int a = 0; a < n; ++a) {
+        for (const common::Processor_id b : neighbors(a)) {
+            capacity[static_cast<std::size_t>(2 * a + 1)][static_cast<std::size_t>(2 * b)] = inf;
+        }
+    }
+
+    const int source = 2 * s + 1;
+    const int sink = 2 * t;
+    int flow = 0;
+    while (true) {
+        // BFS for an augmenting path.
+        std::vector<int> parent(static_cast<std::size_t>(nodes), -1);
+        std::queue<int> frontier;
+        frontier.push(source);
+        parent[static_cast<std::size_t>(source)] = source;
+        while (!frontier.empty() && parent[static_cast<std::size_t>(sink)] == -1) {
+            const int v = frontier.front();
+            frontier.pop();
+            for (int w = 0; w < nodes; ++w) {
+                if (parent[static_cast<std::size_t>(w)] == -1 &&
+                    capacity[static_cast<std::size_t>(v)][static_cast<std::size_t>(w)] > 0) {
+                    parent[static_cast<std::size_t>(w)] = v;
+                    frontier.push(w);
+                }
+            }
+        }
+        if (parent[static_cast<std::size_t>(sink)] == -1) break;
+
+        int bottleneck = inf;
+        for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)])
+            bottleneck = std::min(
+                bottleneck,
+                capacity[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])]
+                        [static_cast<std::size_t>(v)]);
+        for (int v = sink; v != source; v = parent[static_cast<std::size_t>(v)]) {
+            const int p = parent[static_cast<std::size_t>(v)];
+            capacity[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)] -= bottleneck;
+            capacity[static_cast<std::size_t>(v)][static_cast<std::size_t>(p)] += bottleneck;
+        }
+        flow += bottleneck;
+    }
+    return flow;
+}
+
+int Graph::vertex_connectivity() const
+{
+    const int n = size();
+    if (n <= 1) return 0;
+    int connectivity = n - 1;
+    // Menger: kappa(G) = min over non-adjacent pairs of max disjoint paths;
+    // for complete graphs there is no non-adjacent pair and kappa = n-1.
+    bool found_non_adjacent = false;
+    for (int s = 0; s < n; ++s) {
+        for (int t = s + 1; t < n; ++t) {
+            if (has_edge(s, t)) continue;
+            found_non_adjacent = true;
+            connectivity = std::min(connectivity, max_vertex_disjoint_paths(s, t));
+        }
+    }
+    if (!found_non_adjacent) return n - 1;
+    return connectivity;
+}
+
+Graph complete_graph(int n)
+{
+    Graph g{n};
+    for (int a = 0; a < n; ++a)
+        for (int b = a + 1; b < n; ++b) g.add_edge(a, b);
+    return g;
+}
+
+Graph ring_graph(int n)
+{
+    common::ensure(n >= 3, "ring_graph requires n >= 3");
+    Graph g{n};
+    for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+    return g;
+}
+
+Graph grid_graph(int rows, int cols)
+{
+    common::ensure(rows >= 1 && cols >= 1, "grid_graph requires positive dimensions");
+    Graph g{rows * cols};
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const int v = r * cols + c;
+            if (c + 1 < cols) g.add_edge(v, v + 1);
+            if (r + 1 < rows) g.add_edge(v, v + cols);
+        }
+    }
+    return g;
+}
+
+} // namespace ga::sim

@@ -1,0 +1,64 @@
+// Communication graphs for the synchronous system model of §4.1.
+//
+// The paper assumes the graph is not partitioned and, for f Byzantine
+// processors, that there are 2f+1 vertex-disjoint paths between every pair of
+// processors; `vertex_connectivity` lets tests check that assumption on any
+// topology. Grids double as the social graph of the virus-inoculation game.
+#ifndef GA_SIM_GRAPH_H
+#define GA_SIM_GRAPH_H
+
+#include <vector>
+
+#include "common/ids.h"
+
+namespace ga::sim {
+
+/// Simple undirected graph over processors 0..n-1 (no self-loops, no multi-edges).
+class Graph {
+public:
+    /// An edgeless graph on `n` vertices.
+    explicit Graph(int n);
+
+    [[nodiscard]] int size() const { return static_cast<int>(adjacency_.size()); }
+
+    /// Add the undirected edge {a, b}; idempotent.
+    void add_edge(common::Processor_id a, common::Processor_id b);
+
+    [[nodiscard]] bool has_edge(common::Processor_id a, common::Processor_id b) const;
+
+    /// Neighbors of `v` in increasing id order.
+    [[nodiscard]] const std::vector<common::Processor_id>& neighbors(common::Processor_id v) const;
+
+    [[nodiscard]] int edge_count() const;
+
+    /// True iff the graph is connected (trivially true for n <= 1).
+    [[nodiscard]] bool is_connected() const;
+
+    /// Minimum number of vertex-disjoint paths between any two non-adjacent
+    /// vertices (global vertex connectivity, Menger). Computed by unit-capacity
+    /// max-flow with node splitting; complete graphs return n-1.
+    [[nodiscard]] int vertex_connectivity() const;
+
+    /// Vertices reachable from `start` when the vertices in `removed` (given as
+    /// a boolean mask) are deleted; used for insecure-component analyses.
+    [[nodiscard]] std::vector<common::Processor_id>
+    component_of(common::Processor_id start, const std::vector<bool>& removed) const;
+
+private:
+    [[nodiscard]] int max_vertex_disjoint_paths(common::Processor_id s, common::Processor_id t) const;
+
+    std::vector<std::vector<common::Processor_id>> adjacency_;
+};
+
+/// Complete graph K_n.
+Graph complete_graph(int n);
+
+/// Cycle 0-1-...-(n-1)-0 (n >= 3).
+Graph ring_graph(int n);
+
+/// rows x cols grid with 4-neighborhood; vertex id = row*cols + col.
+Graph grid_graph(int rows, int cols);
+
+} // namespace ga::sim
+
+#endif // GA_SIM_GRAPH_H

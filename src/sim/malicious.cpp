@@ -1,0 +1,27 @@
+#include "sim/malicious.h"
+
+namespace ga::sim {
+
+void Random_babbler::on_pulse(Pulse_context& ctx)
+{
+    for (common::Processor_id to = 0; to < ctx.system_size(); ++to) {
+        if (to == id()) continue;
+        common::Bytes payload;
+        const std::size_t len = static_cast<std::size_t>(rng_.below(max_payload_ + 1));
+        payload.reserve(len);
+        for (std::size_t i = 0; i < len; ++i)
+            payload.push_back(static_cast<std::uint8_t>(rng_.below(256)));
+        ctx.send(to, std::move(payload));
+    }
+}
+
+void Replayer::on_pulse(Pulse_context& ctx)
+{
+    for (const Message& msg : ctx.inbox()) {
+        const auto to = static_cast<common::Processor_id>(rng_.below(
+            static_cast<std::uint64_t>(ctx.system_size())));
+        if (to != id()) ctx.send(to, msg.payload);
+    }
+}
+
+} // namespace ga::sim

@@ -1,0 +1,75 @@
+// Generic Byzantine processor implementations (§4.1: a Byzantine processor
+// "does not follow its program"). Protocol-aware attackers live next to the
+// protocols they attack; the ones here are protocol-agnostic behaviours that
+// every protocol must already survive.
+#ifndef GA_SIM_MALICIOUS_H
+#define GA_SIM_MALICIOUS_H
+
+#include <memory>
+
+#include "sim/processor.h"
+
+namespace ga::sim {
+
+/// Sends nothing, ever (fail-stop from the first pulse).
+class Silent_processor final : public Processor {
+public:
+    explicit Silent_processor(common::Processor_id id) : Processor{id} {}
+    void on_pulse(Pulse_context&) override {}
+    void corrupt(common::Rng&) override {}
+};
+
+/// Sends independently random payloads to every neighbor every pulse
+/// (equivocation with garbage content).
+class Random_babbler final : public Processor {
+public:
+    Random_babbler(common::Processor_id id, common::Rng rng, std::size_t max_payload = 64)
+        : Processor{id}, rng_{rng}, max_payload_{max_payload}
+    {
+    }
+
+    void on_pulse(Pulse_context& ctx) override;
+    void corrupt(common::Rng&) override {}
+
+private:
+    common::Rng rng_;
+    std::size_t max_payload_;
+};
+
+/// Behaves as an inner honest processor until `crash_pulse`, then goes silent.
+class Crash_processor final : public Processor {
+public:
+    Crash_processor(std::unique_ptr<Processor> inner, common::Pulse crash_pulse)
+        : Processor{inner->id()}, inner_{std::move(inner)}, crash_pulse_{crash_pulse}
+    {
+    }
+
+    void on_pulse(Pulse_context& ctx) override
+    {
+        if (ctx.pulse() >= crash_pulse_) return;
+        inner_->on_pulse(ctx);
+    }
+
+    void corrupt(common::Rng& rng) override { inner_->corrupt(rng); }
+
+private:
+    std::unique_ptr<Processor> inner_;
+    common::Pulse crash_pulse_;
+};
+
+/// Replays every message it received at the previous pulse back to a random
+/// neighbor, creating stale-but-well-formed traffic.
+class Replayer final : public Processor {
+public:
+    Replayer(common::Processor_id id, common::Rng rng) : Processor{id}, rng_{rng} {}
+
+    void on_pulse(Pulse_context& ctx) override;
+    void corrupt(common::Rng&) override {}
+
+private:
+    common::Rng rng_;
+};
+
+} // namespace ga::sim
+
+#endif // GA_SIM_MALICIOUS_H

@@ -1,0 +1,101 @@
+// The processor abstraction of the synchronous automaton model (§4.1).
+//
+// A common pulse triggers each step: the processor reads all messages its
+// neighbors sent at the previous pulse, changes state, and sends messages for
+// the next pulse. Byzantine processors are simply different Processor
+// implementations that need not follow any protocol; transient faults are
+// modeled by `corrupt`, which must drive the state to arbitrary values so that
+// self-stabilization proofs can be exercised from any starting configuration.
+#ifndef GA_SIM_PROCESSOR_H
+#define GA_SIM_PROCESSOR_H
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace ga::sim {
+
+/// A point-to-point message delivered one pulse after it is sent.
+struct Message {
+    common::Processor_id from = -1;
+    common::Processor_id to = -1;
+    common::Bytes payload;
+};
+
+/// Per-pulse interface handed to a processor: its inbox plus a send facility.
+/// Sends are restricted to graph neighbors; violations throw Contract_error
+/// for honest code (Byzantine implementations get their messages dropped by
+/// the engine instead, mirroring a real network's topology constraints).
+class Pulse_context {
+public:
+    Pulse_context(common::Pulse pulse, common::Processor_id self, int n,
+                  const std::vector<common::Processor_id>* neighbors,
+                  const std::vector<Message>* inbox, std::vector<Message>* outbox)
+        : pulse_{pulse}, self_{self}, n_{n}, neighbors_{neighbors}, inbox_{inbox}, outbox_{outbox}
+    {
+    }
+
+    [[nodiscard]] common::Pulse pulse() const { return pulse_; }
+    [[nodiscard]] common::Processor_id self() const { return self_; }
+    [[nodiscard]] int system_size() const { return n_; }
+
+    /// This processor's neighbors in the communication graph.
+    [[nodiscard]] const std::vector<common::Processor_id>& neighbors() const
+    {
+        return *neighbors_;
+    }
+
+    /// Messages sent to this processor at the previous pulse.
+    [[nodiscard]] const std::vector<Message>& inbox() const { return *inbox_; }
+
+    /// Queue a message for delivery at the next pulse.
+    void send(common::Processor_id to, common::Bytes payload)
+    {
+        outbox_->push_back(Message{self_, to, std::move(payload)});
+    }
+
+    /// Queue the same payload to every neighbor (the full-information
+    /// protocols all run on complete graphs, where this is a true broadcast).
+    void broadcast(const common::Bytes& payload)
+    {
+        for (const common::Processor_id to : *neighbors_) send(to, payload);
+    }
+
+private:
+    common::Pulse pulse_;
+    common::Processor_id self_;
+    int n_;
+    const std::vector<common::Processor_id>* neighbors_;
+    const std::vector<Message>* inbox_;
+    std::vector<Message>* outbox_;
+};
+
+/// Base class for everything the engine schedules.
+class Processor {
+public:
+    explicit Processor(common::Processor_id id) : id_{id} {}
+    virtual ~Processor() = default;
+
+    Processor(const Processor&) = delete;
+    Processor& operator=(const Processor&) = delete;
+
+    [[nodiscard]] common::Processor_id id() const { return id_; }
+
+    /// One synchronous step (§4.1): consume the inbox, update state, send.
+    virtual void on_pulse(Pulse_context& ctx) = 0;
+
+    /// Transient fault: overwrite every state variable with arbitrary values.
+    /// Implementations must leave the object in *some* well-typed state but
+    /// with semantically arbitrary content (this is what "arbitrary starting
+    /// configuration" means for the containing system).
+    virtual void corrupt(common::Rng& rng) = 0;
+
+private:
+    common::Processor_id id_;
+};
+
+} // namespace ga::sim
+
+#endif // GA_SIM_PROCESSOR_H

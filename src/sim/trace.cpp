@@ -1,0 +1,59 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+#include "common/ensure.h"
+
+namespace ga::sim {
+
+Trace::Trace(std::size_t capacity) : capacity_{capacity}
+{
+    common::ensure(capacity_ >= 1, "Trace: capacity must be positive");
+}
+
+void Trace::sample(const Engine& engine)
+{
+    const Traffic_stats& now = engine.stats();
+    Pulse_trace entry;
+    entry.pulse = engine.now() - 1; // the pulse that just executed
+    entry.messages = now.messages - last_.messages;
+    entry.payload_bytes = now.payload_bytes - last_.payload_bytes;
+    last_ = now;
+
+    entries_.push_back(entry);
+    if (entries_.size() > capacity_) entries_.pop_front();
+}
+
+const Pulse_trace& Trace::at(std::size_t index) const
+{
+    common::ensure(index < entries_.size(), "Trace::at: index out of range");
+    return entries_[index];
+}
+
+Pulse_trace Trace::busiest() const
+{
+    common::ensure(!entries_.empty(), "Trace::busiest: empty trace");
+    Pulse_trace best = entries_.front();
+    for (const Pulse_trace& entry : entries_) {
+        if (entry.messages > best.messages) best = entry;
+    }
+    return best;
+}
+
+double Trace::mean_messages() const
+{
+    common::ensure(!entries_.empty(), "Trace::mean_messages: empty trace");
+    double total = 0.0;
+    for (const Pulse_trace& entry : entries_) total += static_cast<double>(entry.messages);
+    return total / static_cast<double>(entries_.size());
+}
+
+void Trace::print(std::ostream& out) const
+{
+    out << "pulse  messages  bytes\n";
+    for (const Pulse_trace& entry : entries_) {
+        out << entry.pulse << "  " << entry.messages << "  " << entry.payload_bytes << '\n';
+    }
+}
+
+} // namespace ga::sim

@@ -1,0 +1,38 @@
+// Protocol-compliant equivocation at the system level.
+//
+// A Two_faced_processor runs two complete honest protocol replicas ("faces")
+// that both consume the real inbox, and routes face A's messages to
+// recipients below a split point and face B's to the rest. Every message it
+// emits is perfectly well-formed protocol traffic — the two faces are just
+// mutually inconsistent. This is the strongest *generic* Byzantine behaviour
+// (the simulation attack) and is what agreement/closure tests throw at the
+// clock, SSBA, and authority processors.
+#ifndef GA_SIM_TWO_FACED_H
+#define GA_SIM_TWO_FACED_H
+
+#include <memory>
+
+#include "sim/processor.h"
+
+namespace ga::sim {
+
+class Two_faced_processor final : public Processor {
+public:
+    /// Both faces must carry the same id as this wrapper. Messages produced
+    /// by `face_a` go to recipients with id < split_at, `face_b`'s to the
+    /// rest; both faces observe the full real inbox.
+    Two_faced_processor(std::unique_ptr<Processor> face_a, std::unique_ptr<Processor> face_b,
+                        common::Processor_id split_at);
+
+    void on_pulse(Pulse_context& ctx) override;
+    void corrupt(common::Rng& rng) override;
+
+private:
+    std::unique_ptr<Processor> face_a_;
+    std::unique_ptr<Processor> face_b_;
+    common::Processor_id split_at_;
+};
+
+} // namespace ga::sim
+
+#endif // GA_SIM_TWO_FACED_H

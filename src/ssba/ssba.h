@@ -1,0 +1,85 @@
+// SSBA — self-stabilizing Byzantine agreement (§4, Theorem 1).
+//
+// Composition of two distributed algorithms, exactly as the paper prescribes:
+// a self-stabilizing Byzantine clock-synchronization core (Dolev-Welch family)
+// plus a non-stabilizing Byzantine agreement protocol (EIG). Whenever the
+// clock value reaches 1 the processor restarts a fresh BA activation; the
+// clock period M is large enough for exactly one agreement per wrap
+// (M >= f+3 with EIG's f+1 rounds), so that
+//   - convergence (Lemma 2): once the clocks synchronize — expected
+//     O(n^(n-f))-family pulses from an arbitrary configuration — the very next
+//     wrap to 1 starts a clean agreement, and
+//   - closure (Lemma 3): every subsequent M-pulse window completes exactly one
+//     BA satisfying termination, validity, and agreement.
+//
+// Each pulse carries one bundled payload: the clock section plus, when the
+// schedule calls for it, a round-tagged BA section.
+#ifndef GA_SSBA_SSBA_H
+#define GA_SSBA_SSBA_H
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bft/eig.h"
+#include "clock/clock_core.h"
+#include "sim/processor.h"
+
+namespace ga::ssba {
+
+/// Supplies the input value for the BA activation that starts at `pulse`.
+/// Self-stabilization requires inputs to be (re)readable at any time, so the
+/// provider is consulted afresh at every clock wrap.
+using Input_provider = std::function<bft::Value(common::Pulse)>;
+
+/// One completed agreement, as observed by one processor.
+struct Agreement_record {
+    common::Pulse decided_at = 0; ///< pulse at which the decision fired
+    bft::Value value;             ///< the agreed value
+};
+
+class Ssba_processor final : public sim::Processor {
+public:
+    /// `period` must be at least f+3 (f+1 EIG rounds + start/decide slack);
+    /// the paper's "clock size log M large enough for exactly one agreement".
+    Ssba_processor(common::Processor_id id, int n, int f, int period, common::Rng rng,
+                   Input_provider input_provider);
+
+    void on_pulse(sim::Pulse_context& ctx) override;
+
+    /// Transient fault: arbitrary clock value and arbitrary BA progress.
+    void corrupt(common::Rng& rng) override;
+
+    [[nodiscard]] int clock() const { return clock_.value(); }
+    [[nodiscard]] int period() const { return clock_.period(); }
+
+    /// Every agreement this processor has decided, in pulse order.
+    [[nodiscard]] const std::vector<Agreement_record>& decisions() const { return decisions_; }
+
+private:
+    struct Parsed_payload {
+        std::optional<int> clock_value;
+        std::optional<common::Round> ba_round;
+        common::Bytes ba_payload;
+    };
+
+    [[nodiscard]] Parsed_payload parse(const common::Bytes& payload) const;
+    [[nodiscard]] static common::Bytes bundle(int clock_value,
+                                              std::optional<common::Round> ba_round,
+                                              const common::Bytes& ba_payload);
+
+    int n_;
+    int f_;
+    clock::Clock_core clock_;
+    common::Rng corrupt_rng_; // state-perturbation source for corrupt()
+    Input_provider input_provider_;
+    std::unique_ptr<bft::Eig_session> ba_;
+    common::Round last_sent_round_ = -1; ///< own broadcast echo (Session
+    common::Bytes last_sent_payload_;    ///< contract includes self-delivery)
+    std::vector<Agreement_record> decisions_;
+};
+
+} // namespace ga::ssba
+
+#endif // GA_SSBA_SSBA_H

@@ -1,0 +1,292 @@
+// Unit tests for the three middleware services (§3.1, §3.2, §3.4): the
+// legislative tally, the judicial audit of every offence class, the executive
+// ledger, and the punishment schemes.
+#include <gtest/gtest.h>
+
+#include "authority/judicial.h"
+#include "authority/legislative.h"
+#include "authority/punishment.h"
+#include "game/canonical.h"
+
+namespace {
+
+using namespace ga::authority;
+using ga::common::Rng;
+
+// ---------------------------------------------------------------- legislative
+
+TEST(Legislative, PluralityCountsFirstChoices)
+{
+    const Legislative_service service{3};
+    const std::vector<Ballot> ballots{
+        {0, {1, 0, 2}}, {1, {1, 2}}, {2, {0}}, {3, {2, 1}}, {4, {1}}};
+    const Election_result result = service.elect(ballots, Voting_rule::plurality);
+    EXPECT_EQ(result.winner, 1);
+    EXPECT_DOUBLE_EQ(result.scores[1], 3.0);
+    EXPECT_EQ(result.valid_ballots, 5);
+}
+
+TEST(Legislative, BordaWeighsFullRanking)
+{
+    const Legislative_service service{3};
+    // Candidate 2 is everyone's second choice; candidates 0/1 split the top.
+    const std::vector<Ballot> ballots{{0, {0, 2, 1}}, {1, {1, 2, 0}}, {2, {0, 2, 1}},
+                                      {3, {1, 2, 0}}, {4, {2, 0, 1}}};
+    const Election_result result = service.elect(ballots, Voting_rule::borda);
+    EXPECT_EQ(result.winner, 2);
+}
+
+TEST(Legislative, MalformedBallotsAreSpoilt)
+{
+    const Legislative_service service{2};
+    const std::vector<Ballot> ballots{
+        {0, {0}},
+        {1, {5}},       // out of range
+        {2, {0, 0}},    // duplicate
+        {3, {}},        // empty
+        {4, {1, 0, 1}}, // too long + duplicate
+    };
+    const Election_result result = service.elect(ballots, Voting_rule::plurality);
+    EXPECT_EQ(result.valid_ballots, 1);
+    EXPECT_EQ(result.invalid_ballots, 4);
+    EXPECT_EQ(result.winner, 0);
+}
+
+TEST(Legislative, TieBreaksToLowestIndex)
+{
+    const Legislative_service service{2};
+    const std::vector<Ballot> ballots{{0, {1}}, {1, {0}}};
+    EXPECT_EQ(service.elect(ballots, Voting_rule::plurality).winner, 0);
+}
+
+TEST(Legislative, SafeAgainstByzantineBallotsNeedsMargin)
+{
+    const Legislative_service service{2};
+    const std::vector<Ballot> ballots{{0, {0}}, {1, {0}}, {2, {0}}, {3, {1}}};
+    const Election_result result = service.elect(ballots, Voting_rule::plurality);
+    EXPECT_TRUE(service.safe_against(result, 1, Voting_rule::plurality));  // 3 vs 1+1
+    EXPECT_FALSE(service.safe_against(result, 2, Voting_rule::plurality)); // 3 vs 1+2 tie->0 wins? margin gone
+}
+
+// ---------------------------------------------------------------- judicial
+
+Game_spec pd_spec()
+{
+    Game_spec spec;
+    spec.name = "pd";
+    spec.game = std::make_shared<ga::game::Matrix_game>(ga::game::prisoners_dilemma());
+    spec.equilibrium = {{0.0, 1.0}, {0.0, 1.0}};
+    spec.audit_mode = Audit_mode::pure_best_response;
+    return spec;
+}
+
+Submission submit_action(int action, Rng& rng)
+{
+    const auto committed = ga::crypto::commit(Judicial_service::encode_action(action), rng);
+    Submission sub;
+    sub.commitment = committed.commitment;
+    sub.opening = committed.opening;
+    return sub;
+}
+
+TEST(Judicial, CleanPlayPassesAudit)
+{
+    Rng rng{1};
+    const Game_spec spec = pd_spec();
+    const Judicial_service judicial;
+    // Both defect (the best response to anything in PD).
+    const std::vector<Submission> submissions{submit_action(1, rng), submit_action(1, rng)};
+    std::vector<int> actions;
+    const auto verdicts =
+        judicial.audit_play(spec, {1, 1}, submissions, {}, {true, true}, &actions);
+    for (const auto& v : verdicts) EXPECT_EQ(v.offence, Offence::none);
+    EXPECT_EQ(actions, (std::vector<int>{1, 1}));
+}
+
+TEST(Judicial, NotBestResponseIsFoul)
+{
+    Rng rng{2};
+    const Game_spec spec = pd_spec();
+    const Judicial_service judicial;
+    // Agent 0 cooperates: never a best response in PD.
+    const std::vector<Submission> submissions{submit_action(0, rng), submit_action(1, rng)};
+    const auto verdicts = judicial.audit_play(spec, {1, 1}, submissions, {}, {true, true});
+    EXPECT_EQ(verdicts[0].offence, Offence::not_best_response);
+    EXPECT_EQ(verdicts[1].offence, Offence::none);
+}
+
+TEST(Judicial, IllegalActionIsFoul)
+{
+    Rng rng{3};
+    const Game_spec spec = pd_spec();
+    const Judicial_service judicial;
+    const std::vector<Submission> submissions{submit_action(7, rng), submit_action(1, rng)};
+    const auto verdicts = judicial.audit_play(spec, {1, 1}, submissions, {}, {true, true});
+    EXPECT_EQ(verdicts[0].offence, Offence::illegal_action);
+}
+
+TEST(Judicial, MissingCommitmentIsFoul)
+{
+    Rng rng{4};
+    const Game_spec spec = pd_spec();
+    const Judicial_service judicial;
+    std::vector<Submission> submissions{Submission{}, submit_action(1, rng)};
+    const auto verdicts = judicial.audit_play(spec, {1, 1}, submissions, {}, {true, true});
+    EXPECT_EQ(verdicts[0].offence, Offence::missing_commitment);
+}
+
+TEST(Judicial, MismatchedOpeningIsFoul)
+{
+    Rng rng{5};
+    const Game_spec spec = pd_spec();
+    const Judicial_service judicial;
+    std::vector<Submission> submissions{submit_action(1, rng), submit_action(1, rng)};
+    submissions[0].opening->payload = Judicial_service::encode_action(0); // lie at reveal
+    const auto verdicts = judicial.audit_play(spec, {1, 1}, submissions, {}, {true, true});
+    EXPECT_EQ(verdicts[0].offence, Offence::commitment_mismatch);
+}
+
+TEST(Judicial, InactiveAgentsAreNotAudited)
+{
+    const Game_spec spec = pd_spec();
+    const Judicial_service judicial;
+    const std::vector<Submission> submissions{Submission{}, Submission{}};
+    const auto verdicts = judicial.audit_play(spec, {1, 1}, submissions, {}, {false, false});
+    for (const auto& v : verdicts) EXPECT_EQ(v.offence, Offence::none);
+}
+
+TEST(Judicial, BestResponseTiesNeverIncriminate)
+{
+    // Matching pennies: against a fixed previous profile both actions of the
+    // *opponent-indifferent* agent can tie; build a tie game explicitly.
+    Game_spec spec;
+    spec.game = std::make_shared<ga::game::Matrix_game>(
+        ga::game::Matrix_game{"tie", {2, 2}, {{1, 1, 1, 1}, {1, 1, 1, 1}}});
+    spec.name = "tie";
+    spec.equilibrium = {{1.0, 0.0}, {1.0, 0.0}};
+    Rng rng{6};
+    const Judicial_service judicial;
+    for (const int a0 : {0, 1}) {
+        for (const int a1 : {0, 1}) {
+            const std::vector<Submission> submissions{submit_action(a0, rng),
+                                                      submit_action(a1, rng)};
+            const auto verdicts =
+                judicial.audit_play(spec, {0, 0}, submissions, {}, {true, true});
+            for (const auto& v : verdicts) EXPECT_EQ(v.offence, Offence::none);
+        }
+    }
+}
+
+TEST(Judicial, MixedSeedAuditFlagsDeviation)
+{
+    Game_spec spec = pd_spec();
+    spec.audit_mode = Audit_mode::mixed_seed;
+    Rng rng{7};
+    const Judicial_service judicial;
+    const std::vector<Submission> submissions{submit_action(1, rng), submit_action(0, rng)};
+    // Prescribed by seed: both should play 1; agent 1 played 0.
+    const auto verdicts = judicial.audit_play(spec, {1, 1}, submissions, {1, 1}, {true, true});
+    EXPECT_EQ(verdicts[0].offence, Offence::none);
+    EXPECT_EQ(verdicts[1].offence, Offence::seed_violation);
+}
+
+TEST(Judicial, CredibleHistoryAcceptsFairPlay)
+{
+    std::vector<int> actions;
+    for (int i = 0; i < 1000; ++i) actions.push_back(i % 2);
+    EXPECT_TRUE(Judicial_service::credible_history(actions, {0.5, 0.5}));
+}
+
+TEST(Judicial, CredibleHistoryRejectsGrossBias)
+{
+    std::vector<int> actions(1000, 1); // always tails against a 50/50 claim
+    EXPECT_FALSE(Judicial_service::credible_history(actions, {0.5, 0.5}));
+}
+
+TEST(Judicial, CredibleHistoryRejectsUnsupportedAction)
+{
+    EXPECT_FALSE(Judicial_service::credible_history({0, 1, 2}, {0.5, 0.5, 0.0}));
+}
+
+TEST(Judicial, ActionCodecRoundTrip)
+{
+    const auto payload = Judicial_service::encode_action(3);
+    EXPECT_EQ(Judicial_service::decode_action(payload), 3);
+    EXPECT_EQ(Judicial_service::decode_action({0x01}), std::nullopt);
+}
+
+// ---------------------------------------------------------------- executive
+
+TEST(Executive, LedgerAccumulatesCostsForActiveAgentsOnly)
+{
+    Executive_service executive{2};
+    executive.publish_outcome({0, 0}, {1.0, 2.0});
+    executive.deactivate(1);
+    executive.publish_outcome({0, 0}, {1.0, 2.0});
+    EXPECT_DOUBLE_EQ(executive.standing(0).cumulative_cost, 2.0);
+    EXPECT_DOUBLE_EQ(executive.standing(1).cumulative_cost, 2.0);
+    EXPECT_EQ(executive.active_count(), 1);
+    EXPECT_EQ(executive.outcomes().size(), 2u);
+}
+
+TEST(Executive, FinesFlowToTreasury)
+{
+    Executive_service executive{2};
+    executive.fine(0, 4.0);
+    executive.fine(0, 4.0);
+    EXPECT_DOUBLE_EQ(executive.standing(0).fines, 8.0);
+    EXPECT_DOUBLE_EQ(executive.treasury(), 8.0);
+}
+
+// ---------------------------------------------------------------- punishment
+
+TEST(Punishment, DisconnectDeactivatesOnFirstOffence)
+{
+    Executive_service executive{2};
+    Disconnect_scheme scheme;
+    scheme.punish(executive, 0, Offence::not_best_response);
+    EXPECT_FALSE(executive.standing(0).active);
+    EXPECT_EQ(executive.standing(0).fouls, 1);
+    scheme.punish(executive, 1, Offence::none); // no-op
+    EXPECT_TRUE(executive.standing(1).active);
+}
+
+TEST(Punishment, FineExhaustsDepositThenDisconnects)
+{
+    Executive_service executive{1};
+    Fine_scheme scheme{4.0, 10.0};
+    scheme.punish(executive, 0, Offence::not_best_response);
+    scheme.punish(executive, 0, Offence::not_best_response);
+    EXPECT_TRUE(executive.standing(0).active); // 8 <= 10
+    scheme.punish(executive, 0, Offence::not_best_response);
+    EXPECT_FALSE(executive.standing(0).active); // 12 > 10
+    EXPECT_DOUBLE_EQ(executive.treasury(), 12.0);
+}
+
+TEST(Punishment, ReputationDecaysToExclusion)
+{
+    Executive_service executive{1};
+    Reputation_scheme scheme{0.5, 0.2};
+    scheme.punish(executive, 0, Offence::seed_violation);
+    EXPECT_TRUE(executive.standing(0).active); // 0.5
+    scheme.punish(executive, 0, Offence::seed_violation);
+    EXPECT_TRUE(executive.standing(0).active); // 0.25
+    scheme.punish(executive, 0, Offence::seed_violation);
+    EXPECT_FALSE(executive.standing(0).active); // 0.125 < 0.2
+}
+
+TEST(Punishment, SchemeParameterValidation)
+{
+    EXPECT_THROW(Fine_scheme(0.0, 1.0), ga::common::Contract_error);
+    EXPECT_THROW(Reputation_scheme(1.5, 0.5), ga::common::Contract_error);
+    EXPECT_THROW(Reputation_scheme(0.5, 0.0), ga::common::Contract_error);
+}
+
+TEST(Offence, NamesAreStable)
+{
+    EXPECT_EQ(offence_name(Offence::none), "none");
+    EXPECT_EQ(offence_name(Offence::not_best_response), "not-best-response");
+    EXPECT_EQ(offence_name(Offence::seed_violation), "seed-violation");
+}
+
+} // namespace

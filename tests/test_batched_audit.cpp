@@ -1,0 +1,124 @@
+// §5.3 batched audit windows: per-play audits check only the commitment
+// discipline; the seed replay fires at the window edge — detection is
+// delayed but never lost, and honest agents still never get flagged.
+#include <gtest/gtest.h>
+
+#include "authority/local_authority.h"
+#include "game/canonical.h"
+
+namespace {
+
+using namespace ga::authority;
+using ga::common::Rng;
+using ga::game::mp_manipulate;
+
+Game_spec batched_fig1(int window)
+{
+    Game_spec spec;
+    spec.name = "fig1-batched";
+    spec.game = std::make_shared<ga::game::Matrix_game>(ga::game::manipulated_matching_pennies());
+    spec.equilibrium = {{0.5, 0.5}, {0.5, 0.5, 0.0}};
+    spec.audit_mode = Audit_mode::mixed_seed_batched;
+    spec.audit_window = window;
+    return spec;
+}
+
+std::vector<std::unique_ptr<Agent_behavior>> two(std::unique_ptr<Agent_behavior> a,
+                                                 std::unique_ptr<Agent_behavior> b)
+{
+    std::vector<std::unique_ptr<Agent_behavior>> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+}
+
+TEST(BatchedAudit, HonestAgentsPassEveryWindow)
+{
+    Local_authority authority{batched_fig1(8),
+                              two(std::make_unique<Honest_behavior>(),
+                                  std::make_unique<Honest_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{1}};
+    for (int round = 0; round < 64; ++round) {
+        EXPECT_EQ(authority.play_round().foul_count(), 0) << "round " << round;
+    }
+    EXPECT_EQ(authority.executive().active_count(), 2);
+}
+
+TEST(BatchedAudit, ManipulatorIsCaughtExactlyAtWindowEdge)
+{
+    const int window = 8;
+    Local_authority authority{batched_fig1(window),
+                              two(std::make_unique<Honest_behavior>(),
+                                  std::make_unique<Fixed_action_behavior>(mp_manipulate)),
+                              std::make_unique<Disconnect_scheme>(), Rng{2}};
+    for (int round = 0; round < window - 1; ++round) {
+        const Round_report report = authority.play_round();
+        EXPECT_EQ(report.foul_count(), 0) << "detection must wait for the window edge";
+        EXPECT_TRUE(authority.executive().standing(1).active);
+    }
+    const Round_report edge = authority.play_round();
+    ASSERT_EQ(edge.foul_count(), 1);
+    EXPECT_EQ(edge.verdicts.back().agent, 1);
+    EXPECT_EQ(edge.verdicts.back().offence, Offence::seed_violation);
+    EXPECT_FALSE(authority.executive().standing(1).active);
+}
+
+TEST(BatchedAudit, SingleDeviationInsideWindowIsStillCaught)
+{
+    // Deviate with low probability: one bad play anywhere in the window must
+    // flag the agent at the edge.
+    const int window = 16;
+    Local_authority authority{batched_fig1(window),
+                              two(std::make_unique<Honest_behavior>(),
+                                  std::make_unique<Myopic_behavior>(0.2, 1000000)),
+                              std::make_unique<Disconnect_scheme>(), Rng{3}};
+    int played = 0;
+    bool caught = false;
+    while (played < 20 * window && !caught) {
+        const Round_report report = authority.play_round();
+        ++played;
+        if (report.foul_count() > 0) {
+            EXPECT_EQ(played % window, 0) << "fouls only fire at window edges";
+            caught = true;
+        }
+    }
+    EXPECT_TRUE(caught);
+}
+
+TEST(BatchedAudit, WindowOneDegeneratesToPerRoundTiming)
+{
+    Local_authority authority{batched_fig1(1),
+                              two(std::make_unique<Honest_behavior>(),
+                                  std::make_unique<Fixed_action_behavior>(mp_manipulate)),
+                              std::make_unique<Disconnect_scheme>(), Rng{4}};
+    EXPECT_EQ(authority.play_round().foul_count(), 1);
+}
+
+TEST(BatchedAudit, ExposureIsBoundedByWindowLength)
+{
+    // The price of batching (the paper's efficiency-vs-latency trade-off):
+    // the manipulator can profit for at most `window` plays.
+    for (const int window : {2, 4, 16}) {
+        Local_authority authority{batched_fig1(window),
+                                  two(std::make_unique<Honest_behavior>(),
+                                      std::make_unique<Fixed_action_behavior>(mp_manipulate)),
+                                  std::make_unique<Disconnect_scheme>(), Rng{5}};
+        for (int round = 0; round < 3 * window; ++round) authority.play_round();
+        // Honest A loses at most 9 per exposed play (Fig. 1's worst cell).
+        EXPECT_LE(authority.executive().standing(0).cumulative_cost, 9.0 * window)
+            << "window " << window;
+        EXPECT_FALSE(authority.executive().standing(1).active);
+    }
+}
+
+TEST(BatchedAudit, ValidatesWindowParameter)
+{
+    Game_spec spec = batched_fig1(0);
+    EXPECT_THROW(Local_authority(spec,
+                                 two(std::make_unique<Honest_behavior>(),
+                                     std::make_unique<Honest_behavior>()),
+                                 std::make_unique<Disconnect_scheme>(), Rng{6}),
+                 ga::common::Contract_error);
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+// Parallel interactive consistency (polynomial IC over Turpin-Coan/phase-king):
+// honest slots carry real inputs, full-vector agreement, attacker sweeps.
+#include <gtest/gtest.h>
+
+#include "bft/attackers.h"
+#include "bft/driver.h"
+#include "bft/parallel_ic.h"
+#include "bft/phase_king.h"
+#include "bft/turpin_coan.h"
+
+namespace {
+
+using namespace ga::bft;
+using ga::common::bytes_of;
+using ga::common::Processor_id;
+using ga::common::Rng;
+
+Multivalued_session_factory tc_pk_factory()
+{
+    return [](int n, int f, Processor_id self, Value input) -> std::unique_ptr<Session> {
+        return std::make_unique<Turpin_coan_session>(
+            n, f, self, std::move(input),
+            [](int nn, int ff, Processor_id s, int b) -> std::unique_ptr<Session> {
+                return std::make_unique<Phase_king_session>(nn, ff, s, b);
+            });
+    };
+}
+
+std::unique_ptr<Session> make_ic(int n, int f, Processor_id self, Value input)
+{
+    return std::make_unique<Parallel_ic_session>(n, f, self, std::move(input), tc_pk_factory());
+}
+
+const Parallel_ic_session& as_ic(const Participant& p)
+{
+    return dynamic_cast<const Parallel_ic_session&>(*p.session);
+}
+
+TEST(ParallelIc, RoundCountIsInnerPlusOne)
+{
+    Parallel_ic_session session{5, 1, 0, bytes_of("x"), tc_pk_factory()};
+    EXPECT_EQ(session.total_rounds(), 1 + 2 + 2 * 2);
+}
+
+TEST(ParallelIc, AllHonestVectorCarriesEveryInput)
+{
+    const int n = 5;
+    const int f = 1;
+    std::vector<Participant> ps(n);
+    for (int i = 0; i < n; ++i)
+        ps[static_cast<std::size_t>(i)].session = make_ic(n, f, i, bytes_of("v" + std::to_string(i)));
+    drive(ps);
+    for (int i = 0; i < n; ++i) {
+        const auto& vec = as_ic(ps[static_cast<std::size_t>(i)]).agreed_vector();
+        ASSERT_EQ(static_cast<int>(vec.size()), n);
+        for (int j = 0; j < n; ++j)
+            EXPECT_EQ(vec[static_cast<std::size_t>(j)], bytes_of("v" + std::to_string(j)));
+    }
+}
+
+TEST(ParallelIc, HonestSlotsSurviveGarbageAttacker)
+{
+    const int n = 5;
+    const int f = 1;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        std::vector<Participant> ps(n);
+        for (int i = 0; i < n - 1; ++i)
+            ps[static_cast<std::size_t>(i)].session =
+                make_ic(n, f, i, bytes_of("in" + std::to_string(i)));
+        ps[n - 1].attacker = std::make_unique<Garbage_attacker>(Rng{seed});
+        drive(ps);
+        const std::vector<Value>* reference = nullptr;
+        for (int i = 0; i < n - 1; ++i) {
+            const auto& vec = as_ic(ps[static_cast<std::size_t>(i)]).agreed_vector();
+            for (int j = 0; j < n - 1; ++j)
+                EXPECT_EQ(vec[static_cast<std::size_t>(j)], bytes_of("in" + std::to_string(j)));
+            if (reference == nullptr) {
+                reference = &vec;
+            } else {
+                EXPECT_EQ(vec, *reference); // byzantine slot also agreed
+            }
+        }
+    }
+}
+
+TEST(ParallelIc, SplitBrainCannotBreakVectorAgreement)
+{
+    const int n = 5;
+    const int f = 1;
+    const Session_factory shadow = [&](Value input) { return make_ic(n, f, 4, std::move(input)); };
+    for (int split = 1; split < n; ++split) {
+        std::vector<Participant> ps(n);
+        for (int i = 0; i < n - 1; ++i)
+            ps[static_cast<std::size_t>(i)].session =
+                make_ic(n, f, i, bytes_of("w" + std::to_string(i)));
+        ps[n - 1].attacker = std::make_unique<Split_brain_attacker>(shadow, bytes_of("evil-a"),
+                                                                    bytes_of("evil-b"),
+                                                                    static_cast<Processor_id>(split));
+        drive(ps);
+        const std::vector<Value>* reference = nullptr;
+        for (int i = 0; i < n - 1; ++i) {
+            const auto& vec = as_ic(ps[static_cast<std::size_t>(i)]).agreed_vector();
+            if (reference == nullptr) {
+                reference = &vec;
+            } else {
+                EXPECT_EQ(vec, *reference) << "split=" << split;
+            }
+        }
+    }
+}
+
+TEST(ParallelIc, ConsensusDecisionIsMajorityValue)
+{
+    const int n = 5;
+    const int f = 1;
+    std::vector<Participant> ps(n);
+    for (int i = 0; i < n; ++i)
+        ps[static_cast<std::size_t>(i)].session = make_ic(n, f, i, bytes_of(i < 3 ? "maj" : "min"));
+    const Drive_result result = drive(ps);
+    for (const auto& d : result.decisions) EXPECT_EQ(*d, bytes_of("maj"));
+}
+
+TEST(ParallelIc, LargerSystemWithTwoAttackers)
+{
+    const int n = 9;
+    const int f = 2;
+    std::vector<Participant> ps(n);
+    for (int i = 0; i < n - 2; ++i)
+        ps[static_cast<std::size_t>(i)].session = make_ic(n, f, i, bytes_of("x" + std::to_string(i)));
+    ps[n - 2].attacker = std::make_unique<Garbage_attacker>(Rng{3});
+    ps[n - 1].attacker = std::make_unique<Silent_attacker>();
+    drive(ps);
+    const std::vector<Value>* reference = nullptr;
+    for (int i = 0; i < n - 2; ++i) {
+        const auto& vec = as_ic(ps[static_cast<std::size_t>(i)]).agreed_vector();
+        for (int j = 0; j < n - 2; ++j)
+            EXPECT_EQ(vec[static_cast<std::size_t>(j)], bytes_of("x" + std::to_string(j)));
+        if (reference == nullptr) {
+            reference = &vec;
+        } else {
+            EXPECT_EQ(vec, *reference);
+        }
+    }
+}
+
+} // namespace

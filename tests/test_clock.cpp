@@ -1,0 +1,244 @@
+// Self-stabilizing Byzantine clock synchronization: closure (synchronized
+// clocks stay synchronized and increment together) and convergence (arbitrary
+// clocks eventually synchronize), with Byzantine babblers present.
+#include <gtest/gtest.h>
+
+#include "clock/clock_core.h"
+#include "clock/clock_sync.h"
+#include "sim/engine.h"
+#include "sim/malicious.h"
+
+namespace {
+
+using namespace ga::clock;
+using ga::common::Processor_id;
+using ga::common::Rng;
+
+// ---------------------------------------------------------------- Clock_core
+
+TEST(ClockCore, BootPulseKeepsValue)
+{
+    Clock_core core{4, 1, 8, Rng{1}, 5};
+    EXPECT_EQ(core.step({}), 5);
+}
+
+TEST(ClockCore, QuorumAdoptsSuccessor)
+{
+    Clock_core core{4, 1, 8, Rng{1}, 3};
+    // Own value 3 plus two more 3s = quorum of n-f = 3.
+    EXPECT_EQ(core.step({3, 3, 7}), 4);
+}
+
+TEST(ClockCore, QuorumWrapsModPeriod)
+{
+    Clock_core core{4, 1, 8, Rng{1}, 7};
+    EXPECT_EQ(core.step({7, 7, 0}), 0);
+}
+
+TEST(ClockCore, ForeignQuorumOverridesOwnValue)
+{
+    Clock_core core{4, 1, 8, Rng{1}, 2};
+    EXPECT_EQ(core.step({5, 5, 5}), 6);
+}
+
+TEST(ClockCore, NoQuorumRandomizesWithinRange)
+{
+    Clock_core core{4, 1, 8, Rng{1}, 3};
+    for (int i = 0; i < 50; ++i) {
+        const int v = core.step({0, 1, 2});
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 8);
+    }
+}
+
+TEST(ClockCore, InvalidReceivedValuesAreIgnored)
+{
+    Clock_core core{4, 1, 8, Rng{1}, 3};
+    // Garbage values cannot form a quorum; with only one echo of 3 the core
+    // has 2 < 3 votes and randomizes — but never crashes or leaves range.
+    const int v = core.step({-5, 100, 3});
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 8);
+}
+
+TEST(ClockCore, SetValueNormalizesIntoRange)
+{
+    Clock_core core{4, 1, 8, Rng{1}};
+    core.set_value(13);
+    EXPECT_EQ(core.value(), 5);
+    core.set_value(-3);
+    EXPECT_EQ(core.value(), 5);
+}
+
+TEST(ClockCore, RequiresNGreaterThan3F)
+{
+    EXPECT_THROW(Clock_core(3, 1, 4, Rng{1}), ga::common::Contract_error);
+}
+
+// ---------------------------------------------------------- wire format
+
+TEST(ClockWire, RoundTripAndRejection)
+{
+    const auto payload = encode_clock(5);
+    EXPECT_EQ(decode_clock(payload, 8), 5);
+    EXPECT_EQ(decode_clock(payload, 5), std::nullopt);    // out of range
+    EXPECT_EQ(decode_clock({0x01}, 8), std::nullopt);     // truncated
+    auto trailing = payload;
+    trailing.push_back(0xff);
+    EXPECT_EQ(decode_clock(trailing, 8), std::nullopt);   // trailing junk
+}
+
+// ------------------------------------------------------- system closure
+
+struct Closure_param {
+    int n;
+    int f;
+    int period;
+};
+
+class Clock_closure_sweep : public ::testing::TestWithParam<Closure_param> {};
+
+TEST_P(Clock_closure_sweep, SynchronizedClocksIncrementInLockstep)
+{
+    const auto [n, f, period] = GetParam();
+    Rng rng{17};
+    ga::sim::Engine engine{ga::sim::complete_graph(n), rng.split(0)};
+    for (Processor_id id = 0; id < n - f; ++id) {
+        engine.install(std::make_unique<Clock_sync_processor>(id, n, f, period, rng.split(id + 1),
+                                                              /*initial=*/0));
+    }
+    for (Processor_id id = n - f; id < n; ++id) {
+        engine.install(std::make_unique<ga::sim::Random_babbler>(id, rng.split(100 + id), 8),
+                       /*byzantine=*/true);
+    }
+
+    engine.run_pulse(); // boot: everyone broadcasts 0
+    for (int t = 1; t <= 3 * period; ++t) {
+        engine.run_pulse();
+        const int expected = t % period;
+        for (Processor_id id = 0; id < n - f; ++id) {
+            EXPECT_EQ(engine.processor_as<Clock_sync_processor>(id).clock(), expected)
+                << "pulse " << t << " processor " << id;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweeps, Clock_closure_sweep,
+                         ::testing::Values(Closure_param{4, 1, 4}, Closure_param{4, 1, 8},
+                                           Closure_param{7, 2, 6}, Closure_param{10, 3, 5},
+                                           Closure_param{4, 0, 4}),
+                         [](const ::testing::TestParamInfo<Closure_param>& info) {
+                             return "n" + std::to_string(info.param.n) + "_f" +
+                                    std::to_string(info.param.f) + "_M" +
+                                    std::to_string(info.param.period);
+                         });
+
+// ----------------------------------------------------- system convergence
+
+TEST(ClockConvergence, ArbitraryClocksSynchronizeWithByzantinePresent)
+{
+    const int n = 4;
+    const int f = 1;
+    const int period = 4;
+    int converged = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng{seed};
+        ga::sim::Engine engine{ga::sim::complete_graph(n), rng.split(0)};
+        for (Processor_id id = 0; id < n - f; ++id) {
+            engine.install(std::make_unique<Clock_sync_processor>(
+                id, n, f, period, rng.split(id + 1),
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(period)))));
+        }
+        engine.install(std::make_unique<ga::sim::Random_babbler>(n - 1, rng.split(50), 8),
+                       /*byzantine=*/true);
+
+        for (int pulse = 0; pulse < 20000; ++pulse) {
+            engine.run_pulse();
+            int value = -1;
+            bool agree = true;
+            for (Processor_id id = 0; id < n - f; ++id) {
+                const int c = engine.processor_as<Clock_sync_processor>(id).clock();
+                if (value < 0) value = c;
+                if (c != value) agree = false;
+            }
+            if (agree) {
+                ++converged;
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(converged, 10);
+}
+
+TEST(ClockConvergence, RecoversAfterTransientFault)
+{
+    const int n = 4;
+    const int f = 0; // isolate the transient-fault path
+    const int period = 4;
+    Rng rng{5};
+    ga::sim::Engine engine{ga::sim::complete_graph(n), rng.split(0)};
+    for (Processor_id id = 0; id < n; ++id) {
+        engine.install(
+            std::make_unique<Clock_sync_processor>(id, n, f, period, rng.split(id + 1), 0));
+    }
+    engine.run(10);
+    engine.inject_transient_fault();
+
+    bool resynchronized = false;
+    for (int pulse = 0; pulse < 20000 && !resynchronized; ++pulse) {
+        engine.run_pulse();
+        int value = -1;
+        resynchronized = true;
+        for (Processor_id id = 0; id < n; ++id) {
+            const int c = engine.processor_as<Clock_sync_processor>(id).clock();
+            if (value < 0) value = c;
+            if (c != value) resynchronized = false;
+        }
+    }
+    EXPECT_TRUE(resynchronized);
+}
+
+TEST(ClockConvergence, OnceConvergedStaysConverged)
+{
+    const int n = 4;
+    const int f = 1;
+    const int period = 4;
+    Rng rng{11};
+    ga::sim::Engine engine{ga::sim::complete_graph(n), rng.split(0)};
+    for (Processor_id id = 0; id < n - f; ++id) {
+        engine.install(std::make_unique<Clock_sync_processor>(
+            id, n, f, period, rng.split(id + 1),
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(period)))));
+    }
+    engine.install(std::make_unique<ga::sim::Random_babbler>(3, rng.split(50), 8),
+                   /*byzantine=*/true);
+
+    // Converge first.
+    int pulses = 0;
+    while (pulses < 20000) {
+        engine.run_pulse();
+        ++pulses;
+        int value = -1;
+        bool agree = true;
+        for (Processor_id id = 0; id < n - f; ++id) {
+            const int c = engine.processor_as<Clock_sync_processor>(id).clock();
+            if (value < 0) value = c;
+            if (c != value) agree = false;
+        }
+        if (agree) break;
+    }
+    ASSERT_LT(pulses, 20000);
+
+    // Closure must hold for the next 5 periods despite the babbler.
+    int previous = engine.processor_as<Clock_sync_processor>(0).clock();
+    for (int t = 0; t < 5 * period; ++t) {
+        engine.run_pulse();
+        const int expected = (previous + 1) % period;
+        for (Processor_id id = 0; id < n - f; ++id) {
+            ASSERT_EQ(engine.processor_as<Clock_sync_processor>(id).clock(), expected);
+        }
+        previous = expected;
+    }
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+// Singleton congestion games: Rosenthal potential, equilibrium existence via
+// better-response dynamics, PoA sanity on identical machines.
+#include <gtest/gtest.h>
+
+#include "game/analysis.h"
+#include "game/congestion.h"
+
+namespace {
+
+using namespace ga::game;
+using ga::common::Rng;
+
+TEST(Congestion, CostIsLatencyUnderLoad)
+{
+    const Singleton_congestion_game g{3, {{1.0, 0.0}, {2.0, 1.0}}};
+    // Two agents on machine 0 (latency x), one on machine 1 (latency 2x+1).
+    EXPECT_DOUBLE_EQ(g.cost(0, {0, 0, 1}), 2.0);
+    EXPECT_DOUBLE_EQ(g.cost(2, {0, 0, 1}), 3.0);
+}
+
+TEST(Congestion, PotentialDropsOnImprovingDeviation)
+{
+    const Singleton_congestion_game g{3, {{1.0, 0.0}, {1.0, 0.0}}};
+    const Pure_profile crowded{0, 0, 0};
+    Pure_profile improved = crowded;
+    improved[2] = 1; // strictly better for agent 2
+    EXPECT_LT(g.cost(2, improved), g.cost(2, crowded));
+    EXPECT_LT(g.rosenthal_potential(improved), g.rosenthal_potential(crowded));
+}
+
+TEST(Congestion, PotentialDifferenceEqualsCostDifference)
+{
+    // Rosenthal: Phi(a_i', a_-i) - Phi(a) = c_i(a_i', a_-i) - c_i(a).
+    const Singleton_congestion_game g{4, {{1.0, 0.5}, {2.0, 0.0}, {0.5, 2.0}}};
+    const Pure_profile base{0, 1, 2, 0};
+    for (int deviant = 0; deviant < 4; ++deviant) {
+        for (int to = 0; to < 3; ++to) {
+            Pure_profile probe = base;
+            probe[static_cast<std::size_t>(deviant)] = to;
+            const double dphi = g.rosenthal_potential(probe) - g.rosenthal_potential(base);
+            const double dcost = g.cost(deviant, probe) - g.cost(deviant, base);
+            EXPECT_NEAR(dphi, dcost, 1e-12);
+        }
+    }
+}
+
+TEST(Congestion, BetterResponseDynamicsReachPureNash)
+{
+    const Singleton_congestion_game g{6, {{1.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}}};
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Rng rng{seed};
+        const Pure_profile eq = g.better_response_equilibrium(rng);
+        EXPECT_TRUE(is_pure_nash(g, eq)) << "seed " << seed;
+    }
+}
+
+TEST(Congestion, IdenticalMachinesEquilibriumIsBalanced)
+{
+    const Singleton_congestion_game g{6, {{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0}}};
+    Rng rng{7};
+    const Pure_profile eq = g.better_response_equilibrium(rng);
+    std::vector<int> load(3, 0);
+    for (const int a : eq) ++load[static_cast<std::size_t>(a)];
+    for (const int l : load) EXPECT_EQ(l, 2);
+}
+
+TEST(Congestion, PneExistsByExhaustiveCheckOnSmallInstance)
+{
+    const Singleton_congestion_game g{3, {{1.0, 0.0}, {3.0, 0.0}}};
+    EXPECT_FALSE(pure_nash_equilibria(g).empty());
+}
+
+} // namespace

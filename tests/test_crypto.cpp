@@ -1,0 +1,269 @@
+// Crypto substrate tests: SHA-256 against FIPS vectors, HMAC against RFC 4231,
+// commitment binding/verification, auditable seed sampling, Merkle proofs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "crypto/commitment.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/seed_commitment.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace ga::crypto;
+using ga::common::Bytes;
+using ga::common::bytes_of;
+using ga::common::from_hex;
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyStringVector)
+{
+    EXPECT_EQ(digest_hex(sha256({})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector)
+{
+    EXPECT_EQ(digest_hex(sha256(bytes_of("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector)
+{
+    EXPECT_EQ(digest_hex(sha256(bytes_of(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlockOfPadding)
+{
+    // 55 and 56 byte messages straddle the padding boundary.
+    const Bytes msg55(55, 'a');
+    const Bytes msg56(56, 'a');
+    EXPECT_EQ(digest_hex(sha256(msg55)),
+              "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+    EXPECT_EQ(digest_hex(sha256(msg56)),
+              "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, MillionAsVector)
+{
+    Sha256 ctx;
+    const Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+    EXPECT_EQ(digest_hex(ctx.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    const Bytes data = bytes_of("the quick brown fox jumps over the lazy dog");
+    Sha256 ctx;
+    for (const auto byte : data) ctx.update(&byte, 1);
+    EXPECT_EQ(ctx.finish(), sha256(data));
+}
+
+TEST(Sha256, ReuseAfterFinishThrows)
+{
+    Sha256 ctx;
+    ctx.update(bytes_of("x"));
+    (void)ctx.finish();
+    EXPECT_THROW(ctx.finish(), ga::common::Contract_error);
+}
+
+// ---------------------------------------------------------------- HMAC
+
+TEST(Hmac, Rfc4231Case1)
+{
+    const Bytes key(20, 0x0b);
+    EXPECT_EQ(digest_hex(hmac_sha256(key, bytes_of("Hi There"))),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2)
+{
+    EXPECT_EQ(digest_hex(hmac_sha256(bytes_of("Jefe"),
+                                     bytes_of("what do ya want for nothing?"))),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey)
+{
+    const Bytes key(131, 0xaa);
+    EXPECT_EQ(digest_hex(hmac_sha256(
+                  key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, PrfU64IsDeterministicAndLabelSensitive)
+{
+    const Bytes seed = bytes_of("seed");
+    EXPECT_EQ(prf_u64(seed, 1, 7), prf_u64(seed, 1, 7));
+    EXPECT_NE(prf_u64(seed, 1, 7), prf_u64(seed, 2, 7));
+    EXPECT_NE(prf_u64(seed, 1, 7), prf_u64(seed, 1, 8));
+}
+
+// ---------------------------------------------------------------- Commitments
+
+TEST(Commitment, RoundTripVerifies)
+{
+    ga::common::Rng rng{1};
+    const Committed committed = commit(bytes_of("action:2"), rng);
+    EXPECT_TRUE(verify(committed.commitment, committed.opening));
+}
+
+TEST(Commitment, TamperedPayloadFailsVerification)
+{
+    ga::common::Rng rng{2};
+    Committed committed = commit(bytes_of("action:2"), rng);
+    committed.opening.payload = bytes_of("action:3");
+    EXPECT_FALSE(verify(committed.commitment, committed.opening));
+}
+
+TEST(Commitment, TamperedNonceFailsVerification)
+{
+    ga::common::Rng rng{3};
+    Committed committed = commit(bytes_of("x"), rng);
+    committed.opening.nonce[0] ^= 0x01;
+    EXPECT_FALSE(verify(committed.commitment, committed.opening));
+}
+
+TEST(Commitment, DistinctNoncesHideEqualPayloads)
+{
+    ga::common::Rng rng{4};
+    const Committed a = commit(bytes_of("same"), rng);
+    const Committed b = commit(bytes_of("same"), rng);
+    EXPECT_NE(a.commitment, b.commitment); // hiding needs fresh nonces
+}
+
+TEST(Commitment, WireRoundTrip)
+{
+    ga::common::Rng rng{5};
+    const Committed committed = commit(bytes_of("payload"), rng);
+
+    const Bytes c_wire = encode(committed.commitment);
+    ga::common::Byte_reader c_reader{c_wire};
+    EXPECT_EQ(decode_commitment(c_reader), committed.commitment);
+
+    const Bytes o_wire = encode(committed.opening);
+    ga::common::Byte_reader o_reader{o_wire};
+    const Opening opening = decode_opening(o_reader);
+    EXPECT_TRUE(verify(committed.commitment, opening));
+}
+
+// ---------------------------------------------------------------- Seed audit
+
+TEST(SeedCommitment, CommitmentOpensToSeed)
+{
+    ga::common::Rng rng{6};
+    const Seed_commitment sc = commit_seed(rng);
+    EXPECT_TRUE(verify(sc.commitment, sc.opening));
+    EXPECT_EQ(sc.opening.payload.size(), 32u);
+}
+
+TEST(SeedCommitment, SampledActionIsDeterministic)
+{
+    const Bytes seed = bytes_of("agent-seed");
+    const std::vector<double> dist{0.5, 0.5};
+    for (std::uint64_t t = 0; t < 20; ++t)
+        EXPECT_EQ(sampled_action(seed, 1, t, dist), sampled_action(seed, 1, t, dist));
+}
+
+TEST(SeedCommitment, SampledActionRespectsSupport)
+{
+    const Bytes seed = bytes_of("s");
+    const std::vector<double> dist{0.0, 1.0, 0.0};
+    for (std::uint64_t t = 0; t < 100; ++t) EXPECT_EQ(sampled_action(seed, 0, t, dist), 1);
+}
+
+TEST(SeedCommitment, SampledActionMatchesDistribution)
+{
+    const Bytes seed = bytes_of("statistics");
+    const std::vector<double> dist{0.25, 0.75};
+    int ones = 0;
+    constexpr int draws = 20000;
+    for (std::uint64_t t = 0; t < draws; ++t) {
+        if (sampled_action(seed, 3, t, dist) == 1) ++ones;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / draws, 0.75, 0.02);
+}
+
+TEST(SeedCommitment, AuditAcceptsFaithfulHistory)
+{
+    const Bytes seed = bytes_of("faithful");
+    const std::vector<double> dist{0.5, 0.5};
+    std::vector<int> actions;
+    for (std::uint64_t t = 0; t < 50; ++t) actions.push_back(sampled_action(seed, 2, t, dist));
+    EXPECT_TRUE(audit_history(seed, 2, 0, dist, actions));
+}
+
+TEST(SeedCommitment, AuditRejectsSingleDeviation)
+{
+    const Bytes seed = bytes_of("cheater");
+    const std::vector<double> dist{0.5, 0.5};
+    std::vector<int> actions;
+    for (std::uint64_t t = 0; t < 50; ++t) actions.push_back(sampled_action(seed, 2, t, dist));
+    actions[17] ^= 1; // one manipulated round
+    EXPECT_FALSE(audit_history(seed, 2, 0, dist, actions));
+}
+
+// ---------------------------------------------------------------- Merkle
+
+TEST(Merkle, SingleLeafRootIsLeafDigest)
+{
+    const std::vector<Bytes> leaves{bytes_of("only")};
+    const Merkle_tree tree{leaves};
+    EXPECT_EQ(tree.root(), Merkle_tree::leaf_digest(leaves[0]));
+    EXPECT_TRUE(verify_inclusion(tree.root(), leaves[0], tree.prove(0)));
+}
+
+TEST(Merkle, AllLeavesProveInclusion)
+{
+    std::vector<Bytes> leaves;
+    for (int i = 0; i < 13; ++i) leaves.push_back(bytes_of("round-" + std::to_string(i)));
+    const Merkle_tree tree{leaves};
+    for (std::size_t i = 0; i < leaves.size(); ++i)
+        EXPECT_TRUE(verify_inclusion(tree.root(), leaves[i], tree.prove(i))) << "leaf " << i;
+}
+
+TEST(Merkle, WrongPayloadFailsProof)
+{
+    std::vector<Bytes> leaves{bytes_of("a"), bytes_of("b"), bytes_of("c")};
+    const Merkle_tree tree{leaves};
+    EXPECT_FALSE(verify_inclusion(tree.root(), bytes_of("x"), tree.prove(1)));
+}
+
+TEST(Merkle, ProofForOtherLeafFails)
+{
+    std::vector<Bytes> leaves{bytes_of("a"), bytes_of("b"), bytes_of("c"), bytes_of("d")};
+    const Merkle_tree tree{leaves};
+    EXPECT_FALSE(verify_inclusion(tree.root(), leaves[0], tree.prove(1)));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf)
+{
+    std::vector<Bytes> leaves{bytes_of("a"), bytes_of("b"), bytes_of("c")};
+    const Merkle_tree tree{leaves};
+    leaves[2] = bytes_of("c'");
+    const Merkle_tree modified{leaves};
+    EXPECT_NE(tree.root(), modified.root());
+}
+
+TEST(Merkle, LeafAndNodeDomainsAreSeparated)
+{
+    // A leaf whose payload mimics an interior node's preimage must not
+    // produce that interior digest.
+    std::vector<Bytes> leaves{bytes_of("a"), bytes_of("b")};
+    const Merkle_tree tree{leaves};
+    Bytes fake;
+    fake.push_back(0x01);
+    const Digest la = Merkle_tree::leaf_digest(leaves[0]);
+    const Digest lb = Merkle_tree::leaf_digest(leaves[1]);
+    fake.insert(fake.end(), la.begin(), la.end());
+    fake.insert(fake.end(), lb.begin(), lb.end());
+    EXPECT_NE(Merkle_tree::leaf_digest(fake), tree.root());
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+// Governance (§3.1 extension): repeated re-election of the game across eras,
+// with executive standings persisting — expelled cheaters neither vote nor
+// play in later eras.
+#include <gtest/gtest.h>
+
+#include "authority/governance.h"
+#include "game/canonical.h"
+
+namespace {
+
+using namespace ga::authority;
+using ga::common::Agent_id;
+using ga::common::Rng;
+
+Game_spec pd_spec()
+{
+    Game_spec spec;
+    spec.name = "pd";
+    spec.game = std::make_shared<ga::game::Matrix_game>(ga::game::prisoners_dilemma());
+    spec.equilibrium = {{0.0, 1.0}, {0.0, 1.0}};
+    spec.audit_mode = Audit_mode::pure_best_response;
+    return spec;
+}
+
+Game_spec coordination_spec()
+{
+    Game_spec spec;
+    spec.name = "coordination";
+    spec.game = std::make_shared<ga::game::Matrix_game>(ga::game::coordination_game());
+    spec.equilibrium = {{1.0, 0.0}, {1.0, 0.0}};
+    spec.audit_mode = Audit_mode::pure_best_response;
+    return spec;
+}
+
+Scheme_provider disconnects()
+{
+    return [] { return std::make_unique<Disconnect_scheme>(); };
+}
+
+TEST(Governance, ElectsTheMajorityPreferredGame)
+{
+    // Both agents prefer candidate 1 (coordination) over candidate 0 (PD).
+    Governance governance{
+        {pd_spec(), coordination_spec()},
+        5,
+        Voting_rule::plurality,
+        [](Agent_id, int) { return Ballot{0, {1, 0}}; },
+        [](Agent_id, int) { return std::make_unique<Honest_behavior>(); },
+        disconnects(),
+        Rng{1}};
+    const Era_report report = governance.run_era();
+    EXPECT_EQ(report.elected_candidate, 1);
+    EXPECT_EQ(report.rounds_played, 5);
+    EXPECT_EQ(report.fouls, 0);
+}
+
+TEST(Governance, PreferencesMayChangeAcrossEras)
+{
+    Governance governance{
+        {pd_spec(), coordination_spec()},
+        3,
+        Voting_rule::plurality,
+        [](Agent_id, int era) { return Ballot{0, {era % 2, 1 - era % 2}}; },
+        [](Agent_id, int) { return std::make_unique<Honest_behavior>(); },
+        disconnects(),
+        Rng{2}};
+    EXPECT_EQ(governance.run_era().elected_candidate, 0);
+    EXPECT_EQ(governance.run_era().elected_candidate, 1);
+    EXPECT_EQ(governance.run_era().elected_candidate, 0);
+    EXPECT_EQ(governance.eras_completed(), 3);
+}
+
+TEST(Governance, ExpelledCheaterStaysOutOfLaterEras)
+{
+    // Agent 1 cheats in era 0 (cooperates in PD — never a best response);
+    // it must be expelled and remain excluded in era 1.
+    Governance governance{
+        {pd_spec()},
+        4,
+        Voting_rule::plurality,
+        [](Agent_id, int) { return Ballot{0, {0}}; },
+        [](Agent_id agent, int era) -> std::unique_ptr<Agent_behavior> {
+            if (agent == 1 && era == 0) return std::make_unique<Fixed_action_behavior>(0);
+            return std::make_unique<Honest_behavior>();
+        },
+        disconnects(),
+        Rng{3}};
+
+    const Era_report era0 = governance.run_era();
+    EXPECT_GE(era0.fouls, 1);
+    EXPECT_FALSE(governance.standings()[1].active);
+    EXPECT_EQ(governance.active_count(), 1);
+
+    const Era_report era1 = governance.run_era();
+    EXPECT_EQ(era1.fouls, 0); // the excluded agent cannot foul again
+    EXPECT_FALSE(governance.standings()[1].active);
+    EXPECT_EQ(governance.standings()[1].fouls, 1); // carried over, not re-counted
+}
+
+TEST(Governance, FinesAccumulateAcrossEras)
+{
+    Governance governance{
+        {pd_spec()},
+        2,
+        Voting_rule::plurality,
+        [](Agent_id, int) { return Ballot{0, {0}}; },
+        [](Agent_id agent, int) -> std::unique_ptr<Agent_behavior> {
+            if (agent == 1) return std::make_unique<Fixed_action_behavior>(0);
+            return std::make_unique<Honest_behavior>();
+        },
+        [] { return std::make_unique<Fine_scheme>(3.0, 1000.0); },
+        Rng{4}};
+    governance.run_era();
+    governance.run_era();
+    // 2 eras x 2 rounds x 3.0 fine.
+    EXPECT_DOUBLE_EQ(governance.standings()[1].fines, 12.0);
+    EXPECT_EQ(governance.standings()[1].fouls, 4);
+    EXPECT_TRUE(governance.standings()[1].active);
+}
+
+TEST(Governance, ValidatesConfiguration)
+{
+    EXPECT_THROW(Governance({}, 1, Voting_rule::plurality,
+                            [](Agent_id, int) { return Ballot{}; },
+                            [](Agent_id, int) { return std::make_unique<Honest_behavior>(); },
+                            disconnects(), Rng{5}),
+                 ga::common::Contract_error);
+    EXPECT_THROW(Governance({pd_spec()}, 0, Voting_rule::plurality,
+                            [](Agent_id, int) { return Ballot{}; },
+                            [](Agent_id, int) { return std::make_unique<Honest_behavior>(); },
+                            disconnects(), Rng{6}),
+                 ga::common::Contract_error);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+// Learning dynamics: fictitious play and regret matching discover the
+// equilibria the society elects (§3.1's input problem).
+#include <gtest/gtest.h>
+
+#include "game/canonical.h"
+#include "game/learning.h"
+#include "game/mixed.h"
+
+namespace {
+
+using namespace ga::game;
+using ga::common::Rng;
+
+TEST(FictitiousPlay, ConvergesToMixedEquilibriumOfMatchingPennies)
+{
+    const Matrix_game mp = matching_pennies();
+    const Learning_result result = fictitious_play(mp, 20000);
+    // Zero-sum 2x2: empirical frequencies converge to the unique NE (1/2, 1/2).
+    EXPECT_NEAR(result.empirical[0][0], 0.5, 0.02);
+    EXPECT_NEAR(result.empirical[1][0], 0.5, 0.02);
+}
+
+TEST(FictitiousPlay, SolvesPrisonersDilemmaToDefect)
+{
+    const Matrix_game pd = prisoners_dilemma();
+    const Learning_result result = fictitious_play(pd, 2000);
+    EXPECT_GT(result.empirical[0][1], 0.99); // defect
+    EXPECT_GT(result.empirical[1][1], 0.99);
+}
+
+TEST(FictitiousPlay, LocksIntoACoordinationEquilibrium)
+{
+    const Matrix_game g = coordination_game();
+    const Learning_result result = fictitious_play(g, 2000);
+    // Both agents end up concentrated on the same action.
+    const int mode0 = result.empirical[0][0] > 0.5 ? 0 : 1;
+    const int mode1 = result.empirical[1][0] > 0.5 ? 0 : 1;
+    EXPECT_EQ(mode0, mode1);
+    EXPECT_GT(result.empirical[0][static_cast<std::size_t>(mode0)], 0.9);
+}
+
+TEST(FictitiousPlay, DiscoveredMixtureIsElectable)
+{
+    // The §3.1 pipeline: learn, then verify the learned profile is a mixed
+    // NE before electing it.
+    const Matrix_game mp = matching_pennies();
+    const Learning_result result = fictitious_play(mp, 50000);
+    Mixed_profile rounded = result.empirical;
+    // Snap to the nearest simple mixture to absorb the O(1/sqrt(T)) wobble.
+    for (auto& strategy : rounded)
+        for (auto& p : strategy) p = p > 0.45 && p < 0.55 ? 0.5 : p;
+    EXPECT_TRUE(is_mixed_nash(mp, rounded, 0.05));
+}
+
+TEST(RegretMatching, MarginalsApproachMatchingPenniesEquilibrium)
+{
+    const Matrix_game mp = matching_pennies();
+    Rng rng{7};
+    const Learning_result result = regret_matching(mp, 30000, rng);
+    EXPECT_NEAR(result.empirical[0][0], 0.5, 0.05);
+    EXPECT_NEAR(result.empirical[1][0], 0.5, 0.05);
+}
+
+TEST(RegretMatching, SolvesDominanceSolvableGames)
+{
+    const Matrix_game pd = prisoners_dilemma();
+    Rng rng{8};
+    const Learning_result result = regret_matching(pd, 5000, rng);
+    EXPECT_GT(result.empirical[0][1], 0.9);
+    EXPECT_GT(result.empirical[1][1], 0.9);
+}
+
+TEST(Learning, ValidatesIterationCount)
+{
+    const Matrix_game mp = matching_pennies();
+    Rng rng{9};
+    EXPECT_THROW(fictitious_play(mp, 0), ga::common::Contract_error);
+    EXPECT_THROW(regret_matching(mp, 0, rng), ga::common::Contract_error);
+}
+
+} // namespace

@@ -1,0 +1,288 @@
+// Local game-authority tier: the full play pipeline — soundness (honest
+// agents are never punished), completeness (every cheater class is caught),
+// punishment semantics, the Fig. 1 manipulation economics, mixed-strategy
+// seed auditing, and self(ish)-stabilization with myopic agents.
+#include <gtest/gtest.h>
+
+#include "authority/local_authority.h"
+#include "game/canonical.h"
+#include "game/mixed.h"
+
+namespace {
+
+using namespace ga::authority;
+using ga::common::Rng;
+using ga::game::mp_manipulate;
+
+Game_spec fig1_spec(Audit_mode mode = Audit_mode::pure_best_response)
+{
+    Game_spec spec;
+    spec.name = "fig1";
+    spec.game =
+        std::make_shared<ga::game::Matrix_game>(ga::game::manipulated_matching_pennies());
+    // The elected play: both honest agents mix (1/2, 1/2); B's legitimate
+    // strategies are Heads/Tails only.
+    spec.equilibrium = {{0.5, 0.5}, {0.5, 0.5, 0.0}};
+    spec.audit_mode = mode;
+    return spec;
+}
+
+Game_spec pd_spec()
+{
+    Game_spec spec;
+    spec.name = "pd";
+    spec.game = std::make_shared<ga::game::Matrix_game>(ga::game::prisoners_dilemma());
+    spec.equilibrium = {{0.0, 1.0}, {0.0, 1.0}};
+    spec.audit_mode = Audit_mode::pure_best_response;
+    return spec;
+}
+
+std::vector<std::unique_ptr<Agent_behavior>> behaviors(std::unique_ptr<Agent_behavior> a,
+                                                       std::unique_ptr<Agent_behavior> b)
+{
+    std::vector<std::unique_ptr<Agent_behavior>> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+}
+
+// ---------------------------------------------------------------- soundness
+
+TEST(LocalAuthority, HonestAgentsAreNeverPunished)
+{
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Honest_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{1}};
+    for (int round = 0; round < 50; ++round) {
+        const Round_report report = authority.play_round();
+        EXPECT_EQ(report.foul_count(), 0) << "round " << round;
+    }
+    EXPECT_EQ(authority.executive().active_count(), 2);
+    EXPECT_EQ(authority.executive().standing(0).fouls, 0);
+}
+
+TEST(LocalAuthority, HonestMixedSeedPlayIsNeverPunished)
+{
+    Local_authority authority{fig1_spec(Audit_mode::mixed_seed),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Honest_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{2}};
+    for (int round = 0; round < 200; ++round) {
+        EXPECT_EQ(authority.play_round().foul_count(), 0);
+    }
+    // The batched §5.2 audit must also pass for faithful seed-followers.
+    EXPECT_TRUE(authority.credibility_audit().empty());
+}
+
+// ---------------------------------------------------------------- completeness
+
+TEST(LocalAuthority, ManipulatorIsDetectedUnderMixedAudit)
+{
+    // Fig. 1: B plays the hidden "Manipulate" strategy; the seed audit flags
+    // it on the very first play.
+    Local_authority authority{fig1_spec(Audit_mode::mixed_seed),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Fixed_action_behavior>(mp_manipulate)),
+                              std::make_unique<Disconnect_scheme>(), Rng{3}};
+    const Round_report report = authority.play_round();
+    ASSERT_EQ(report.verdicts.size(), 2u);
+    EXPECT_EQ(report.verdicts[0].offence, Offence::none);
+    EXPECT_EQ(report.verdicts[1].offence, Offence::seed_violation);
+    EXPECT_FALSE(authority.executive().standing(1).active);
+}
+
+TEST(LocalAuthority, FakeRevealIsDetectedAsCommitmentMismatch)
+{
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Fake_reveal_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{4}};
+    const Round_report report = authority.play_round();
+    EXPECT_EQ(report.verdicts[1].offence, Offence::commitment_mismatch);
+}
+
+TEST(LocalAuthority, IllegalActionIsDetected)
+{
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Illegal_action_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{5}};
+    const Round_report report = authority.play_round();
+    EXPECT_EQ(report.verdicts[1].offence, Offence::illegal_action);
+}
+
+TEST(LocalAuthority, NonBestResponseIsDetectedUnderPureAudit)
+{
+    // In PD the only best response is defect; a cooperator is foul.
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Fixed_action_behavior>(0)),
+                              std::make_unique<Disconnect_scheme>(), Rng{6}};
+    const Round_report report = authority.play_round();
+    EXPECT_EQ(report.verdicts[1].offence, Offence::not_best_response);
+}
+
+TEST(LocalAuthority, MaliciousBehaviorCaughtUnderMixedAudit)
+{
+    Local_authority authority{fig1_spec(Audit_mode::mixed_seed),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Malicious_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{7}};
+    int fouls = 0;
+    for (int round = 0; round < 5 && authority.executive().active_count() == 2; ++round) {
+        fouls += authority.play_round().foul_count();
+    }
+    EXPECT_GE(fouls, 1);
+    EXPECT_FALSE(authority.executive().standing(1).active);
+}
+
+// ---------------------------------------------------------- Fig. 1 economics
+
+TEST(LocalAuthority, WithoutDetectionManipulatorEarnsFour)
+{
+    // Sanity of the threat model: B manipulating against honest mixing earns
+    // +4 per play in expectation (cost -4), A pays 4.
+    Game_spec spec = fig1_spec(Audit_mode::mixed_seed);
+    const auto& game = *spec.game;
+    const ga::game::Mixed_profile sigma{{0.5, 0.5}, {0.0, 0.0, 1.0}};
+    EXPECT_NEAR(ga::game::expected_cost(game, 1, sigma), -4.0, 1e-12);
+    EXPECT_NEAR(ga::game::expected_cost(game, 0, sigma), +4.0, 1e-12);
+}
+
+TEST(LocalAuthority, AuthorityStopsTheManipulationStream)
+{
+    // With the authority, B is disconnected after the first play: A's
+    // cumulative cost stays bounded instead of growing by ~4 per play.
+    Local_authority authority{fig1_spec(Audit_mode::mixed_seed),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Fixed_action_behavior>(mp_manipulate)),
+                              std::make_unique<Disconnect_scheme>(), Rng{8}};
+    for (int round = 0; round < 100; ++round) authority.play_round();
+    EXPECT_LE(authority.executive().standing(0).cumulative_cost, 9.0); // one bad play max
+    EXPECT_EQ(authority.executive().standing(1).fouls, 1);
+}
+
+// ---------------------------------------------------------------- punishment
+
+TEST(LocalAuthority, FineSchemeKeepsCheaterPlayingUntilDepositGone)
+{
+    Local_authority authority{fig1_spec(Audit_mode::mixed_seed),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Fixed_action_behavior>(mp_manipulate)),
+                              std::make_unique<Fine_scheme>(5.0, 12.0), Rng{9}};
+    for (int round = 0; round < 10; ++round) authority.play_round();
+    // Fined every play: 5, 10, 15 > 12 -> disconnected on the third foul.
+    EXPECT_EQ(authority.executive().standing(1).fouls, 3);
+    EXPECT_FALSE(authority.executive().standing(1).active);
+    EXPECT_DOUBLE_EQ(authority.executive().treasury(), 15.0);
+}
+
+TEST(LocalAuthority, SuspendedGameAccruesNoCosts)
+{
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Fixed_action_behavior>(0)),
+                              std::make_unique<Disconnect_scheme>(), Rng{10}};
+    authority.play_round(); // cheater disconnected here
+    const double cost_after_one = authority.executive().standing(0).cumulative_cost;
+    const Round_report report = authority.play_rounds(20);
+    EXPECT_TRUE(report.suspended);
+    EXPECT_DOUBLE_EQ(authority.executive().standing(0).cumulative_cost, cost_after_one);
+}
+
+// ------------------------------------------------- self(ish)-stabilization
+
+TEST(LocalAuthority, MyopicAgentStabilizesAndSurvivesUnderFines)
+{
+    // §4: an agent with short-lived myopic logic deviates early, pays fines,
+    // then behaves honestly; with a deep enough deposit it is never excluded
+    // and the fouls stop.
+    Local_authority authority{
+        fig1_spec(Audit_mode::mixed_seed),
+        behaviors(std::make_unique<Honest_behavior>(),
+                  std::make_unique<Myopic_behavior>(0.5, 30)),
+        std::make_unique<Fine_scheme>(1.0, 1000.0), Rng{11}};
+
+    int early_fouls = 0;
+    for (int round = 0; round < 30; ++round) early_fouls += authority.play_round().foul_count();
+    int late_fouls = 0;
+    for (int round = 0; round < 100; ++round) late_fouls += authority.play_round().foul_count();
+
+    EXPECT_GT(early_fouls, 0);
+    EXPECT_EQ(late_fouls, 0);
+    EXPECT_TRUE(authority.executive().standing(1).active);
+}
+
+// -------------------------------------------- §3.2's myopic-rule sharp edge
+
+TEST(LocalAuthority, TitForTatCooperationIsOutlawedByTheMyopicFoulRule)
+{
+    // Tit-for-tat sustains cooperation in the repeated prisoner's dilemma and
+    // is socially optimal — but §3.2's foul rule audits against the *myopic*
+    // best response, so the first cooperative move is punished. The paper's
+    // framework expects the society to elect rules that already encode the
+    // cooperation it wants, rather than to tolerate off-equilibrium play.
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Tit_for_tat_behavior>(0)),
+                              std::make_unique<Fine_scheme>(1.0, 1e9), Rng{20}};
+    // Play 1: previous outcome is the elected (D, D); TFT copies D — lawful.
+    EXPECT_EQ(authority.play_round().foul_count(), 0);
+
+    // Force a history where agent 0's entry was C: craft via a fresh run
+    // whose elected profile starts at (C, C) so TFT's copy is C — a foul.
+    Game_spec coop_start = pd_spec();
+    coop_start.equilibrium = {{1.0, 0.0}, {1.0, 0.0}}; // first play prescribed C? No:
+    // prescription under pure audit is the best response (D); the *previous
+    // profile* starts at (C, C), so TFT copies C and is flagged.
+    Local_authority cooperative{coop_start,
+                                behaviors(std::make_unique<Honest_behavior>(),
+                                          std::make_unique<Tit_for_tat_behavior>(0)),
+                                std::make_unique<Fine_scheme>(1.0, 1e9), Rng{21}};
+    const Round_report first = cooperative.play_round();
+    EXPECT_EQ(first.verdicts[1].offence, Offence::not_best_response);
+    EXPECT_EQ(first.verdicts[0].offence, Offence::none); // honest D is lawful
+}
+
+// ---------------------------------------------------------- batched audit
+
+TEST(LocalAuthority, CredibilityAuditCatchesDistributionCheatOverTime)
+{
+    // An agent that always plays Heads matches no 50/50 mixture. Build the
+    // history through the authority, then run the §5.2 batched test.
+    // (Per-round seed audit would catch this immediately; the credibility
+    // audit demonstrates the batched alternative on the same evidence.)
+    std::vector<int> always_heads(500, 0);
+    EXPECT_FALSE(Judicial_service::credible_history(always_heads, {0.5, 0.5}));
+
+    std::vector<int> fair;
+    ga::common::Rng rng{12};
+    for (int i = 0; i < 500; ++i) fair.push_back(rng.chance(0.5) ? 1 : 0);
+    EXPECT_TRUE(Judicial_service::credible_history(fair, {0.5, 0.5}));
+}
+
+// ---------------------------------------------------------------- plumbing
+
+TEST(LocalAuthority, ConstructorValidatesArity)
+{
+    Game_spec spec = pd_spec();
+    std::vector<std::unique_ptr<Agent_behavior>> too_few;
+    too_few.push_back(std::make_unique<Honest_behavior>());
+    EXPECT_THROW(Local_authority(spec, std::move(too_few),
+                                 std::make_unique<Disconnect_scheme>(), Rng{1}),
+                 ga::common::Contract_error);
+}
+
+TEST(LocalAuthority, OutcomeHistoryGrowsPerPlay)
+{
+    Local_authority authority{pd_spec(),
+                              behaviors(std::make_unique<Honest_behavior>(),
+                                        std::make_unique<Honest_behavior>()),
+                              std::make_unique<Disconnect_scheme>(), Rng{13}};
+    authority.play_rounds(7);
+    EXPECT_EQ(authority.executive().outcomes().size(), 7u);
+    EXPECT_EQ(authority.rounds_played(), 7);
+}
+
+} // namespace

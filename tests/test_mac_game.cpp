@@ -1,0 +1,115 @@
+// Selfish MAC game ([5] in the paper's introduction): throughput/cost
+// semantics, the no-backoff tragedy, and the authority's ability to enforce
+// the elected backoff profile via seed auditing.
+#include <gtest/gtest.h>
+
+#include "authority/local_authority.h"
+#include "game/analysis.h"
+#include "game/mac_game.h"
+
+#include <algorithm>
+
+namespace {
+
+using namespace ga::game;
+using ga::common::Rng;
+
+TEST(MacGame, ThroughputMatchesClosedForm)
+{
+    const Mac_game g{2, {0.2, 0.8}, 0.0};
+    // Both aggressive: p(1-p) = 0.8*0.2.
+    EXPECT_NEAR(g.throughput(0, {1, 1}), 0.8 * 0.2, 1e-12);
+    // One polite, one aggressive.
+    EXPECT_NEAR(g.throughput(0, {0, 1}), 0.2 * 0.2, 1e-12);
+    EXPECT_NEAR(g.throughput(1, {0, 1}), 0.8 * 0.8, 1e-12);
+}
+
+TEST(MacGame, FreeEnergyMakesAggressionWeaklyDominant)
+{
+    const Mac_game g{3, {0.1, 0.5, 1.0}, 0.0};
+    // Whatever the others do, transmitting always (p=1) is never beaten when
+    // energy is free (weak dominance: it is always in the best-response set;
+    // ties occur exactly when some other station also never backs off).
+    for_each_profile(g, [&](const Pure_profile& profile) {
+        for (ga::common::Agent_id i = 0; i < 3; ++i) {
+            const auto responses = best_response_set(g, i, profile);
+            EXPECT_TRUE(std::find(responses.begin(), responses.end(), 2) != responses.end());
+        }
+    });
+}
+
+TEST(MacGame, NoBackoffCollapseIsAnEquilibrium)
+{
+    // The tragedy: "everyone always transmits" is a Nash equilibrium with
+    // zero channel throughput (every slot collides).
+    const Mac_game g{3, {0.1, 0.5, 1.0}, 0.0};
+    const Pure_profile collapse{2, 2, 2};
+    EXPECT_TRUE(is_pure_nash(g, collapse));
+    EXPECT_NEAR(g.total_throughput(collapse), 0.0, 1e-12);
+}
+
+TEST(MacGame, ElectedSymmetricProfileBeatsCollapse)
+{
+    const Mac_game g{3, {0.1, 0.5, 1.0}, 0.0};
+    const Pure_profile elected = g.best_symmetric_profile();
+    EXPECT_GT(g.total_throughput(elected), 0.3); // 3p(1-p)^2 at p=0.5; collapse yields 0
+}
+
+TEST(MacGame, EnergyPriceKillsTheCollapseEquilibrium)
+{
+    // With a positive energy price the all-aggressive profile stops being a
+    // NE (a colliding station strictly prefers to save energy); asymmetric
+    // "capture" equilibria — one winner, others silent — remain.
+    const Mac_game g{3, {0.1, 0.5, 1.0}, 0.5};
+    EXPECT_FALSE(is_pure_nash(g, {2, 2, 2}));
+    EXPECT_TRUE(is_pure_nash(g, {2, 0, 0})); // capture: 0 transmits, rest back off
+    const auto equilibria = pure_nash_equilibria(g);
+    EXPECT_FALSE(equilibria.empty());
+}
+
+TEST(MacGame, GridValidation)
+{
+    EXPECT_THROW(Mac_game(2, {}, 0.0), ga::common::Contract_error);
+    EXPECT_THROW(Mac_game(2, {0.5, 0.3}, 0.0), ga::common::Contract_error); // not increasing
+    EXPECT_THROW(Mac_game(2, {0.5, 1.2}, 0.0), ga::common::Contract_error); // > 1
+    EXPECT_THROW(Mac_game(1, {0.5}, 0.0), ga::common::Contract_error);      // one station
+}
+
+// ------------------------------------------------- authority enforcement
+
+TEST(MacGame, AuthorityCatchesStationThatRefusesToBackOff)
+{
+    // The society elects the socially best symmetric transmission schedule,
+    // realized per slot by seed-sampled transmit/idle decisions. Station 2
+    // refuses to back off (always transmits) — the §5.3 audit flags it.
+    using namespace ga::authority;
+    auto game = std::make_shared<Mac_game>(3, std::vector<double>{0.1, 0.5, 1.0}, 0.0);
+    const Pure_profile elected = game->best_symmetric_profile();
+
+    Game_spec spec;
+    spec.name = "selfish-mac";
+    spec.game = game;
+    // Elected mixture: the symmetric profile's action with probability 1 —
+    // the *per-slot transmission randomness* lives inside the action's
+    // semantics; cheating here means picking a more aggressive grid index.
+    for (int i = 0; i < 3; ++i)
+        spec.equilibrium.push_back(
+            pure_as_mixed(elected[static_cast<std::size_t>(i)], game->n_actions(i)));
+    spec.audit_mode = Audit_mode::mixed_seed;
+
+    std::vector<std::unique_ptr<Agent_behavior>> stations;
+    stations.push_back(std::make_unique<Honest_behavior>());
+    stations.push_back(std::make_unique<Honest_behavior>());
+    stations.push_back(std::make_unique<Fixed_action_behavior>(2)); // p = 1.0 always
+
+    Local_authority authority{spec, std::move(stations), std::make_unique<Disconnect_scheme>(),
+                              Rng{11}};
+    const Round_report report = authority.play_round();
+    ASSERT_EQ(report.verdicts.size(), 3u);
+    EXPECT_EQ(report.verdicts[0].offence, Offence::none);
+    EXPECT_EQ(report.verdicts[1].offence, Offence::none);
+    EXPECT_EQ(report.verdicts[2].offence, Offence::seed_violation);
+    EXPECT_FALSE(authority.executive().standing(2).active);
+}
+
+} // namespace

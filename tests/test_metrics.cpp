@@ -1,0 +1,109 @@
+// Experiment-harness metrics: Theorem 1 convergence/closure measurement and
+// the Theorem 5 anarchy series.
+#include <gtest/gtest.h>
+
+#include "metrics/anarchy.h"
+#include "metrics/convergence.h"
+
+namespace {
+
+using namespace ga::metrics;
+using ga::common::Rng;
+
+TEST(Convergence, AllTrialsConvergeSmallSystem)
+{
+    Convergence_config config;
+    config.n = 4;
+    config.f = 1;
+    config.period = 4;
+    config.trials = 10;
+    Rng rng{1};
+    const Convergence_result result = measure_clock_convergence(config, rng);
+    EXPECT_EQ(result.converged_trials, result.total_trials);
+    EXPECT_GE(result.pulses.mean(), 1.0);
+}
+
+TEST(Convergence, ExpectedPulsesGrowWithHonestCount)
+{
+    // Lemma 2's bound is exponential in the honest count n-f: 5 honest
+    // processors (quorum 5) must take markedly longer than 3 honest
+    // (quorum 3) at the same clock size.
+    Convergence_config small;
+    small.n = 4;
+    small.f = 1;
+    small.period = 4;
+    small.trials = 12;
+
+    Convergence_config large = small;
+    large.n = 7;
+    large.f = 2;
+
+    Rng rng_a{2};
+    Rng rng_b{2};
+    const auto few_honest = measure_clock_convergence(small, rng_a);
+    const auto many_honest = measure_clock_convergence(large, rng_b);
+    ASSERT_EQ(few_honest.converged_trials, few_honest.total_trials);
+    ASSERT_EQ(many_honest.converged_trials, many_honest.total_trials);
+    EXPECT_GT(many_honest.pulses.mean(), few_honest.pulses.mean());
+}
+
+TEST(Closure, AllWindowsCorrectAfterConvergence)
+{
+    Closure_config config;
+    config.n = 4;
+    config.f = 1;
+    config.windows = 12;
+    Rng rng{3};
+    const Closure_result result = audit_ssba_closure(config, rng);
+    EXPECT_EQ(result.windows_audited, 12);
+    EXPECT_EQ(result.windows_correct, 12);
+}
+
+TEST(Closure, LargerSystem)
+{
+    Closure_config config;
+    config.n = 7;
+    config.f = 2;
+    config.windows = 6;
+    Rng rng{4};
+    const Closure_result result = audit_ssba_closure(config, rng);
+    EXPECT_EQ(result.windows_correct, result.windows_audited);
+}
+
+TEST(Anarchy, SeriesRespectsTheorem5Bound)
+{
+    Anarchy_config config;
+    config.agents = 8;
+    config.bins = 4;
+    config.rule = ga::game::Rra_rule::adversarial_pure;
+    config.trials = 4;
+    Rng rng{5};
+    const auto series = rra_anarchy_series(config, {1, 2, 4, 8, 16, 32, 64, 128}, rng);
+    for (const auto& point : series) {
+        EXPECT_LE(point.max_ratio, point.bound + 1e-9) << "k=" << point.k;
+        EXPECT_LE(point.max_spread, 2 * config.agents - 1) << "k=" << point.k;
+    }
+}
+
+TEST(Anarchy, RatioDecreasesTowardOne)
+{
+    Anarchy_config config;
+    config.agents = 16;
+    config.bins = 4;
+    config.rule = ga::game::Rra_rule::symmetric_mixed;
+    config.trials = 4;
+    Rng rng{6};
+    const auto series = rra_anarchy_series(config, {1, 64, 512}, rng);
+    EXPECT_GE(series[0].mean_ratio, series[2].mean_ratio);
+    EXPECT_LE(series[2].mean_ratio, 1.1);
+}
+
+TEST(Anarchy, ChecksInputValidation)
+{
+    Anarchy_config config;
+    Rng rng{7};
+    EXPECT_THROW(rra_anarchy_series(config, {}, rng), ga::common::Contract_error);
+    EXPECT_THROW(rra_anarchy_series(config, {4, 2}, rng), ga::common::Contract_error);
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+// Simulator tests: graph topology/connectivity, engine delivery semantics,
+// fault injection, disconnection.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/malicious.h"
+
+namespace {
+
+using namespace ga::sim;
+using ga::common::Bytes;
+using ga::common::Processor_id;
+using ga::common::Rng;
+
+// ---------------------------------------------------------------- Graph
+
+TEST(Graph, CompleteGraphHasAllEdges)
+{
+    const Graph g = complete_graph(5);
+    EXPECT_EQ(g.edge_count(), 10);
+    for (int a = 0; a < 5; ++a)
+        for (int b = 0; b < 5; ++b)
+            if (a != b) EXPECT_TRUE(g.has_edge(a, b));
+}
+
+TEST(Graph, AddEdgeIsIdempotentAndSymmetric)
+{
+    Graph g{3};
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    EXPECT_EQ(g.edge_count(), 1);
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_EQ(g.neighbors(0).size(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected)
+{
+    Graph g{2};
+    EXPECT_THROW(g.add_edge(1, 1), ga::common::Contract_error);
+}
+
+TEST(Graph, ConnectivityPredicates)
+{
+    Graph disconnected{4};
+    disconnected.add_edge(0, 1);
+    EXPECT_FALSE(disconnected.is_connected());
+    EXPECT_TRUE(ring_graph(5).is_connected());
+    EXPECT_TRUE(grid_graph(3, 4).is_connected());
+}
+
+TEST(Graph, VertexConnectivityOfStandardTopologies)
+{
+    EXPECT_EQ(complete_graph(6).vertex_connectivity(), 5); // K_n: n-1
+    EXPECT_EQ(ring_graph(6).vertex_connectivity(), 2);     // cycle: 2
+    EXPECT_EQ(grid_graph(3, 3).vertex_connectivity(), 2);  // grid: 2
+
+    Graph star{5}; // star: cutting the hub disconnects
+    for (int leaf = 1; leaf < 5; ++leaf) star.add_edge(0, leaf);
+    EXPECT_EQ(star.vertex_connectivity(), 1);
+
+    Graph split{4}; // disconnected graph: 0
+    split.add_edge(0, 1);
+    split.add_edge(2, 3);
+    EXPECT_EQ(split.vertex_connectivity(), 0);
+}
+
+TEST(Graph, PaperAssumptionCompleteGraphSupports2fPlus1Paths)
+{
+    // §4.1: 2f+1 vertex-disjoint paths between any two processors. K_n gives
+    // n-1 disjoint paths, so n > 3f satisfies the requirement with room.
+    const int n = 7;
+    const int f = 2;
+    EXPECT_GE(complete_graph(n).vertex_connectivity(), 2 * f + 1);
+}
+
+TEST(Graph, ComponentOfRespectsRemovedMask)
+{
+    const Graph g = grid_graph(1, 5); // path 0-1-2-3-4
+    std::vector<bool> removed(5, false);
+    removed[2] = true;
+    const auto left = g.component_of(0, removed);
+    EXPECT_EQ(left, (std::vector<Processor_id>{0, 1}));
+    const auto right = g.component_of(4, removed);
+    EXPECT_EQ(right, (std::vector<Processor_id>{3, 4}));
+    EXPECT_TRUE(g.component_of(2, removed).empty());
+}
+
+// ---------------------------------------------------------------- Engine
+
+/// Broadcasts its id every pulse and records everything it receives.
+class Echo_processor final : public Processor {
+public:
+    Echo_processor(Processor_id id) : Processor{id} {}
+
+    void on_pulse(Pulse_context& ctx) override
+    {
+        for (const Message& m : ctx.inbox()) received.push_back(m.from);
+        Bytes payload;
+        ga::common::put_u32(payload, static_cast<std::uint32_t>(id()));
+        ctx.broadcast(payload);
+    }
+
+    void corrupt(Rng&) override { received.clear(); }
+
+    std::vector<Processor_id> received;
+};
+
+/// Sends a single message to a fixed target each pulse.
+class Directed_sender final : public Processor {
+public:
+    Directed_sender(Processor_id id, Processor_id target) : Processor{id}, target_{target} {}
+    void on_pulse(Pulse_context& ctx) override { ctx.send(target_, Bytes{0x42}); }
+    void corrupt(Rng&) override {}
+
+private:
+    Processor_id target_;
+};
+
+TEST(Engine, MessagesArriveExactlyOnePulseLater)
+{
+    Engine engine{complete_graph(3)};
+    for (Processor_id id = 0; id < 3; ++id)
+        engine.install(std::make_unique<Echo_processor>(id));
+
+    engine.run_pulse(); // everyone broadcasts; nothing received yet
+    EXPECT_TRUE(engine.processor_as<Echo_processor>(0).received.empty());
+
+    engine.run_pulse(); // now pulse-0 broadcasts arrive
+    EXPECT_EQ(engine.processor_as<Echo_processor>(0).received.size(), 2u);
+}
+
+TEST(Engine, DeliveryRespectsGraphTopology)
+{
+    // Path 0-1-2: 0's broadcast must not reach 2 directly.
+    Engine engine{grid_graph(1, 3)};
+    for (Processor_id id = 0; id < 3; ++id)
+        engine.install(std::make_unique<Echo_processor>(id));
+    engine.run(2);
+    const auto& received = engine.processor_as<Echo_processor>(2).received;
+    for (const Processor_id from : received) EXPECT_NE(from, 0);
+}
+
+TEST(Engine, HonestSendToNonNeighborThrows)
+{
+    Engine engine{grid_graph(1, 3)};
+    engine.install(std::make_unique<Directed_sender>(0, 2)); // 2 is not a neighbor of 0
+    engine.install(std::make_unique<Echo_processor>(1));
+    engine.install(std::make_unique<Echo_processor>(2));
+    EXPECT_THROW(engine.run_pulse(), ga::common::Contract_error);
+}
+
+TEST(Engine, ByzantineSendToNonNeighborIsDropped)
+{
+    Engine engine{grid_graph(1, 3)};
+    engine.install(std::make_unique<Directed_sender>(0, 2), /*byzantine=*/true);
+    engine.install(std::make_unique<Echo_processor>(1));
+    engine.install(std::make_unique<Echo_processor>(2));
+    engine.run(3);
+    EXPECT_TRUE(engine.processor_as<Echo_processor>(2).received.empty() ||
+                [&] {
+                    for (const auto from : engine.processor_as<Echo_processor>(2).received)
+                        if (from == 0) return false;
+                    return true;
+                }());
+}
+
+TEST(Engine, DisconnectSilencesProcessorBothWays)
+{
+    Engine engine{complete_graph(3)};
+    for (Processor_id id = 0; id < 3; ++id)
+        engine.install(std::make_unique<Echo_processor>(id));
+    engine.disconnect(2);
+    engine.run(3);
+    for (const Processor_id from : engine.processor_as<Echo_processor>(0).received)
+        EXPECT_NE(from, 2);
+    EXPECT_TRUE(engine.processor_as<Echo_processor>(2).received.empty());
+    EXPECT_TRUE(engine.is_disconnected(2));
+}
+
+TEST(Engine, TrafficStatsCountMessages)
+{
+    Engine engine{complete_graph(4)};
+    for (Processor_id id = 0; id < 4; ++id)
+        engine.install(std::make_unique<Echo_processor>(id));
+    engine.run(2);
+    EXPECT_EQ(engine.stats().pulses, 2);
+    EXPECT_EQ(engine.stats().messages, 2 * 4 * 3); // full mesh broadcast per pulse
+    EXPECT_EQ(engine.stats().payload_bytes, 2 * 4 * 3 * 4);
+}
+
+TEST(Engine, ByzantineAccounting)
+{
+    Engine engine{complete_graph(4)};
+    engine.install(std::make_unique<Echo_processor>(0));
+    engine.install(std::make_unique<Silent_processor>(1), /*byzantine=*/true);
+    engine.install(std::make_unique<Echo_processor>(2));
+    engine.install(std::make_unique<Random_babbler>(3, Rng{3}), /*byzantine=*/true);
+    EXPECT_EQ(engine.byzantine_count(), 2);
+    EXPECT_FALSE(engine.is_byzantine(0));
+    EXPECT_TRUE(engine.is_byzantine(1));
+}
+
+TEST(Engine, TransientFaultInvokesCorrupt)
+{
+    Engine engine{complete_graph(2)};
+    engine.install(std::make_unique<Echo_processor>(0));
+    engine.install(std::make_unique<Echo_processor>(1));
+    engine.run(3);
+    EXPECT_FALSE(engine.processor_as<Echo_processor>(0).received.empty());
+    engine.inject_transient_fault(); // Echo_processor::corrupt clears the log
+    EXPECT_TRUE(engine.processor_as<Echo_processor>(0).received.empty());
+}
+
+TEST(Engine, InstallRejectsWrongSlotId)
+{
+    Engine engine{complete_graph(2)};
+    EXPECT_THROW(engine.install(std::make_unique<Echo_processor>(1)),
+                 ga::common::Contract_error);
+}
+
+TEST(Engine, RunPulseRequiresFullInstallation)
+{
+    Engine engine{complete_graph(2)};
+    engine.install(std::make_unique<Echo_processor>(0));
+    EXPECT_THROW(engine.run_pulse(), ga::common::Contract_error);
+}
+
+// ---------------------------------------------------------------- Malicious
+
+TEST(Malicious, CrashProcessorStopsAtCrashPulse)
+{
+    Engine engine{complete_graph(2)};
+    engine.install(std::make_unique<Crash_processor>(std::make_unique<Echo_processor>(0), 2),
+                   /*byzantine=*/true);
+    engine.install(std::make_unique<Echo_processor>(1));
+    engine.run(5);
+    // 0 broadcast at pulses 0 and 1 only -> 1 received exactly 2 messages from 0.
+    int from_zero = 0;
+    for (const Processor_id from : engine.processor_as<Echo_processor>(1).received)
+        if (from == 0) ++from_zero;
+    EXPECT_EQ(from_zero, 2);
+}
+
+TEST(Malicious, RandomBabblerEmitsToEveryone)
+{
+    Engine engine{complete_graph(3)};
+    engine.install(std::make_unique<Random_babbler>(0, Rng{1}), /*byzantine=*/true);
+    engine.install(std::make_unique<Echo_processor>(1));
+    engine.install(std::make_unique<Echo_processor>(2));
+    engine.run(4);
+    int from_babbler = 0;
+    for (const Processor_id from : engine.processor_as<Echo_processor>(1).received)
+        if (from == 0) ++from_babbler;
+    EXPECT_EQ(from_babbler, 3); // one per pulse after the first
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+// Virus-inoculation game ([21], the PoM workload): component analysis, cost
+// function, best-response equilibria, and the PoM machinery.
+#include <gtest/gtest.h>
+
+#include "game/analysis.h"
+#include "game/virus_inoculation.h"
+#include "metrics/pom.h"
+
+namespace {
+
+using namespace ga::game;
+using ga::common::Rng;
+
+TEST(Virus, ComponentSizeCountsInsecureReachability)
+{
+    const ga::sim::Graph path = ga::sim::grid_graph(1, 5); // 0-1-2-3-4
+    const Virus_inoculation_game game{&path, 1.0, 4.0};
+    Pure_profile profile(5, vi_insecure);
+    profile[2] = vi_inoculate;
+    EXPECT_EQ(game.insecure_component_size(0, profile), 2);
+    EXPECT_EQ(game.insecure_component_size(4, profile), 2);
+    EXPECT_EQ(game.insecure_component_size(2, profile), 0);
+}
+
+TEST(Virus, CostFunctionMatchesDefinition)
+{
+    const ga::sim::Graph path = ga::sim::grid_graph(1, 4);
+    const Virus_inoculation_game game{&path, 1.0, 4.0};
+    Pure_profile profile(4, vi_insecure);
+    // All insecure: component of size 4, cost L*k/n = 4*4/4 = 4 each.
+    EXPECT_DOUBLE_EQ(game.cost(0, profile), 4.0);
+    profile[1] = vi_inoculate;
+    EXPECT_DOUBLE_EQ(game.cost(1, profile), 1.0);       // pays C
+    EXPECT_DOUBLE_EQ(game.cost(0, profile), 4.0 / 4.0); // isolated: k=1
+}
+
+TEST(Virus, RequiresNonTrivialParameters)
+{
+    const ga::sim::Graph g = ga::sim::grid_graph(2, 2);
+    EXPECT_THROW(Virus_inoculation_game(&g, 4.0, 1.0), ga::common::Contract_error); // C >= L
+    EXPECT_THROW(Virus_inoculation_game(&g, 0.0, 1.0), ga::common::Contract_error);
+}
+
+TEST(Virus, BestResponseDynamicsReachPureNash)
+{
+    const ga::sim::Graph grid = ga::sim::grid_graph(4, 4);
+    const Virus_inoculation_game game{&grid, 1.0, 4.0};
+    const Pure_profile eq = game.best_response_equilibrium();
+    EXPECT_TRUE(is_pure_nash(game, eq));
+}
+
+TEST(Virus, EquilibriumOnTinyGraphMatchesExhaustiveSearch)
+{
+    const ga::sim::Graph grid = ga::sim::grid_graph(2, 2);
+    const Virus_inoculation_game game{&grid, 1.0, 4.0};
+    const Pure_profile eq = game.best_response_equilibrium();
+    const auto all = pure_nash_equilibria(game);
+    ASSERT_FALSE(all.empty());
+    bool found = false;
+    for (const auto& pne : all) found |= pne == eq;
+    EXPECT_TRUE(found);
+}
+
+TEST(Virus, DenserLossMeansMoreInoculation)
+{
+    const ga::sim::Graph grid = ga::sim::grid_graph(4, 4);
+    const Virus_inoculation_game cheap{&grid, 1.0, 2.0};
+    const Virus_inoculation_game dear{&grid, 1.0, 12.0};
+    const auto count = [](const Pure_profile& p) {
+        int c = 0;
+        for (const int a : p) c += a == vi_inoculate ? 1 : 0;
+        return c;
+    };
+    EXPECT_LE(count(cheap.best_response_equilibrium()),
+              count(dear.best_response_equilibrium()));
+}
+
+// ---------------------------------------------------------------- PoM
+
+TEST(Pom, ZeroByzantineIsUnity)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 4;
+    config.cols = 4;
+    Rng rng{1};
+    const auto point = ga::metrics::measure_pom(config, 0, /*with_authority=*/false, rng);
+    EXPECT_DOUBLE_EQ(point.pom, 1.0);
+}
+
+TEST(Pom, LiarsRaiseHonestCostWithoutAuthority)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 6;
+    config.cols = 6;
+    config.trials = 6;
+    Rng rng{2};
+    const auto p0 = ga::metrics::measure_pom(config, 0, false, rng);
+    const auto p4 = ga::metrics::measure_pom(config, 4, false, rng);
+    EXPECT_GT(p4.pom, p0.pom);
+}
+
+TEST(Pom, AuthorityKeepsPomNearUnity)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 6;
+    config.cols = 6;
+    config.trials = 6;
+    Rng rng{3};
+    for (const int b : {2, 4, 6}) {
+        Rng with_rng = rng.split(static_cast<std::uint64_t>(b));
+        Rng without_rng = rng.split(static_cast<std::uint64_t>(b) + 100);
+        const auto with = ga::metrics::measure_pom(config, b, true, with_rng);
+        const auto without = ga::metrics::measure_pom(config, b, false, without_rng);
+        EXPECT_LE(with.pom, without.pom + 1e-9) << "b=" << b;
+        EXPECT_LE(with.pom, 1.1) << "b=" << b; // authority: cheaters removed
+    }
+}
+
+TEST(Pom, WorstCaseDominatesRandomPlacement)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 5;
+    config.cols = 5;
+    config.trials = 6;
+    Rng rng{7};
+    for (const int b : {2, 4}) {
+        const auto random_avg = ga::metrics::measure_pom(config, b, false, rng);
+        const auto worst = ga::metrics::measure_pom_worst_case(config, b, false);
+        EXPECT_GE(worst.pom, random_avg.pom - 1e-9) << "b=" << b;
+    }
+}
+
+TEST(Pom, WorstCaseWithAuthorityStaysNearUnity)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 5;
+    config.cols = 5;
+    for (const int b : {2, 4}) {
+        const auto worst = ga::metrics::measure_pom_worst_case(config, b, true);
+        EXPECT_LE(worst.pom, 1.1) << "b=" << b;
+    }
+}
+
+TEST(Pom, WorstCaseIsMonotoneInByzantineCount)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 5;
+    config.cols = 5;
+    double previous = 0.0;
+    for (const int b : {0, 1, 2, 3}) {
+        const auto worst = ga::metrics::measure_pom_worst_case(config, b, false);
+        EXPECT_GE(worst.pom, previous - 1e-9) << "b=" << b;
+        previous = worst.pom;
+    }
+}
+
+TEST(Pom, CurveIsWellFormed)
+{
+    ga::metrics::Pom_config config;
+    config.rows = 4;
+    config.cols = 4;
+    config.trials = 3;
+    Rng rng{4};
+    const auto curve = ga::metrics::pom_curve(config, 3, false, rng);
+    ASSERT_EQ(curve.size(), 4u);
+    for (int b = 0; b <= 3; ++b) {
+        EXPECT_EQ(curve[static_cast<std::size_t>(b)].byzantine, b);
+        EXPECT_GT(curve[static_cast<std::size_t>(b)].selfish_cost, 0.0);
+    }
+}
+
+} // namespace
