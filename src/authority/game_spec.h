@@ -2,6 +2,13 @@
 // services enforce (§3.1: "the service defines the cost functions"; we assume
 // fixed preferences and a game elected before the system starts, with
 // re-election available through Legislative_service).
+//
+// A Game_spec is the single artifact the three authority services share: the
+// legislative service produces it (election over candidates), the judicial
+// service audits plays against it (its equilibrium profile and audit mode
+// decide what counts as a foul), and the executive service publishes outcomes
+// and costs drawn from its cost functions. Both authority tiers
+// (local_authority.h, authority_processor.h) are constructed from one.
 #ifndef GA_AUTHORITY_GAME_SPEC_H
 #define GA_AUTHORITY_GAME_SPEC_H
 

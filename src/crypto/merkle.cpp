@@ -9,6 +9,7 @@ namespace {
 Digest node_digest(const Digest& left, const Digest& right)
 {
     common::Bytes preimage;
+    preimage.reserve(1 + left.size() + right.size());
     preimage.push_back(0x01);
     preimage.insert(preimage.end(), left.begin(), left.end());
     preimage.insert(preimage.end(), right.begin(), right.end());
@@ -20,6 +21,7 @@ Digest node_digest(const Digest& left, const Digest& right)
 Digest Merkle_tree::leaf_digest(const common::Bytes& payload)
 {
     common::Bytes preimage;
+    preimage.reserve(1 + payload.size());
     preimage.push_back(0x00);
     preimage.insert(preimage.end(), payload.begin(), payload.end());
     return sha256(preimage);

@@ -125,7 +125,7 @@ TEST(Eig, DecisionBeforeCompletionThrows)
 {
     Eig_session session{4, 1, 0, val("x")};
     EXPECT_THROW(session.decision(), ga::common::Contract_error);
-    EXPECT_THROW(session.agreed_vector(), ga::common::Contract_error);
+    EXPECT_THROW(static_cast<void>(session.agreed_vector()), ga::common::Contract_error);
 }
 
 TEST(Eig, PairsInRoundGrowth)

@@ -50,7 +50,7 @@ TEST(RraSymmetric, StrategyIsADistributionOnLeastLoadedBins)
     const auto& loads = process.loads();
     for (std::size_t a = 0; a < loads.size(); ++a)
         for (std::size_t b = 0; b < loads.size(); ++b)
-            if (loads[a] < loads[b]) EXPECT_GE(x[a], x[b] - 1e-9);
+            if (loads[a] < loads[b]) { EXPECT_GE(x[a], x[b] - 1e-9); }
 }
 
 TEST(RraSymmetric, WaterFillingIsMixedNashOfStageGame)
@@ -206,7 +206,7 @@ TEST(RraConfig, RejectsDegenerateShapes)
     EXPECT_THROW(Rra_process(0, 2, Rra_rule::greedy_pure, Rng{1}), ga::common::Contract_error);
     EXPECT_THROW(Rra_process(2, 1, Rra_rule::greedy_pure, Rng{1}), ga::common::Contract_error);
     Rra_process ok{1, 2, Rra_rule::symmetric_mixed, Rng{1}};
-    EXPECT_THROW(ok.anarchy_ratio(), ga::common::Contract_error); // before any round
+    EXPECT_THROW(static_cast<void>(ok.anarchy_ratio()), ga::common::Contract_error); // before any round
 }
 
 } // namespace

@@ -20,7 +20,7 @@ TEST(Graph, CompleteGraphHasAllEdges)
     EXPECT_EQ(g.edge_count(), 10);
     for (int a = 0; a < 5; ++a)
         for (int b = 0; b < 5; ++b)
-            if (a != b) EXPECT_TRUE(g.has_edge(a, b));
+            if (a != b) { EXPECT_TRUE(g.has_edge(a, b)); }
 }
 
 TEST(Graph, AddEdgeIsIdempotentAndSymmetric)
