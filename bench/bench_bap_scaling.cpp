@@ -139,6 +139,42 @@ void BM_phase_king_activation(benchmark::State& state)
 }
 BENCHMARK(BM_phase_king_activation)->Arg(5)->Arg(9)->Arg(13)->Arg(17);
 
+/// End-to-end E7: one fully supervised steady-state play (all four IC
+/// activations plus commit/reveal/audit), parametrized over the IC substrate
+/// so the "cheaper IC" trade-off is measured through the whole authority
+/// tier, not just on standalone agreement sessions.
+void BM_authority_play(benchmark::State& state)
+{
+    const bool use_parallel_ic = state.range(0) == 1;
+    const int n = static_cast<int>(state.range(1));
+    const int f = static_cast<int>(state.range(2));
+    std::int64_t plays_done = 0;
+    for (auto _ : state) {
+        authority::Game_spec spec;
+        spec.name = "dominant";
+        spec.game = std::make_shared<Dominant_game>(n);
+        spec.equilibrium.assign(static_cast<std::size_t>(n), {0.0, 1.0});
+        std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors;
+        for (int i = 0; i < n; ++i)
+            behaviors.push_back(std::make_unique<authority::Honest_behavior>());
+        authority::Distributed_authority da{
+            spec, f, std::move(behaviors), {},
+            [] { return std::make_unique<authority::Disconnect_scheme>(); }, common::Rng{7},
+            {},   use_parallel_ic ? authority::ic_parallel_phase_king() : authority::ic_eig()};
+        da.run_pulses(1 + da.pulses_per_play());
+        plays_done += static_cast<std::int64_t>(da.agreed_plays().size());
+        benchmark::DoNotOptimize(da.traffic());
+    }
+    state.counters["plays"] = static_cast<double>(plays_done);
+    state.SetLabel(use_parallel_ic ? "parallel-ic" : "eig");
+}
+BENCHMARK(BM_authority_play)
+    ->ArgNames({"ic", "n", "f"})
+    ->Args({0, 5, 1})   // eig
+    ->Args({1, 5, 1})   // parallel-ic, same system size
+    ->Args({0, 9, 2})
+    ->Args({1, 9, 2});
+
 } // namespace
 
 int main(int argc, char** argv)

@@ -11,6 +11,7 @@ Distributed_authority::Distributed_authority(
     : n_{spec.game ? spec.game->n_agents() : 0},
       f_{f},
       ic_rounds_{Authority_processor::ic_rounds_of(ic_factory, std::max(n_, 3 * f + 1), f)},
+      spec_{spec},
       byzantine_{byzantine},
       engine_{sim::complete_graph(spec.game ? spec.game->n_agents() : 0), rng.split(99)}
 {
@@ -51,10 +52,42 @@ bool Distributed_authority::is_honest_slot(common::Processor_id id) const
     return byzantine_.count(id) == 0;
 }
 
-const Authority_processor& Distributed_authority::processor(common::Processor_id id)
+const Authority_processor& Distributed_authority::processor(common::Processor_id id) const
 {
     common::ensure(is_honest_slot(id), "processor: Byzantine slot has no authority replica");
     return engine_.processor_as<Authority_processor>(id);
+}
+
+const Authority_processor& Distributed_authority::reference_replica() const
+{
+    for (common::Processor_id id = 0; id < n_; ++id) {
+        if (is_honest_slot(id)) return processor(id);
+    }
+    throw common::Contract_error{"Distributed_authority: no honest replica to harvest"};
+}
+
+const std::vector<Play_record>& Distributed_authority::agreed_plays() const
+{
+    return reference_replica().plays();
+}
+
+const std::vector<Standing>& Distributed_authority::agreed_standings() const
+{
+    return reference_replica().executive().standings();
+}
+
+std::vector<common::Agent_id> Distributed_authority::disconnected_agents() const
+{
+    std::vector<common::Agent_id> out;
+    for (common::Agent_id id = 0; id < n_; ++id) {
+        if (engine_.is_disconnected(id)) out.push_back(id);
+    }
+    return out;
+}
+
+bool Distributed_authority::is_agent_disconnected(common::Agent_id id) const
+{
+    return engine_.is_disconnected(id);
 }
 
 std::vector<common::Processor_id> Distributed_authority::honest_slots() const

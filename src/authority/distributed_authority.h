@@ -43,17 +43,40 @@ public:
     void inject_transient_fault();
 
     [[nodiscard]] sim::Engine& engine() { return engine_; }
+    [[nodiscard]] int n_agents() const { return n_; }
     [[nodiscard]] int pulses_per_play() const;
     [[nodiscard]] bool is_honest_slot(common::Processor_id id) const;
-    [[nodiscard]] const Authority_processor& processor(common::Processor_id id);
+    [[nodiscard]] const Authority_processor& processor(common::Processor_id id) const;
     [[nodiscard]] std::vector<common::Processor_id> honest_slots() const;
+    [[nodiscard]] const Game_spec& spec() const { return spec_; }
+
+    // ---- Per-play result harvesting (the routing front-end of the sharded
+    // fabric reads these instead of reaching into engine internals). All
+    // replicated state is read off the first honest replica; agreement keeps
+    // it identical to every other honest replica's copy.
+
+    /// The agreed play history: outcomes and foul sets in completion order.
+    [[nodiscard]] const std::vector<Play_record>& agreed_plays() const;
+
+    /// The agreed executive ledger (one Standing per agent).
+    [[nodiscard]] const std::vector<Standing>& agreed_standings() const;
+
+    /// Agents physically cut off the network so far.
+    [[nodiscard]] std::vector<common::Agent_id> disconnected_agents() const;
+
+    [[nodiscard]] bool is_agent_disconnected(common::Agent_id id) const;
+
+    /// Wire accounting of the whole group (benchmark aggregation).
+    [[nodiscard]] const sim::Traffic_stats& traffic() const { return engine_.stats(); }
 
 private:
     void enact_disconnections();
+    [[nodiscard]] const Authority_processor& reference_replica() const;
 
     int n_;
     int f_;
     int ic_rounds_;
+    Game_spec spec_;
     std::set<common::Processor_id> byzantine_;
     sim::Engine engine_;
 };

@@ -77,6 +77,16 @@ std::size_t Rng::weighted(const std::vector<double>& weights)
     return weights.size() - 1; // numerical slack: land on the last positive weight
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream)
+{
+    // Two SplitMix64 steps over the mixed pair: one finalizer already
+    // decorrelates adjacent streams; the second guards against the base seed
+    // and stream index cancelling in the pre-mix.
+    Split_mix64 mixer{base_seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL)};
+    mixer.next();
+    return mixer.next();
+}
+
 Rng Rng::split(std::uint64_t stream)
 {
     // Derive a child seed from fresh output mixed with the stream index so

@@ -86,6 +86,12 @@ private:
     std::array<std::uint64_t, 4> state_{};
 };
 
+/// Pure function deriving a decorrelated child seed from a base seed and a
+/// stream index: seed_of(shard s) = derive_seed(fabric_seed, s). Unlike
+/// Rng::split it consumes no generator state, so a whole fabric of engines is
+/// reproducible from one 64-bit seed regardless of construction order.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream);
+
 } // namespace ga::common
 
 #endif // GA_COMMON_RNG_H

@@ -1,0 +1,50 @@
+#include "metrics/shard_aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/ensure.h"
+
+namespace ga::metrics {
+
+Fabric_metrics aggregate_shards(std::vector<Shard_sample> samples)
+{
+    common::ensure(!samples.empty(), "aggregate_shards: at least one shard sample");
+    std::sort(samples.begin(), samples.end(),
+              [](const Shard_sample& a, const Shard_sample& b) { return a.shard < b.shard; });
+    for (std::size_t s = 0; s + 1 < samples.size(); ++s) {
+        common::ensure(samples[s].shard != samples[s + 1].shard,
+                       "aggregate_shards: duplicate shard index");
+    }
+
+    Fabric_metrics out;
+    out.shards = static_cast<int>(samples.size());
+    out.min_shard_plays = std::numeric_limits<std::int64_t>::max();
+    double optimal_total = 0.0;
+    double social_over_known_optima = 0.0;
+    bool any_optimum = false;
+    for (const Shard_sample& sample : samples) {
+        out.agents += sample.agents;
+        out.total_plays += sample.plays;
+        out.total_traffic.pulses += sample.traffic.pulses;
+        out.total_traffic.messages += sample.traffic.messages;
+        out.total_traffic.payload_bytes += sample.traffic.payload_bytes;
+        out.total_fouls += sample.fouls;
+        out.total_disconnected += sample.disconnected;
+        out.total_social_cost += sample.social_cost;
+        out.min_shard_plays = std::min(out.min_shard_plays, sample.plays);
+        out.max_shard_plays = std::max(out.max_shard_plays, sample.plays);
+        if (sample.optimal_cost.has_value()) {
+            any_optimum = true;
+            optimal_total += *sample.optimal_cost;
+            social_over_known_optima += sample.social_cost;
+        }
+    }
+    if (any_optimum && optimal_total > 0.0) {
+        out.price_of_anarchy = social_over_known_optima / optimal_total;
+    }
+    out.per_shard = std::move(samples);
+    return out;
+}
+
+} // namespace ga::metrics

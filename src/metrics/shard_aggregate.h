@@ -1,0 +1,62 @@
+// Cross-shard aggregation for the sharded authority fabric: folds per-shard
+// harvests (plays, wire traffic, fouls, social cost) into one fabric-level
+// report, including the fabric-wide price-of-anarchy ratio (total achieved
+// social cost over total centralistic optimum, the §2/§6 criterion applied
+// across every concurrently supervised group).
+//
+// This layer is deliberately authority-agnostic: it consumes plain numbers a
+// front-end (src/shard/) harvests, so the metrics DAG position (below the
+// authority tier) is preserved.
+#ifndef GA_METRICS_SHARD_AGGREGATE_H
+#define GA_METRICS_SHARD_AGGREGATE_H
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace ga::metrics {
+
+/// One shard's harvest over a measurement interval.
+struct Shard_sample {
+    int shard = -1;                 ///< shard index within the fabric
+    int agents = 0;                 ///< agents supervised by this shard
+    std::int64_t plays = 0;         ///< agreed plays completed
+    sim::Traffic_stats traffic;     ///< wire cost of the shard's engine
+    std::int64_t fouls = 0;         ///< punished offences across all agents
+    int disconnected = 0;           ///< agents expelled from the network
+    double social_cost = 0.0;       ///< sum over plays of the outcome's social cost
+    /// plays x the shard game's optimum social cost; nullopt when the game is
+    /// too large to enumerate (the ratio is then omitted from the report).
+    std::optional<double> optimal_cost;
+
+    friend bool operator==(const Shard_sample&, const Shard_sample&) = default;
+};
+
+/// Fabric-level totals; operator== makes bit-identical run comparison a
+/// single expression (the determinism contract of the fabric).
+struct Fabric_metrics {
+    int shards = 0;
+    int agents = 0;
+    std::int64_t total_plays = 0;
+    sim::Traffic_stats total_traffic;
+    std::int64_t total_fouls = 0;
+    int total_disconnected = 0;
+    double total_social_cost = 0.0;
+    /// Fabric price of anarchy: sum social / sum optimal over the shards that
+    /// report an optimum; nullopt when none does or the optimum is degenerate.
+    std::optional<double> price_of_anarchy;
+    std::int64_t min_shard_plays = 0;  ///< load-balance floor across shards
+    std::int64_t max_shard_plays = 0;  ///< load-balance ceiling across shards
+    std::vector<Shard_sample> per_shard;
+
+    friend bool operator==(const Fabric_metrics&, const Fabric_metrics&) = default;
+};
+
+/// Fold per-shard samples (any order; the result is sorted by shard index so
+/// aggregation is executor-schedule independent).
+Fabric_metrics aggregate_shards(std::vector<Shard_sample> samples);
+
+} // namespace ga::metrics
+
+#endif // GA_METRICS_SHARD_AGGREGATE_H

@@ -1,0 +1,81 @@
+// Routing front-end of the authority fabric.
+//
+// Everything addressed by *global* agent id goes through the router, which
+// owns the two directions of the sharding boundary:
+//
+//  - dispatch: a global play population (one Agent_behavior per agent) is
+//    partitioned into the per-shard behavior vectors each shard's
+//    Distributed_authority is built from;
+//  - collection: per-play results — agreed outcomes, punishments, standings,
+//    expulsions — are read back from the owning shard via the authority
+//    tier's harvesting hooks and re-expressed in global ids.
+//
+// The router never touches `Distributed_authority::engine()`; the harvesting
+// hooks are the entire surface it consumes.
+#ifndef GA_SHARD_AUTHORITY_ROUTER_H
+#define GA_SHARD_AUTHORITY_ROUTER_H
+
+#include <memory>
+
+#include "authority/distributed_authority.h"
+#include "shard/shard_map.h"
+
+namespace ga::shard {
+
+class Authority_router {
+public:
+    /// `shards[s]` is shard s's authority group; one entry per map shard.
+    /// Both the map and the shards must outlive the router.
+    Authority_router(const Shard_map& map,
+                     std::vector<const authority::Distributed_authority*> shards);
+
+    /// Where a global agent lives: its shard and its id inside it.
+    struct Route {
+        int shard = -1;
+        common::Agent_id local = -1;
+    };
+    [[nodiscard]] Route locate(common::Agent_id global) const;
+
+    /// Dispatch helper: split a global behavior vector (index = global agent
+    /// id; null entries allowed for Byzantine slots) into per-shard vectors
+    /// ordered by local id.
+    [[nodiscard]] static std::vector<std::vector<std::unique_ptr<authority::Agent_behavior>>>
+    partition_behaviors(const Shard_map& map,
+                        std::vector<std::unique_ptr<authority::Agent_behavior>> global);
+
+    /// One agent's view of one completed play on its shard.
+    struct Agent_play {
+        common::Pulse completed_at = 0; ///< shard-local pulse time
+        int action = -1;                ///< the agent's agreed action
+        bool punished = false;          ///< agent was in the play's foul set
+
+        friend bool operator==(const Agent_play&, const Agent_play&) = default;
+    };
+
+    /// The agent's full agreed play history, collected from its shard.
+    [[nodiscard]] std::vector<Agent_play> plays_of(common::Agent_id global) const;
+
+    /// The agent's executive ledger entry on its shard.
+    [[nodiscard]] const authority::Standing& standing(common::Agent_id global) const;
+
+    /// True once the agent's shard expelled it from the physical network.
+    [[nodiscard]] bool is_disconnected(common::Agent_id global) const;
+
+    /// Global ids punished at least once anywhere in the fabric (ascending).
+    [[nodiscard]] std::vector<common::Agent_id> punished_agents() const;
+
+    /// Agreed plays completed across every shard.
+    [[nodiscard]] std::int64_t total_plays() const;
+
+    [[nodiscard]] const Shard_map& map() const { return map_; }
+
+private:
+    [[nodiscard]] const authority::Distributed_authority& shard_at(int shard) const;
+
+    const Shard_map& map_;
+    std::vector<const authority::Distributed_authority*> shards_;
+};
+
+} // namespace ga::shard
+
+#endif // GA_SHARD_AUTHORITY_ROUTER_H

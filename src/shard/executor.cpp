@@ -1,0 +1,101 @@
+#include "shard/executor.h"
+
+#include "common/ensure.h"
+
+namespace ga::shard {
+
+Executor::Executor(int threads) : threads_{threads}
+{
+    common::ensure(threads >= 1, "Executor: at least one thread");
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    try {
+        for (int t = 1; t < threads; ++t) {
+            workers_.emplace_back([this] { worker_loop(); });
+        }
+    } catch (...) {
+        // A failed spawn (resource exhaustion) must not leave the already
+        // started workers joinable: ~Executor never runs on a throwing ctor.
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            stop_ = true;
+        }
+        batch_cv_.notify_all();
+        for (std::thread& worker : workers_) worker.join();
+        throw;
+    }
+}
+
+Executor::~Executor()
+{
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        stop_ = true;
+    }
+    batch_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+}
+
+void Executor::worker_loop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            batch_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+        }
+        drain();
+    }
+}
+
+void Executor::drain()
+{
+    for (;;) {
+        const std::function<void()>* job = nullptr;
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            if (jobs_ == nullptr || next_ >= jobs_->size()) return;
+            job = &(*jobs_)[next_++];
+        }
+        try {
+            (*job)();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            if (!error_) error_ = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            if (--unfinished_ == 0) {
+                jobs_ = nullptr; // batch over; late-waking workers see no work
+                done_cv_.notify_all();
+            }
+        }
+    }
+}
+
+void Executor::run_all(const std::vector<std::function<void()>>& jobs)
+{
+    if (jobs.empty()) return;
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        common::ensure(jobs_ == nullptr, "Executor::run_all: not reentrant");
+        jobs_ = &jobs;
+        next_ = 0;
+        unfinished_ = jobs.size();
+        error_ = nullptr;
+        ++generation_;
+    }
+    batch_cv_.notify_all();
+    drain();
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock{mutex_};
+        done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+}
+
+} // namespace ga::shard

@@ -1,0 +1,58 @@
+// Fixed-size thread pool stepping the fabric's shards.
+//
+// Each shard is a self-contained deterministic simulation (its own engine,
+// RNG, and replicas), so shard steps are embarrassingly parallel: workers
+// claim whole jobs, never share mutable state, and the fabric aggregates in
+// shard-index order afterwards. That is what makes an N-thread fabric run
+// bit-identical to the 1-thread run — the pool only changes *when* a shard's
+// pulses execute on the wall clock, never what they compute.
+#ifndef GA_SHARD_EXECUTOR_H
+#define GA_SHARD_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ga::shard {
+
+class Executor {
+public:
+    /// `threads >= 1`; the calling thread is one of them, so `threads == 1`
+    /// spawns no workers and runs every job inline in submission order.
+    explicit Executor(int threads);
+    ~Executor();
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    [[nodiscard]] int threads() const { return threads_; }
+
+    /// Run every job to completion before returning; the caller participates.
+    /// The first exception a job throws is rethrown here once all jobs have
+    /// finished. Not reentrant: jobs must not call run_all.
+    void run_all(const std::vector<std::function<void()>>& jobs);
+
+private:
+    void worker_loop();
+    void drain();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable batch_cv_; ///< wakes workers on a new batch
+    std::condition_variable done_cv_;  ///< wakes run_all when a batch drains
+    const std::vector<std::function<void()>>* jobs_ = nullptr;
+    std::size_t next_ = 0;       ///< next unclaimed job in the current batch
+    std::size_t unfinished_ = 0; ///< claimed-or-unclaimed jobs still running
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::exception_ptr error_;
+};
+
+} // namespace ga::shard
+
+#endif // GA_SHARD_EXECUTOR_H

@@ -1,0 +1,137 @@
+#include "shard/fabric.h"
+
+#include <algorithm>
+
+#include "game/analysis.h"
+
+namespace ga::shard {
+
+namespace {
+
+/// Social-optimum enumeration cutoff: beyond this many pure profiles the
+/// optimum is not computed and the shard reports no price-of-anarchy term.
+constexpr std::int64_t k_max_enumerable_profiles = std::int64_t{1} << 20;
+
+/// The shard game's optimum social cost when its profile space is small
+/// enough to enumerate, nullopt otherwise. Counts profiles with an early
+/// exit rather than via Strategic_game::profile_count, which throws (instead
+/// of saturating) once the space tops 2^40 — large shards must degrade to
+/// "no price-of-anarchy term", not refuse to construct.
+std::optional<double> enumerable_optimum_cost(const game::Strategic_game& game)
+{
+    std::int64_t count = 1;
+    for (common::Agent_id i = 0; i < game.n_agents(); ++i) {
+        count *= std::max(1, game.n_actions(i));
+        if (count > k_max_enumerable_profiles) return std::nullopt;
+    }
+    return game::social_optimum(game).cost;
+}
+
+} // namespace
+
+Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
+               Fabric_config config)
+    : map_{std::move(map)}, config_{std::move(config)}, executor_{config_.threads}
+{
+    common::ensure(config_.spec_factory != nullptr, "Fabric: null shard spec factory");
+    common::ensure(config_.punishment != nullptr, "Fabric: null punishment factory");
+    for (const common::Agent_id g : config_.byzantine) {
+        common::ensure(g >= 0 && g < map_.n_agents(), "Fabric: Byzantine id out of range");
+    }
+    if (!config_.ic_factory) config_.ic_factory = authority::ic_eig();
+
+    auto per_shard_behaviors = Authority_router::partition_behaviors(map_, std::move(behaviors));
+
+    shards_.reserve(static_cast<std::size_t>(map_.n_shards()));
+    optimum_costs_.reserve(static_cast<std::size_t>(map_.n_shards()));
+    for (int s = 0; s < map_.n_shards(); ++s) {
+        const std::vector<common::Agent_id>& members = map_.members(s);
+        authority::Game_spec spec = config_.spec_factory(s, members);
+        common::ensure(spec.game != nullptr, "Fabric: shard spec factory returned a null game");
+        common::ensure(spec.game->n_agents() == static_cast<int>(members.size()),
+                       "Fabric: shard game size must match the shard population");
+
+        std::set<common::Processor_id> local_byzantine;
+        for (const common::Agent_id g : config_.byzantine) {
+            if (map_.shard_of(g) == s) local_byzantine.insert(map_.local_of(g));
+        }
+
+        optimum_costs_.push_back(enumerable_optimum_cost(*spec.game));
+
+        shards_.push_back(std::make_unique<authority::Distributed_authority>(
+            std::move(spec), config_.f, std::move(per_shard_behaviors[static_cast<std::size_t>(s)]),
+            local_byzantine, config_.punishment,
+            common::Rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(s))},
+            config_.byzantine_factory, config_.ic_factory));
+    }
+
+    std::vector<const authority::Distributed_authority*> shard_views;
+    shard_views.reserve(shards_.size());
+    for (const auto& shard : shards_) shard_views.push_back(shard.get());
+    router_ = std::make_unique<Authority_router>(map_, std::move(shard_views));
+}
+
+const authority::Distributed_authority& Fabric::shard(int s) const
+{
+    common::ensure(s >= 0 && s < n_shards(), "Fabric::shard: index out of range");
+    return *shards_[static_cast<std::size_t>(s)];
+}
+
+void Fabric::run_pulses(common::Pulse count)
+{
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(shards_.size());
+    for (auto& shard : shards_) {
+        jobs.push_back([&shard, count] { shard->run_pulses(count); });
+    }
+    executor_.run_all(jobs);
+}
+
+void Fabric::run_plays(int plays)
+{
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(shards_.size());
+    for (auto& shard : shards_) {
+        jobs.push_back([&shard, plays] { shard->run_plays(plays); });
+    }
+    executor_.run_all(jobs);
+}
+
+void Fabric::inject_transient_fault()
+{
+    for (auto& shard : shards_) shard->inject_transient_fault();
+}
+
+metrics::Shard_sample Fabric::harvest(int s) const
+{
+    const authority::Distributed_authority& group = shard(s);
+    metrics::Shard_sample sample;
+    sample.shard = s;
+    sample.agents = group.n_agents();
+    sample.traffic = group.traffic();
+
+    const auto& plays = group.agreed_plays();
+    sample.plays = static_cast<std::int64_t>(plays.size());
+    for (const authority::Play_record& play : plays) {
+        sample.social_cost += game::social_cost(*group.spec().game, play.outcome);
+    }
+    if (optimum_costs_[static_cast<std::size_t>(s)].has_value()) {
+        sample.optimal_cost =
+            static_cast<double>(sample.plays) * *optimum_costs_[static_cast<std::size_t>(s)];
+    }
+    for (const authority::Standing& standing : group.agreed_standings()) {
+        sample.fouls += standing.fouls;
+    }
+    sample.disconnected = static_cast<int>(group.disconnected_agents().size());
+    return sample;
+}
+
+metrics::Fabric_metrics Fabric::report() const
+{
+    std::vector<metrics::Shard_sample> samples;
+    samples.reserve(shards_.size());
+    for (int s = 0; s < n_shards(); ++s) samples.push_back(harvest(s));
+    return metrics::aggregate_shards(std::move(samples));
+}
+
+} // namespace ga::shard

@@ -1,0 +1,90 @@
+// The authority fabric: many concurrent game-authority groups behind one
+// front-end.
+//
+// The paper's Distributed_authority supervises one game over one replica
+// group, so its throughput is pinned to one BA group's 4(f+2)-pulse play
+// cadence. The fabric lifts that bound the way the ROADMAP's "sharded
+// authority" item prescribes: a Shard_map partitions the global agent
+// population into shards, every shard runs its own Distributed_authority
+// (own sim::Engine, own replicas, own clock), and an Executor steps the
+// shards on a thread pool. Total plays/sec then scales with shard count and
+// hardware instead of one group's pulse cadence — and because BA cost grows
+// superlinearly in group size, S small groups are cheaper per play than one
+// big one even on a single core.
+//
+// Determinism contract: shard s draws every bit of randomness from
+// common::derive_seed(config.seed, s), and shards never share mutable state,
+// so a whole-fabric run is a pure function of (seed, map, config) — the same
+// verdicts, outcomes, and aggregated stats bit-for-bit on 1 thread or N.
+#ifndef GA_SHARD_FABRIC_H
+#define GA_SHARD_FABRIC_H
+
+#include <set>
+
+#include "metrics/shard_aggregate.h"
+#include "shard/authority_router.h"
+#include "shard/executor.h"
+
+namespace ga::shard {
+
+/// Builds the Game_spec one shard supervises: `members` are the global ids
+/// the shard owns (the spec's game must have members.size() agents, locally
+/// indexed 0..size-1). Per-game sharding returns a different game per shard;
+/// per-region sharding returns the same template sized to the region. The
+/// returned game object may be shared between shards only if its cost
+/// function is safe to call concurrently (const and stateless, the norm).
+using Shard_spec_factory =
+    std::function<authority::Game_spec(int shard, const std::vector<common::Agent_id>& members)>;
+
+struct Fabric_config {
+    int f = 1;                         ///< Byzantine resilience per shard
+    Shard_spec_factory spec_factory;   ///< required
+    authority::Punishment_factory punishment; ///< required
+    std::set<common::Agent_id> byzantine;     ///< *global* ids run attackers
+    authority::Byzantine_factory byzantine_factory = {};  ///< default babbler
+    authority::Ic_factory ic_factory = {};    ///< default EIG
+    std::uint64_t seed = 0;            ///< fabric seed; shard s uses derive_seed(seed, s)
+    int threads = 1;                   ///< executor width (result-invariant)
+};
+
+class Fabric {
+public:
+    /// `behaviors[g]` is global agent g's behavior (null allowed only for ids
+    /// in config.byzantine); the router dispatches them to the owning shards.
+    Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
+           Fabric_config config);
+
+    [[nodiscard]] int n_shards() const { return map_.n_shards(); }
+    [[nodiscard]] int n_agents() const { return map_.n_agents(); }
+    [[nodiscard]] const Shard_map& map() const { return map_; }
+    [[nodiscard]] const Authority_router& router() const { return *router_; }
+    [[nodiscard]] const authority::Distributed_authority& shard(int s) const;
+
+    /// Step every shard `count` pulses (concurrently across the pool).
+    void run_pulses(common::Pulse count);
+
+    /// Step every shard for `plays` complete steady-state plays (each shard
+    /// advances by its own pulses-per-play cadence).
+    void run_plays(int plays);
+
+    /// §4 transient fault in every shard at once.
+    void inject_transient_fault();
+
+    /// Harvest one shard's current totals (plays, traffic, fouls, costs).
+    [[nodiscard]] metrics::Shard_sample harvest(int s) const;
+
+    /// Fabric-level aggregation of every shard's harvest.
+    [[nodiscard]] metrics::Fabric_metrics report() const;
+
+private:
+    Shard_map map_;
+    Fabric_config config_;
+    std::vector<std::unique_ptr<authority::Distributed_authority>> shards_;
+    std::vector<std::optional<double>> optimum_costs_; ///< per-shard social optimum
+    std::unique_ptr<Authority_router> router_;
+    Executor executor_;
+};
+
+} // namespace ga::shard
+
+#endif // GA_SHARD_FABRIC_H

@@ -1,0 +1,136 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+
+namespace ga::shard {
+
+namespace {
+
+/// Monotone block split: near-equal contiguous ranges, every shard hit.
+int block_of(std::int64_t position, int n_agents, int n_shards)
+{
+    return static_cast<int>(position * n_shards / n_agents);
+}
+
+} // namespace
+
+Assignment_policy assign_contiguous()
+{
+    return [](int n_agents, int n_shards) {
+        std::vector<int> shard_of(static_cast<std::size_t>(n_agents));
+        for (int g = 0; g < n_agents; ++g) {
+            shard_of[static_cast<std::size_t>(g)] = block_of(g, n_agents, n_shards);
+        }
+        return shard_of;
+    };
+}
+
+Assignment_policy assign_round_robin()
+{
+    return [](int n_agents, int n_shards) {
+        std::vector<int> shard_of(static_cast<std::size_t>(n_agents));
+        for (int g = 0; g < n_agents; ++g) {
+            shard_of[static_cast<std::size_t>(g)] = g % n_shards;
+        }
+        return shard_of;
+    };
+}
+
+Assignment_policy assign_hashed(std::uint64_t salt)
+{
+    return [salt](int n_agents, int n_shards) {
+        // Hash-permute the ids, then block-split the permutation: balanced
+        // (sizes within one) and non-empty at every agent/shard ratio, unlike
+        // independent per-agent hashing which strands shards empty with high
+        // probability once n_shards is a noticeable fraction of n_agents.
+        std::vector<std::pair<std::uint64_t, int>> keyed;
+        keyed.reserve(static_cast<std::size_t>(n_agents));
+        for (int g = 0; g < n_agents; ++g) {
+            common::Split_mix64 mixer{salt ^ (static_cast<std::uint64_t>(g) + 1)};
+            keyed.emplace_back(mixer.next(), g);
+        }
+        std::sort(keyed.begin(), keyed.end());
+        std::vector<int> shard_of(static_cast<std::size_t>(n_agents));
+        for (int position = 0; position < n_agents; ++position) {
+            shard_of[static_cast<std::size_t>(keyed[static_cast<std::size_t>(position)].second)] =
+                block_of(position, n_agents, n_shards);
+        }
+        return shard_of;
+    };
+}
+
+Shard_map::Shard_map(int n_agents, int n_shards, const Assignment_policy& policy)
+{
+    common::ensure(n_agents > 0, "Shard_map: at least one agent");
+    common::ensure(n_shards > 0 && n_shards <= n_agents,
+                   "Shard_map: shard count must be in [1, n_agents]");
+    common::ensure(policy != nullptr, "Shard_map: null assignment policy");
+    const std::vector<int> shard_of = policy(n_agents, n_shards);
+    common::ensure(static_cast<int>(shard_of.size()) == n_agents,
+                   "Shard_map: policy must assign every agent");
+    build_from(shard_of, n_shards);
+}
+
+Shard_map::Shard_map(const std::vector<int>& shard_of_agent)
+{
+    common::ensure(!shard_of_agent.empty(), "Shard_map: at least one agent");
+    const int n_shards = 1 + *std::max_element(shard_of_agent.begin(), shard_of_agent.end());
+    build_from(shard_of_agent, n_shards);
+}
+
+void Shard_map::build_from(const std::vector<int>& shard_of_agent, int n_shards)
+{
+    shard_of_ = shard_of_agent;
+    local_of_.assign(shard_of_.size(), -1);
+    members_.assign(static_cast<std::size_t>(n_shards), {});
+    for (common::Agent_id g = 0; g < static_cast<int>(shard_of_.size()); ++g) {
+        const int s = shard_of_[static_cast<std::size_t>(g)];
+        common::ensure(s >= 0 && s < n_shards, "Shard_map: shard id out of range");
+        auto& group = members_[static_cast<std::size_t>(s)];
+        local_of_[static_cast<std::size_t>(g)] = static_cast<common::Agent_id>(group.size());
+        group.push_back(g);
+    }
+    for (const auto& group : members_) {
+        common::ensure(!group.empty(), "Shard_map: every shard needs at least one agent");
+    }
+}
+
+int Shard_map::shard_of(common::Agent_id global) const
+{
+    common::ensure(global >= 0 && global < n_agents(), "Shard_map::shard_of: id out of range");
+    return shard_of_[static_cast<std::size_t>(global)];
+}
+
+common::Agent_id Shard_map::local_of(common::Agent_id global) const
+{
+    common::ensure(global >= 0 && global < n_agents(), "Shard_map::local_of: id out of range");
+    return local_of_[static_cast<std::size_t>(global)];
+}
+
+common::Agent_id Shard_map::global_of(int shard, common::Agent_id local) const
+{
+    const auto& group = members(shard);
+    common::ensure(local >= 0 && local < static_cast<int>(group.size()),
+                   "Shard_map::global_of: local id out of range");
+    return group[static_cast<std::size_t>(local)];
+}
+
+const std::vector<common::Agent_id>& Shard_map::members(int shard) const
+{
+    common::ensure(shard >= 0 && shard < n_shards(), "Shard_map::members: shard out of range");
+    return members_[static_cast<std::size_t>(shard)];
+}
+
+std::vector<int> Shard_map::shard_sizes() const
+{
+    std::vector<int> sizes;
+    sizes.reserve(members_.size());
+    for (const auto& group : members_) sizes.push_back(static_cast<int>(group.size()));
+    return sizes;
+}
+
+} // namespace ga::shard

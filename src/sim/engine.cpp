@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/ensure.h"
 
@@ -42,6 +43,19 @@ Processor& Engine::processor(common::Processor_id id)
     common::ensure(id >= 0 && id < static_cast<int>(processors_.size()),
                    "processor: id out of range");
     return *processors_[static_cast<std::size_t>(id)];
+}
+
+const Processor& Engine::processor(common::Processor_id id) const
+{
+    common::ensure(id >= 0 && id < static_cast<int>(processors_.size()),
+                   "processor: id out of range");
+    return *processors_[static_cast<std::size_t>(id)];
+}
+
+void Engine::throw_processor_type_mismatch(common::Processor_id id, const char* requested_type)
+{
+    throw common::Contract_error{"Engine::processor_as: processor " + std::to_string(id) +
+                                 " is not of the requested type " + requested_type};
 }
 
 void Engine::run_pulse()

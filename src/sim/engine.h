@@ -10,6 +10,8 @@
 #define GA_SIM_ENGINE_H
 
 #include <memory>
+#include <string>
+#include <typeinfo>
 #include <vector>
 
 #include "sim/graph.h"
@@ -22,6 +24,8 @@ struct Traffic_stats {
     std::int64_t pulses = 0;
     std::int64_t messages = 0;
     std::int64_t payload_bytes = 0;
+
+    friend bool operator==(const Traffic_stats&, const Traffic_stats&) = default;
 };
 
 class Engine {
@@ -42,10 +46,23 @@ public:
 
     /// Typed access to an installed processor (tests and result harvesting).
     [[nodiscard]] Processor& processor(common::Processor_id id);
+    [[nodiscard]] const Processor& processor(common::Processor_id id) const;
+
+    /// Throws Contract_error naming the offending slot when the processor at
+    /// `id` is not a T (e.g. asking a Byzantine slot for its honest replica).
     template <typename T>
     [[nodiscard]] T& processor_as(common::Processor_id id)
     {
-        return dynamic_cast<T&>(processor(id));
+        T* typed = dynamic_cast<T*>(&processor(id));
+        if (typed == nullptr) throw_processor_type_mismatch(id, typeid(T).name());
+        return *typed;
+    }
+    template <typename T>
+    [[nodiscard]] const T& processor_as(common::Processor_id id) const
+    {
+        const T* typed = dynamic_cast<const T*>(&processor(id));
+        if (typed == nullptr) throw_processor_type_mismatch(id, typeid(T).name());
+        return *typed;
     }
 
     /// Execute one common pulse for the whole system.
@@ -69,6 +86,9 @@ public:
     [[nodiscard]] bool is_disconnected(common::Processor_id id) const;
 
 private:
+    [[noreturn]] static void throw_processor_type_mismatch(common::Processor_id id,
+                                                           const char* requested_type);
+
     Graph graph_;
     common::Rng rng_;
     std::vector<std::unique_ptr<Processor>> processors_;

@@ -211,6 +211,21 @@ TEST(Engine, TransientFaultInvokesCorrupt)
     EXPECT_TRUE(engine.processor_as<Echo_processor>(0).received.empty());
 }
 
+TEST(Engine, ProcessorAsTypeMismatchNamesTheSlot)
+{
+    Engine engine{complete_graph(2)};
+    engine.install(std::make_unique<Echo_processor>(0));
+    engine.install(std::make_unique<Silent_processor>(1), /*byzantine=*/true);
+    EXPECT_NO_THROW((void)engine.processor_as<Echo_processor>(0));
+    try {
+        (void)engine.processor_as<Echo_processor>(1);
+        FAIL() << "expected Contract_error";
+    } catch (const ga::common::Contract_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("processor 1"), std::string::npos)
+            << error.what();
+    }
+}
+
 TEST(Engine, InstallRejectsWrongSlotId)
 {
     Engine engine{complete_graph(2)};
