@@ -100,7 +100,7 @@ Throughput measure(int agents, int shards, int threads, int plays)
 
     const metrics::Fabric_metrics after = fabric.report();
     Throughput result;
-    result.pulses_per_play = fabric.shard(0).pulses_per_play();
+    result.pulses_per_play = static_cast<int>(fabric.shard(0).pulses_for_plays(1));
     result.plays = after.total_plays - before.total_plays;
     result.seconds = std::chrono::duration<double>(stop - start).count();
     result.messages_per_play =

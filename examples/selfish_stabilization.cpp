@@ -68,7 +68,8 @@ int main()
     const auto clocks = [&] {
         std::string s;
         for (const auto id : authority.honest_slots()) {
-            s += (s.empty() ? "" : " ") + std::to_string(authority.processor(id).clock());
+            if (!s.empty()) s += ' ';
+            s += std::to_string(authority.processor(id).clock());
         }
         return s;
     };

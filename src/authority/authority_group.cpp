@@ -1,0 +1,88 @@
+#include "authority/authority_group.h"
+
+namespace ga::authority {
+
+Replica_group_harness::Replica_group_harness(Game_spec spec, int f,
+                                             const std::set<common::Processor_id>& byzantine,
+                                             common::Rng& rng)
+    : n_{spec.game ? spec.game->n_agents() : 0},
+      f_{f},
+      spec_{std::move(spec)},
+      byzantine_{byzantine},
+      engine_{sim::complete_graph(n_), rng.split(99)}
+{
+    common::ensure(spec_.game != nullptr, "Replica_group_harness: null game");
+    common::ensure(static_cast<int>(byzantine_.size()) <= f_,
+                   "Replica_group_harness: more Byzantine slots than the declared f");
+    common::ensure(n_ > 3 * f_, "Replica_group_harness: requires n > 3f");
+}
+
+bool Replica_group_harness::is_honest_slot(common::Processor_id id) const
+{
+    return byzantine_.count(id) == 0;
+}
+
+std::vector<common::Processor_id> Replica_group_harness::honest_slots() const
+{
+    std::vector<common::Processor_id> slots;
+    for (common::Processor_id id = 0; id < n_; ++id) {
+        if (is_honest_slot(id)) slots.push_back(id);
+    }
+    return slots;
+}
+
+common::Processor_id Replica_group_harness::reference_slot() const
+{
+    for (common::Processor_id id = 0; id < n_; ++id) {
+        if (is_honest_slot(id)) return id;
+    }
+    throw common::Contract_error{"Replica_group_harness: no honest replica to harvest"};
+}
+
+std::vector<common::Agent_id> Replica_group_harness::disconnected_agents() const
+{
+    std::vector<common::Agent_id> out;
+    for (common::Agent_id id = 0; id < n_; ++id) {
+        if (engine_.is_disconnected(id)) out.push_back(id);
+    }
+    return out;
+}
+
+bool Replica_group_harness::is_agent_disconnected(common::Agent_id id) const
+{
+    return engine_.is_disconnected(id);
+}
+
+void Replica_group_harness::enact_disconnections()
+{
+    std::vector<int> votes(static_cast<std::size_t>(n_), 0);
+    int honest = 0;
+    for (common::Processor_id id = 0; id < n_; ++id) {
+        if (!is_honest_slot(id)) continue;
+        ++honest;
+        const Executive_service& replica = replica_executive(id);
+        for (common::Agent_id j = 0; j < n_; ++j) {
+            if (!replica.standing(j).active) ++votes[static_cast<std::size_t>(j)];
+        }
+    }
+    for (common::Agent_id j = 0; j < n_; ++j) {
+        if (2 * votes[static_cast<std::size_t>(j)] > honest && !engine_.is_disconnected(j)) {
+            engine_.disconnect(j);
+        }
+    }
+}
+
+void Replica_group_harness::run_pulses(common::Pulse count)
+{
+    for (common::Pulse i = 0; i < count; ++i) {
+        engine_.run_pulse();
+        enact_disconnections();
+    }
+}
+
+void Replica_group_harness::inject_transient_fault()
+{
+    engine_.inject_transient_fault();
+}
+
+} // namespace ga::authority

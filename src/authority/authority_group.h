@@ -1,0 +1,107 @@
+// The harvesting surface of one replica group supervising one game, plus the
+// engine-backed harness skeleton both tiers share.
+//
+// The sharded fabric (src/shard/) routes a global agent population across
+// many concurrent authority groups and reads every per-play result back
+// through the Authority_group interface — it never reaches into a group's
+// engine. Two implementations exist: the paper-faithful Distributed_authority
+// (one §3.3 play per 4-phase clock period) and the batched Pipeline_authority
+// (src/pipeline/, k plays per period). The fabric can mix them because
+// everything it consumes — agreed plays, standings, expulsions, wire
+// accounting — is replicated state identical at every honest replica.
+#ifndef GA_AUTHORITY_AUTHORITY_GROUP_H
+#define GA_AUTHORITY_AUTHORITY_GROUP_H
+
+#include <set>
+
+#include "authority/authority_processor.h"
+#include "sim/engine.h"
+
+namespace ga::authority {
+
+class Authority_group {
+public:
+    virtual ~Authority_group() = default;
+
+    /// Step the group's engine; disconnection orders supported by a majority
+    /// of honest replicas are enacted on the physical network after each pulse.
+    virtual void run_pulses(common::Pulse count) = 0;
+
+    /// Convenience: pulses for `plays` complete steady-state plays.
+    virtual void run_plays(int plays) = 0;
+
+    /// Inject a transient fault into every processor (§4).
+    virtual void inject_transient_fault() = 0;
+
+    [[nodiscard]] virtual int n_agents() const = 0;
+
+    /// Steady-state pulse budget for `plays` complete plays (a batched group
+    /// rounds up to whole batches).
+    [[nodiscard]] virtual common::Pulse pulses_for_plays(int plays) const = 0;
+
+    [[nodiscard]] virtual const Game_spec& spec() const = 0;
+
+    [[nodiscard]] virtual bool is_honest_slot(common::Processor_id id) const = 0;
+
+    /// The agreed play history: outcomes and foul sets in completion order.
+    [[nodiscard]] virtual const std::vector<Play_record>& agreed_plays() const = 0;
+
+    /// The agreed executive ledger (one Standing per agent).
+    [[nodiscard]] virtual const std::vector<Standing>& agreed_standings() const = 0;
+
+    /// Agents physically cut off the network so far.
+    [[nodiscard]] virtual std::vector<common::Agent_id> disconnected_agents() const = 0;
+
+    [[nodiscard]] virtual bool is_agent_disconnected(common::Agent_id id) const = 0;
+
+    /// Wire accounting of the whole group (benchmark aggregation).
+    [[nodiscard]] virtual const sim::Traffic_stats& traffic() const = 0;
+};
+
+/// Engine-backed skeleton shared by both group harnesses: owns the engine
+/// over a complete graph, answers every membership/expulsion query, and —
+/// the one action a replica cannot perform from inside — enacts
+/// disconnection orders supported by a majority of honest replicas on the
+/// physical network after every pulse. Subclasses install their processors
+/// and expose the replicated ledger via replica_executive().
+class Replica_group_harness : public Authority_group {
+public:
+    [[nodiscard]] sim::Engine& engine() { return engine_; }
+    [[nodiscard]] int n_agents() const override { return n_; }
+    [[nodiscard]] const Game_spec& spec() const override { return spec_; }
+    [[nodiscard]] bool is_honest_slot(common::Processor_id id) const override;
+    [[nodiscard]] std::vector<common::Processor_id> honest_slots() const;
+    [[nodiscard]] std::vector<common::Agent_id> disconnected_agents() const override;
+    [[nodiscard]] bool is_agent_disconnected(common::Agent_id id) const override;
+    [[nodiscard]] const sim::Traffic_stats& traffic() const override { return engine_.stats(); }
+
+    void run_pulses(common::Pulse count) override;
+    void inject_transient_fault() override;
+
+protected:
+    /// Validates n > 3f and |byzantine| <= f; `rng` is consumed for the
+    /// engine stream only (stream 99), leaving the caller's generator ready
+    /// for the per-processor splits.
+    Replica_group_harness(Game_spec spec, int f, const std::set<common::Processor_id>& byzantine,
+                          common::Rng& rng);
+
+    /// The executive ledger replica at an honest slot (disconnection votes).
+    [[nodiscard]] virtual const Executive_service&
+    replica_executive(common::Processor_id id) const = 0;
+
+    /// First honest slot (the reference replica every harvest reads).
+    [[nodiscard]] common::Processor_id reference_slot() const;
+
+    int n_;
+    int f_;
+    Game_spec spec_;
+    std::set<common::Processor_id> byzantine_;
+    sim::Engine engine_;
+
+private:
+    void enact_disconnections();
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_AUTHORITY_GROUP_H

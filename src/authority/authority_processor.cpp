@@ -1,70 +1,29 @@
 #include "authority/authority_processor.h"
 
-#include <map>
-
-#include "bft/phase_king.h"
-#include "bft/turpin_coan.h"
 #include "game/analysis.h"
 
 namespace ga::authority {
-
-Ic_factory ic_eig()
-{
-    return [](int n, int f, common::Processor_id self,
-              bft::Value input) -> std::unique_ptr<bft::Ic_session> {
-        return std::make_unique<bft::Eig_session>(n, f, self, std::move(input));
-    };
-}
-
-Ic_factory ic_parallel_phase_king()
-{
-    return [](int n, int f, common::Processor_id self,
-              bft::Value input) -> std::unique_ptr<bft::Ic_session> {
-        return std::make_unique<bft::Parallel_ic_session>(
-            n, f, self, std::move(input),
-            [](int nn, int ff, common::Processor_id s,
-               bft::Value v) -> std::unique_ptr<bft::Session> {
-                return std::make_unique<bft::Turpin_coan_session>(
-                    nn, ff, s, std::move(v),
-                    [](int n3, int f3, common::Processor_id s3,
-                       int b) -> std::unique_ptr<bft::Session> {
-                        return std::make_unique<bft::Phase_king_session>(n3, f3, s3, b);
-                    });
-            });
-    };
-}
-
-int Authority_processor::ic_rounds_of(const Ic_factory& factory, int n, int f)
-{
-    common::ensure(factory != nullptr, "ic_rounds_of: null factory");
-    return factory(n, f, 0, {})->total_rounds();
-}
 
 Authority_processor::Authority_processor(common::Processor_id id, int n, int f, Game_spec spec,
                                          std::unique_ptr<Agent_behavior> behavior,
                                          std::unique_ptr<Punishment_scheme> punishment,
                                          common::Rng rng, Ic_factory ic_factory)
-    : Processor{id},
-      n_{n},
-      f_{f},
+    : Ic_schedule_processor{id, n, f, /*n_phases=*/4, std::move(ic_factory), rng.split(1)},
       spec_{std::move(spec)},
       behavior_{std::move(behavior)},
       punishment_{std::move(punishment)},
-      ic_factory_{std::move(ic_factory)},
-      ic_rounds_{ic_rounds_of(ic_factory_, n, f)},
-      clock_{n, f, clock_period_for(ic_rounds_), rng.split(1)},
       rng_{rng.split(2)},
       executive_{n}
 {
     common::ensure(spec_.game != nullptr, "Authority_processor: null game");
-    common::ensure(spec_.game->n_agents() == n_,
+    common::ensure(spec_.game->n_agents() == this->n(),
                    "Authority_processor: one agent per processor (§2)");
     common::ensure(spec_.audit_mode == Audit_mode::pure_best_response,
                    "Authority_processor: distributed tier audits pure strategies");
     common::ensure(behavior_ != nullptr, "Authority_processor: null behavior");
     common::ensure(punishment_ != nullptr, "Authority_processor: null punishment scheme");
     previous_ = first_play_profile(spec_);
-    submissions_.resize(static_cast<std::size_t>(n_));
+    submissions_.resize(static_cast<std::size_t>(this->n()));
 }
 
 common::Bytes Authority_processor::encode_profile(const game::Pure_profile& profile)
@@ -75,18 +34,19 @@ common::Bytes Authority_processor::encode_profile(const game::Pure_profile& prof
     return bytes;
 }
 
-std::optional<game::Pure_profile> Authority_processor::decode_profile(
-    const common::Bytes& bytes) const
+std::optional<game::Pure_profile> Authority_processor::decode_profile(const common::Bytes& bytes,
+                                                                      const Game_spec& spec)
 {
+    const int n = spec.game->n_agents();
     try {
         common::Byte_reader reader{bytes};
         const std::uint32_t size = reader.get_u32();
-        if (size != static_cast<std::uint32_t>(n_)) return std::nullopt;
-        game::Pure_profile profile(static_cast<std::size_t>(n_));
+        if (size != static_cast<std::uint32_t>(n)) return std::nullopt;
+        game::Pure_profile profile(static_cast<std::size_t>(n));
         for (auto& a : profile) a = static_cast<int>(reader.get_u32());
         if (!reader.exhausted()) return std::nullopt;
-        for (common::Agent_id i = 0; i < n_; ++i) {
-            if (!spec_.game->is_legitimate_action(i, profile[static_cast<std::size_t>(i)]))
+        for (common::Agent_id i = 0; i < n; ++i) {
+            if (!spec.game->is_legitimate_action(i, profile[static_cast<std::size_t>(i)]))
                 return std::nullopt;
         }
         return profile;
@@ -95,9 +55,49 @@ std::optional<game::Pure_profile> Authority_processor::decode_profile(
     }
 }
 
-bft::Value Authority_processor::phase_input(Phase phase, common::Pulse)
+std::optional<game::Pure_profile>
+Authority_processor::majority_profile(const std::vector<bft::Value>& values,
+                                      const Game_spec& spec)
 {
-    switch (phase) {
+    // The quadratic scan is over the replica group (small by construction)
+    // and only a strict majority — necessarily unique — is ever adopted.
+    int best_index = -1;
+    int best_count = 0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (!decode_profile(values[i], spec).has_value()) continue;
+        int count = 0;
+        for (std::size_t j = 0; j < values.size(); ++j) {
+            if (values[j] == values[i]) ++count;
+        }
+        if (count > best_count) {
+            best_count = count;
+            best_index = static_cast<int>(i);
+        }
+    }
+    if (best_index < 0 || 2 * best_count <= static_cast<int>(values.size())) return std::nullopt;
+    return decode_profile(values[static_cast<std::size_t>(best_index)], spec);
+}
+
+std::vector<bool> Authority_processor::strict_majority_flags(const std::vector<bft::Value>& masks,
+                                                             int n)
+{
+    std::vector<int> flags(static_cast<std::size_t>(n), 0);
+    for (const bft::Value& mask : masks) {
+        if (mask.size() != static_cast<std::size_t>(n)) continue;
+        for (common::Agent_id j = 0; j < n; ++j) {
+            if (mask[static_cast<std::size_t>(j)] == 1) ++flags[static_cast<std::size_t>(j)];
+        }
+    }
+    std::vector<bool> flagged(static_cast<std::size_t>(n), false);
+    for (common::Agent_id j = 0; j < n; ++j) {
+        flagged[static_cast<std::size_t>(j)] = 2 * flags[static_cast<std::size_t>(j)] > n;
+    }
+    return flagged;
+}
+
+bft::Value Authority_processor::phase_input(int phase, common::Pulse)
+{
+    switch (static_cast<Phase>(phase)) {
     case Phase::outcome:
         return encode_profile(previous_);
 
@@ -140,41 +140,22 @@ bft::Value Authority_processor::phase_input(Phase phase, common::Pulse)
     return {};
 }
 
-void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
+void Authority_processor::process_phase_result(int phase, common::Pulse now)
 {
-    const std::vector<bft::Value>& agreed = session_->agreed_vector();
-
-    switch (phase) {
+    switch (static_cast<Phase>(phase)) {
     case Phase::outcome: {
         // Majority view wins; with no majority (fresh boot or post-fault
         // divergence) fall back to the deterministic first-play profile.
-        std::map<common::Bytes, int> votes;
-        for (const bft::Value& value : agreed) {
-            const auto profile = decode_profile(value);
-            if (profile.has_value()) ++votes[value];
-        }
-        const common::Bytes* best = nullptr;
-        int best_count = 0;
-        for (const auto& [value, count] : votes) {
-            if (count > best_count) {
-                best = &value;
-                best_count = count;
-            }
-        }
-        if (best != nullptr && best_count > n_ / 2) {
-            previous_ = *decode_profile(*best);
-        } else {
-            previous_ = first_play_profile(spec_);
-        }
+        previous_ = majority_profile(agreed(), spec_).value_or(first_play_profile(spec_));
         break;
     }
 
     case Phase::commit:
-        for (common::Agent_id j = 0; j < n_; ++j) {
+        for (common::Agent_id j = 0; j < n(); ++j) {
             Submission& sub = submissions_[static_cast<std::size_t>(j)];
             sub.commitment.reset();
             sub.opening.reset();
-            const bft::Value& value = agreed[static_cast<std::size_t>(j)];
+            const bft::Value& value = agreed()[static_cast<std::size_t>(j)];
             if (value.size() == 32) {
                 crypto::Commitment commitment;
                 std::copy(value.begin(), value.end(), commitment.digest.begin());
@@ -184,8 +165,8 @@ void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
         break;
 
     case Phase::reveal:
-        for (common::Agent_id j = 0; j < n_; ++j) {
-            const bft::Value& value = agreed[static_cast<std::size_t>(j)];
+        for (common::Agent_id j = 0; j < n(); ++j) {
+            const bft::Value& value = agreed()[static_cast<std::size_t>(j)];
             if (value.empty()) continue;
             try {
                 common::Byte_reader reader{value};
@@ -199,18 +180,12 @@ void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
 
     case Phase::foul: {
         // N' = agents flagged by a strict majority of the agreed bitmasks.
-        std::vector<int> flags(static_cast<std::size_t>(n_), 0);
-        for (const bft::Value& mask : agreed) {
-            if (mask.size() != static_cast<std::size_t>(n_)) continue;
-            for (common::Agent_id j = 0; j < n_; ++j) {
-                if (mask[static_cast<std::size_t>(j)] == 1) ++flags[static_cast<std::size_t>(j)];
-            }
-        }
+        const std::vector<bool> flagged = strict_majority_flags(agreed(), n());
         Play_record record;
         record.completed_at = now;
         const std::vector<bool> active = executive_.active_mask();
-        for (common::Agent_id j = 0; j < n_; ++j) {
-            if (2 * flags[static_cast<std::size_t>(j)] > n_ && active[static_cast<std::size_t>(j)]) {
+        for (common::Agent_id j = 0; j < n(); ++j) {
+            if (flagged[static_cast<std::size_t>(j)] && active[static_cast<std::size_t>(j)]) {
                 record.punished.push_back(j);
                 // The offence label is taken from the local audit (effects of
                 // every scheme are label-independent, so replicas agree).
@@ -225,8 +200,8 @@ void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
         // Outcome: agreed revealed actions, prescription-substituted where
         // unusable — mirrors Local_authority so the tiers stay comparable.
         game::Pure_profile outcome = previous_;
-        std::vector<int> revealed(static_cast<std::size_t>(n_), -1);
-        for (common::Agent_id j = 0; j < n_; ++j) {
+        std::vector<int> revealed(static_cast<std::size_t>(n()), -1);
+        for (common::Agent_id j = 0; j < n(); ++j) {
             const Submission& sub = submissions_[static_cast<std::size_t>(j)];
             if (sub.commitment.has_value() && sub.opening.has_value() &&
                 crypto::verify(*sub.commitment, *sub.opening)) {
@@ -234,7 +209,7 @@ void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
                 if (action.has_value()) revealed[static_cast<std::size_t>(j)] = *action;
             }
         }
-        for (common::Agent_id j = 0; j < n_; ++j) {
+        for (common::Agent_id j = 0; j < n(); ++j) {
             const int a = revealed[static_cast<std::size_t>(j)];
             if (a >= 0 && a < spec_.game->n_actions(j)) {
                 outcome[static_cast<std::size_t>(j)] = a;
@@ -245,9 +220,9 @@ void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
         }
         record.outcome = outcome;
 
-        std::vector<double> costs(static_cast<std::size_t>(n_), 0.0);
-        if (executive_.active_count() == n_) {
-            for (common::Agent_id j = 0; j < n_; ++j)
+        std::vector<double> costs(static_cast<std::size_t>(n()), 0.0);
+        if (executive_.active_count() == n()) {
+            for (common::Agent_id j = 0; j < n(); ++j)
                 costs[static_cast<std::size_t>(j)] = spec_.game->cost(j, outcome);
         }
         executive_.publish_outcome(outcome, costs);
@@ -258,105 +233,16 @@ void Authority_processor::process_phase_result(Phase phase, common::Pulse now)
     }
 }
 
-void Authority_processor::on_pulse(sim::Pulse_context& ctx)
+void Authority_processor::corrupt_state(common::Rng& rng)
 {
-    // ---- Parse inbox (first message per sender wins).
-    std::vector<bool> seen(static_cast<std::size_t>(ctx.system_size()), false);
-    std::vector<int> clock_values;
-    bft::Round_payloads section_payloads(static_cast<std::size_t>(n_));
-    std::vector<int> section_phase(static_cast<std::size_t>(n_), -1);
-    std::vector<common::Round> section_round(static_cast<std::size_t>(n_), -1);
-    for (const sim::Message& msg : ctx.inbox()) {
-        if (msg.from < 0 || msg.from >= ctx.system_size()) continue;
-        if (seen[static_cast<std::size_t>(msg.from)]) continue;
-        seen[static_cast<std::size_t>(msg.from)] = true;
-        try {
-            common::Byte_reader reader{msg.payload};
-            const auto clock_value = static_cast<int>(reader.get_u32());
-            if (clock_value >= 0 && clock_value < clock_.period())
-                clock_values.push_back(clock_value);
-            const std::uint8_t has_section = reader.get_u8();
-            if (has_section == 1) {
-                const auto phase = static_cast<int>(reader.get_u8());
-                const auto round = static_cast<common::Round>(reader.get_u32());
-                common::Bytes payload = reader.get_bytes();
-                if (reader.exhausted()) {
-                    section_phase[static_cast<std::size_t>(msg.from)] = phase;
-                    section_round[static_cast<std::size_t>(msg.from)] = round;
-                    section_payloads[static_cast<std::size_t>(msg.from)] = std::move(payload);
-                }
-            }
-        } catch (const common::Decode_error&) {
-        }
-    }
-
-    // ---- Clock step, then derive the schedule slot.
-    const int c = clock_.step(clock_values);
-    const int len = phase_length_for(ic_rounds_);
-    const int slot = c - 1;
-    const bool in_schedule = slot >= 0 && slot < 4 * len;
-
-    common::Bytes out;
-    if (in_schedule) {
-        const int phase_index = slot / len;
-        const common::Round r = slot % len;
-        const auto phase = static_cast<Phase>(phase_index);
-
-        if (r == 0) {
-            session_ = ic_factory_(n_, f_, id(), phase_input(phase, ctx.pulse()));
-        } else if (session_ && !session_->done()) {
-            bft::Round_payloads filtered(static_cast<std::size_t>(n_));
-            for (int j = 0; j < n_; ++j) {
-                if (section_phase[static_cast<std::size_t>(j)] == phase_index &&
-                    section_round[static_cast<std::size_t>(j)] == r - 1) {
-                    filtered[static_cast<std::size_t>(j)] =
-                        section_payloads[static_cast<std::size_t>(j)];
-                }
-            }
-            // Self-delivery: the engine does not echo broadcasts, but the
-            // Session contract includes the sender's own payload.
-            if (last_sent_phase_ == phase_index && last_sent_round_ == r - 1) {
-                filtered[static_cast<std::size_t>(id())] = last_sent_payload_;
-            }
-            session_->deliver_round(r - 1, filtered);
-            if (session_->done()) process_phase_result(phase, ctx.pulse());
-        }
-
-        if (r < ic_rounds_ && session_ && !session_->done()) {
-            common::Bytes section = session_->message_for_round(r);
-            last_sent_phase_ = phase_index;
-            last_sent_round_ = r;
-            last_sent_payload_ = section;
-            common::put_u32(out, static_cast<std::uint32_t>(c));
-            out.push_back(1);
-            out.push_back(static_cast<std::uint8_t>(phase_index));
-            common::put_u32(out, static_cast<std::uint32_t>(r));
-            common::put_bytes(out, section);
-            ctx.broadcast(out);
-            return;
-        }
-    }
-
-    common::put_u32(out, static_cast<std::uint32_t>(c));
-    out.push_back(0);
-    ctx.broadcast(out);
-}
-
-void Authority_processor::corrupt(common::Rng& rng)
-{
-    clock_.set_value(static_cast<int>(rng.below(static_cast<std::uint64_t>(clock_.period()))));
     // Arbitrary replicated state: scramble the previous-outcome replica and
-    // drop any in-progress activation. (The executive ledger is application
+    // drop any in-progress submissions. (The executive ledger is application
     // state; §4 leaves its stabilization case-by-case.)
-    for (common::Agent_id i = 0; i < n_; ++i) {
+    for (common::Agent_id i = 0; i < n(); ++i) {
         previous_[static_cast<std::size_t>(i)] =
             static_cast<int>(rng.below(static_cast<std::uint64_t>(spec_.game->n_actions(i))));
     }
-    session_.reset();
     my_opening_.reset();
-    last_sent_phase_ = -1;
-    last_sent_round_ = -1;
-    last_sent_payload_.clear();
     for (Submission& sub : submissions_) {
         sub.commitment.reset();
         sub.opening.reset();

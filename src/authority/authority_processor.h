@@ -2,7 +2,8 @@
 //
 // Each play is carried out by a sequence of Byzantine-agreement activations,
 // scheduled by the self-stabilizing clock core exactly as Theorem 1 composes
-// SSBA. One play occupies four phases of f+2 pulses each:
+// SSBA (the schedule skeleton lives in Ic_schedule_processor). One play
+// occupies four phases of f+2 pulses each:
 //
 //   phase 0  outcome    IC on each processor's view of the previous play's
 //                       profile ("the play starts by announcing the outcome");
@@ -27,44 +28,36 @@
 #include "authority/agent.h"
 #include "authority/executive.h"
 #include "authority/game_spec.h"
+#include "authority/ic_schedule_processor.h"
 #include "authority/judicial.h"
 #include "authority/punishment.h"
-#include "bft/eig.h"
-#include "bft/parallel_ic.h"
-#include "clock/clock_core.h"
-#include "sim/processor.h"
 
 namespace ga::authority {
 
-/// Builds one interactive-consistency activation. The default is EIG
-/// (optimal resilience n > 3f, exponential payloads); ic_parallel_phase_king
-/// gives the polynomial path (requires n > 4f).
-using Ic_factory = std::function<std::unique_ptr<bft::Ic_session>(
-    int n, int f, common::Processor_id self, bft::Value input)>;
+/// Builds one interactive-consistency activation. The substrate catalogue
+/// lives in the bft layer (bft/ic_select.h); these aliases keep the authority
+/// tier's historical spelling working.
+using Ic_factory = bft::Ic_factory;
 
-/// The default EIG factory.
-Ic_factory ic_eig();
+/// The EIG factory (optimal resilience n > 3f, exponential payloads).
+inline Ic_factory ic_eig() { return bft::ic_eig(); }
 
 /// Parallel interactive consistency over Turpin-Coan/phase-king (n > 4f).
-Ic_factory ic_parallel_phase_king();
+inline Ic_factory ic_parallel_phase_king() { return bft::ic_parallel_phase_king(); }
 
 /// One completed play as observed by one processor.
 struct Play_record {
     common::Pulse completed_at = 0;
     game::Pure_profile outcome;
     std::vector<common::Agent_id> punished; ///< the agreed foul set N'
+
+    friend bool operator==(const Play_record&, const Play_record&) = default;
 };
 
-class Authority_processor final : public sim::Processor {
+class Authority_processor final : public Ic_schedule_processor {
 public:
-    /// Pulses per play phase for an IC activation of `ic_rounds` send rounds
-    /// (one extra slot delivers the final round), and the derived clock
-    /// period: four phases per play plus wrap slack.
-    static int phase_length_for(int ic_rounds) { return ic_rounds + 1; }
-    static int clock_period_for(int ic_rounds) { return 4 * phase_length_for(ic_rounds) + 2; }
-
-    /// Send rounds of one activation under `factory` for an (n, f) system.
-    static int ic_rounds_of(const Ic_factory& factory, int n, int f);
+    /// The §3.3 schedule: four phases per play plus wrap slack.
+    static int clock_period_for(int ic_rounds) { return period_for(4, ic_rounds); }
 
     /// Distributed plays currently support pure best-response auditing (the
     /// mixed tier is exercised through Local_authority).
@@ -73,39 +66,46 @@ public:
                         std::unique_ptr<Punishment_scheme> punishment, common::Rng rng,
                         Ic_factory ic_factory = ic_eig());
 
-    void on_pulse(sim::Pulse_context& ctx) override;
-    void corrupt(common::Rng& rng) override;
-
-    [[nodiscard]] int clock() const { return clock_.value(); }
     [[nodiscard]] const std::vector<Play_record>& plays() const { return plays_; }
     [[nodiscard]] const Executive_service& executive() const { return executive_; }
     [[nodiscard]] const game::Pure_profile& previous_outcome() const { return previous_; }
 
+    // ---- Replicated-protocol rules shared with the pipeline tier: the wire
+    // codec for agreed profiles and the two strict-majority folds both tiers
+    // apply to agreed vectors (kept here so the agreement rules cannot drift
+    // between schedules).
+
+    [[nodiscard]] static common::Bytes encode_profile(const game::Pure_profile& profile);
+    [[nodiscard]] static std::optional<game::Pure_profile>
+    decode_profile(const common::Bytes& bytes, const Game_spec& spec);
+
+    /// The previous-outcome profile proposed by a strict majority of the
+    /// agreed vector, nullopt when no decodable value has one (fresh boot or
+    /// post-fault divergence — callers fall back to first_play_profile).
+    [[nodiscard]] static std::optional<game::Pure_profile>
+    majority_profile(const std::vector<bft::Value>& values, const Game_spec& spec);
+
+    /// N' from the agreed foul bitmasks: flagged[j] iff a strict majority of
+    /// the n replicas (malformed masks count as abstentions) flag agent j.
+    [[nodiscard]] static std::vector<bool>
+    strict_majority_flags(const std::vector<bft::Value>& masks, int n);
+
+protected:
+    bft::Value phase_input(int phase, common::Pulse now) override;
+    void process_phase_result(int phase, common::Pulse now) override;
+    void corrupt_state(common::Rng& rng) override;
+
 private:
     enum class Phase : int { outcome = 0, commit = 1, reveal = 2, foul = 3 };
 
-    [[nodiscard]] bft::Value phase_input(Phase phase, common::Pulse now);
-    void process_phase_result(Phase phase, common::Pulse now);
-    [[nodiscard]] static common::Bytes encode_profile(const game::Pure_profile& profile);
-    [[nodiscard]] std::optional<game::Pure_profile> decode_profile(const common::Bytes& bytes) const;
-
-    int n_;
-    int f_;
     Game_spec spec_;
     std::unique_ptr<Agent_behavior> behavior_;
     std::unique_ptr<Punishment_scheme> punishment_;
-    Ic_factory ic_factory_;
-    int ic_rounds_;
-    clock::Clock_core clock_;
     common::Rng rng_;
     Judicial_service judicial_;
     Executive_service executive_;
 
     game::Pure_profile previous_;          ///< replicated previous outcome
-    std::unique_ptr<bft::Ic_session> session_;
-    int last_sent_phase_ = -1;             ///< own broadcast echo (the Session
-    common::Round last_sent_round_ = -1;   ///< contract includes self-delivery)
-    common::Bytes last_sent_payload_;
     std::optional<crypto::Opening> my_opening_;
     std::vector<Submission> submissions_;  ///< agreed commitments + openings
     std::vector<Verdict> my_verdicts_;     ///< local audit of the agreed data

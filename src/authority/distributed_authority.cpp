@@ -1,5 +1,7 @@
 #include "authority/distributed_authority.h"
 
+#include <algorithm>
+
 #include "sim/malicious.h"
 
 namespace ga::authority {
@@ -8,19 +10,13 @@ Distributed_authority::Distributed_authority(
     Game_spec spec, int f, std::vector<std::unique_ptr<Agent_behavior>> behaviors,
     const std::set<common::Processor_id>& byzantine, Punishment_factory make_punishment,
     common::Rng rng, Byzantine_factory make_byzantine, Ic_factory ic_factory)
-    : n_{spec.game ? spec.game->n_agents() : 0},
-      f_{f},
-      ic_rounds_{Authority_processor::ic_rounds_of(ic_factory, std::max(n_, 3 * f + 1), f)},
-      spec_{spec},
-      byzantine_{byzantine},
-      engine_{sim::complete_graph(spec.game ? spec.game->n_agents() : 0), rng.split(99)}
+    : Replica_group_harness{std::move(spec), f, byzantine, rng},
+      ic_factory_{ic_factory ? std::move(ic_factory)
+                             : bft::choose_ic(std::max(n_, 3 * f + 1), f)},
+      ic_rounds_{Authority_processor::ic_rounds_of(ic_factory_, std::max(n_, 3 * f + 1), f)}
 {
-    common::ensure(spec.game != nullptr, "Distributed_authority: null game");
     common::ensure(static_cast<int>(behaviors.size()) == n_,
                    "Distributed_authority: one behavior slot per agent");
-    common::ensure(static_cast<int>(byzantine_.size()) <= f_,
-                   "Distributed_authority: more Byzantine slots than the declared f");
-    common::ensure(n_ > 3 * f_, "Distributed_authority: requires n > 3f");
     common::ensure(make_punishment != nullptr, "Distributed_authority: null punishment factory");
 
     for (common::Processor_id id = 0; id < n_; ++id) {
@@ -35,8 +31,9 @@ Distributed_authority::Distributed_authority(
             common::ensure(behaviors[static_cast<std::size_t>(id)] != nullptr,
                            "Distributed_authority: honest slot needs a behavior");
             engine_.install(std::make_unique<Authority_processor>(
-                                id, n_, f_, spec, std::move(behaviors[static_cast<std::size_t>(id)]),
-                                make_punishment(), rng.split(2000 + id), ic_factory),
+                                id, n_, f_, spec_,
+                                std::move(behaviors[static_cast<std::size_t>(id)]),
+                                make_punishment(), rng.split(2000 + id), ic_factory_),
                             /*byzantine=*/false);
         }
     }
@@ -47,9 +44,9 @@ int Distributed_authority::pulses_per_play() const
     return Authority_processor::clock_period_for(ic_rounds_);
 }
 
-bool Distributed_authority::is_honest_slot(common::Processor_id id) const
+common::Pulse Distributed_authority::pulses_for_plays(int plays) const
 {
-    return byzantine_.count(id) == 0;
+    return static_cast<common::Pulse>(plays) * pulses_per_play();
 }
 
 const Authority_processor& Distributed_authority::processor(common::Processor_id id) const
@@ -58,82 +55,24 @@ const Authority_processor& Distributed_authority::processor(common::Processor_id
     return engine_.processor_as<Authority_processor>(id);
 }
 
-const Authority_processor& Distributed_authority::reference_replica() const
+const Executive_service& Distributed_authority::replica_executive(common::Processor_id id) const
 {
-    for (common::Processor_id id = 0; id < n_; ++id) {
-        if (is_honest_slot(id)) return processor(id);
-    }
-    throw common::Contract_error{"Distributed_authority: no honest replica to harvest"};
+    return engine_.processor_as<Authority_processor>(id).executive();
 }
 
 const std::vector<Play_record>& Distributed_authority::agreed_plays() const
 {
-    return reference_replica().plays();
+    return processor(reference_slot()).plays();
 }
 
 const std::vector<Standing>& Distributed_authority::agreed_standings() const
 {
-    return reference_replica().executive().standings();
-}
-
-std::vector<common::Agent_id> Distributed_authority::disconnected_agents() const
-{
-    std::vector<common::Agent_id> out;
-    for (common::Agent_id id = 0; id < n_; ++id) {
-        if (engine_.is_disconnected(id)) out.push_back(id);
-    }
-    return out;
-}
-
-bool Distributed_authority::is_agent_disconnected(common::Agent_id id) const
-{
-    return engine_.is_disconnected(id);
-}
-
-std::vector<common::Processor_id> Distributed_authority::honest_slots() const
-{
-    std::vector<common::Processor_id> slots;
-    for (common::Processor_id id = 0; id < n_; ++id) {
-        if (is_honest_slot(id)) slots.push_back(id);
-    }
-    return slots;
-}
-
-void Distributed_authority::enact_disconnections()
-{
-    std::vector<int> votes(static_cast<std::size_t>(n_), 0);
-    int honest = 0;
-    for (common::Processor_id id = 0; id < n_; ++id) {
-        if (!is_honest_slot(id)) continue;
-        ++honest;
-        const auto& replica = engine_.processor_as<Authority_processor>(id).executive();
-        for (common::Agent_id j = 0; j < n_; ++j) {
-            if (!replica.standing(j).active) ++votes[static_cast<std::size_t>(j)];
-        }
-    }
-    for (common::Agent_id j = 0; j < n_; ++j) {
-        if (2 * votes[static_cast<std::size_t>(j)] > honest && !engine_.is_disconnected(j)) {
-            engine_.disconnect(j);
-        }
-    }
-}
-
-void Distributed_authority::run_pulses(common::Pulse count)
-{
-    for (common::Pulse i = 0; i < count; ++i) {
-        engine_.run_pulse();
-        enact_disconnections();
-    }
+    return processor(reference_slot()).executive().standings();
 }
 
 void Distributed_authority::run_plays(int plays)
 {
-    run_pulses(static_cast<common::Pulse>(plays) * pulses_per_play());
-}
-
-void Distributed_authority::inject_transient_fault()
-{
-    engine_.inject_transient_fault();
+    run_pulses(pulses_for_plays(plays));
 }
 
 } // namespace ga::authority

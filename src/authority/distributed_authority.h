@@ -1,16 +1,14 @@
 // Harness for the distributed game-authority tier: builds the engine, installs
 // one Authority_processor per honest agent and arbitrary Byzantine processors
 // in the remaining slots, steps pulses, and enacts the executive's
-// disconnection orders on the physical network (the one action a replica
-// cannot perform from inside: cutting the wires).
+// disconnection orders on the physical network (via the shared
+// Replica_group_harness skeleton).
 #ifndef GA_AUTHORITY_DISTRIBUTED_AUTHORITY_H
 #define GA_AUTHORITY_DISTRIBUTED_AUTHORITY_H
 
 #include <functional>
-#include <set>
 
-#include "authority/authority_processor.h"
-#include "sim/engine.h"
+#include "authority/authority_group.h"
 
 namespace ga::authority {
 
@@ -21,34 +19,25 @@ using Punishment_factory = std::function<std::unique_ptr<Punishment_scheme>()>;
 using Byzantine_factory =
     std::function<std::unique_ptr<sim::Processor>(common::Processor_id id, common::Rng rng)>;
 
-class Distributed_authority {
+class Distributed_authority final : public Replica_group_harness {
 public:
     /// `behaviors[i]` may be null for slots listed in `byzantine` (those run
-    /// Byzantine processors instead of the protocol).
+    /// Byzantine processors instead of the protocol). A null `ic_factory`
+    /// auto-selects the substrate via bft::choose_ic(n, f) (the E7 crossover);
+    /// pass ic_eig()/ic_parallel_phase_king() to override.
     Distributed_authority(Game_spec spec, int f,
                           std::vector<std::unique_ptr<Agent_behavior>> behaviors,
                           const std::set<common::Processor_id>& byzantine,
                           Punishment_factory make_punishment, common::Rng rng,
                           Byzantine_factory make_byzantine = {},
-                          Ic_factory ic_factory = ic_eig());
-
-    /// Step the system; after every pulse, disconnection orders supported by
-    /// a majority of honest replicas are enacted on the engine.
-    void run_pulses(common::Pulse count);
+                          Ic_factory ic_factory = {});
 
     /// Convenience: pulses for `plays` complete steady-state plays.
-    void run_plays(int plays);
+    void run_plays(int plays) override;
 
-    /// Inject a transient fault into every processor (§4).
-    void inject_transient_fault();
-
-    [[nodiscard]] sim::Engine& engine() { return engine_; }
-    [[nodiscard]] int n_agents() const { return n_; }
     [[nodiscard]] int pulses_per_play() const;
-    [[nodiscard]] bool is_honest_slot(common::Processor_id id) const;
+    [[nodiscard]] common::Pulse pulses_for_plays(int plays) const override;
     [[nodiscard]] const Authority_processor& processor(common::Processor_id id) const;
-    [[nodiscard]] std::vector<common::Processor_id> honest_slots() const;
-    [[nodiscard]] const Game_spec& spec() const { return spec_; }
 
     // ---- Per-play result harvesting (the routing front-end of the sharded
     // fabric reads these instead of reaching into engine internals). All
@@ -56,29 +45,18 @@ public:
     // it identical to every other honest replica's copy.
 
     /// The agreed play history: outcomes and foul sets in completion order.
-    [[nodiscard]] const std::vector<Play_record>& agreed_plays() const;
+    [[nodiscard]] const std::vector<Play_record>& agreed_plays() const override;
 
     /// The agreed executive ledger (one Standing per agent).
-    [[nodiscard]] const std::vector<Standing>& agreed_standings() const;
+    [[nodiscard]] const std::vector<Standing>& agreed_standings() const override;
 
-    /// Agents physically cut off the network so far.
-    [[nodiscard]] std::vector<common::Agent_id> disconnected_agents() const;
-
-    [[nodiscard]] bool is_agent_disconnected(common::Agent_id id) const;
-
-    /// Wire accounting of the whole group (benchmark aggregation).
-    [[nodiscard]] const sim::Traffic_stats& traffic() const { return engine_.stats(); }
+protected:
+    [[nodiscard]] const Executive_service&
+    replica_executive(common::Processor_id id) const override;
 
 private:
-    void enact_disconnections();
-    [[nodiscard]] const Authority_processor& reference_replica() const;
-
-    int n_;
-    int f_;
+    Ic_factory ic_factory_;
     int ic_rounds_;
-    Game_spec spec_;
-    std::set<common::Processor_id> byzantine_;
-    sim::Engine engine_;
 };
 
 } // namespace ga::authority

@@ -1,0 +1,121 @@
+#include "authority/ic_schedule_processor.h"
+
+#include "common/ensure.h"
+
+namespace ga::authority {
+
+int Ic_schedule_processor::ic_rounds_of(const bft::Ic_factory& factory, int n, int f)
+{
+    common::ensure(factory != nullptr, "ic_rounds_of: null factory");
+    return factory(n, f, 0, {})->total_rounds();
+}
+
+Ic_schedule_processor::Ic_schedule_processor(common::Processor_id id, int n, int f, int n_phases,
+                                             bft::Ic_factory ic_factory, common::Rng clock_rng)
+    : Processor{id},
+      n_{n},
+      f_{f},
+      n_phases_{n_phases},
+      ic_factory_{std::move(ic_factory)},
+      ic_rounds_{ic_rounds_of(ic_factory_, n, f)},
+      clock_{n, f, period_for(n_phases, ic_rounds_), std::move(clock_rng)}
+{
+    // The wire section carries the phase index in one byte.
+    common::ensure(n_phases_ >= 1 && n_phases_ <= 255,
+                   "Ic_schedule_processor: phase count must fit a wire byte");
+}
+
+void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
+{
+    // ---- Parse inbox (first message per sender wins).
+    std::vector<bool> seen(static_cast<std::size_t>(ctx.system_size()), false);
+    std::vector<int> clock_values;
+    bft::Round_payloads section_payloads(static_cast<std::size_t>(n_));
+    std::vector<int> section_phase(static_cast<std::size_t>(n_), -1);
+    std::vector<common::Round> section_round(static_cast<std::size_t>(n_), -1);
+    for (const sim::Message& msg : ctx.inbox()) {
+        if (msg.from < 0 || msg.from >= ctx.system_size()) continue;
+        if (seen[static_cast<std::size_t>(msg.from)]) continue;
+        seen[static_cast<std::size_t>(msg.from)] = true;
+        try {
+            common::Byte_reader reader{msg.payload};
+            const auto clock_value = static_cast<int>(reader.get_u32());
+            if (clock_value >= 0 && clock_value < clock_.period())
+                clock_values.push_back(clock_value);
+            const std::uint8_t has_section = reader.get_u8();
+            if (has_section == 1) {
+                const auto phase = static_cast<int>(reader.get_u8());
+                const auto round = static_cast<common::Round>(reader.get_u32());
+                common::Bytes payload = reader.get_bytes();
+                if (reader.exhausted()) {
+                    section_phase[static_cast<std::size_t>(msg.from)] = phase;
+                    section_round[static_cast<std::size_t>(msg.from)] = round;
+                    section_payloads[static_cast<std::size_t>(msg.from)] = std::move(payload);
+                }
+            }
+        } catch (const common::Decode_error&) {
+        }
+    }
+
+    // ---- Clock step, then derive the schedule slot.
+    const int c = clock_.step(clock_values);
+    const int len = phase_length_for(ic_rounds_);
+    const int slot = c - 1;
+    const bool in_schedule = slot >= 0 && slot < n_phases_ * len;
+
+    common::Bytes out;
+    if (in_schedule) {
+        const int phase_index = slot / len;
+        const common::Round r = slot % len;
+
+        if (r == 0) {
+            session_ = ic_factory_(n_, f_, id(), phase_input(phase_index, ctx.pulse()));
+        } else if (session_ && !session_->done()) {
+            bft::Round_payloads filtered(static_cast<std::size_t>(n_));
+            for (int j = 0; j < n_; ++j) {
+                if (section_phase[static_cast<std::size_t>(j)] == phase_index &&
+                    section_round[static_cast<std::size_t>(j)] == r - 1) {
+                    filtered[static_cast<std::size_t>(j)] =
+                        section_payloads[static_cast<std::size_t>(j)];
+                }
+            }
+            // Self-delivery: the engine does not echo broadcasts, but the
+            // Session contract includes the sender's own payload.
+            if (last_sent_phase_ == phase_index && last_sent_round_ == r - 1) {
+                filtered[static_cast<std::size_t>(id())] = last_sent_payload_;
+            }
+            session_->deliver_round(r - 1, filtered);
+            if (session_->done()) process_phase_result(phase_index, ctx.pulse());
+        }
+
+        if (r < ic_rounds_ && session_ && !session_->done()) {
+            common::Bytes section = session_->message_for_round(r);
+            last_sent_phase_ = phase_index;
+            last_sent_round_ = r;
+            last_sent_payload_ = section;
+            common::put_u32(out, static_cast<std::uint32_t>(c));
+            out.push_back(1);
+            out.push_back(static_cast<std::uint8_t>(phase_index));
+            common::put_u32(out, static_cast<std::uint32_t>(r));
+            common::put_bytes(out, section);
+            ctx.broadcast(out);
+            return;
+        }
+    }
+
+    common::put_u32(out, static_cast<std::uint32_t>(c));
+    out.push_back(0);
+    ctx.broadcast(out);
+}
+
+void Ic_schedule_processor::corrupt(common::Rng& rng)
+{
+    clock_.set_value(static_cast<int>(rng.below(static_cast<std::uint64_t>(clock_.period()))));
+    session_.reset();
+    last_sent_phase_ = -1;
+    last_sent_round_ = -1;
+    last_sent_payload_.clear();
+    corrupt_state(rng);
+}
+
+} // namespace ga::authority

@@ -1,0 +1,93 @@
+// Base processor for clock-scheduled sequences of IC activations.
+//
+// Both authority tiers that run over the simulator share the same skeleton:
+// a self-stabilizing clock partitions its period into a fixed number of
+// phases, each phase runs one interactive-consistency activation (§4's SSBA
+// composition), and a subclass decides what value each phase agrees on and
+// what to do with the agreed vector. The classic Authority_processor runs 4
+// phases per play (§3.3: outcome, commit, reveal, foul); the batched
+// Pipeline_processor runs the same 4 phases per k-play batch (each
+// activation agrees on k plays' worth of data). Extracting the schedule here
+// keeps the two wire-compatible in structure: clock value, section framing,
+// self-delivery, and transient-fault recovery behave identically.
+//
+// Wire format per pulse: u32 clock | u8 has_section | [u8 phase | u32 round |
+// length-prefixed section payload]. A phase of `ic_rounds` send rounds
+// occupies ic_rounds+1 pulses (the extra slot delivers the final round), and
+// the clock period adds 2 pulses of wrap slack so a post-fault clock wrap
+// always starts a clean schedule.
+#ifndef GA_AUTHORITY_IC_SCHEDULE_PROCESSOR_H
+#define GA_AUTHORITY_IC_SCHEDULE_PROCESSOR_H
+
+#include <memory>
+
+#include "bft/ic_select.h"
+#include "clock/clock_core.h"
+#include "sim/processor.h"
+
+namespace ga::authority {
+
+class Ic_schedule_processor : public sim::Processor {
+public:
+    /// Pulses per phase for an IC activation of `ic_rounds` send rounds.
+    static int phase_length_for(int ic_rounds) { return ic_rounds + 1; }
+
+    /// Clock period of an `n_phases`-phase schedule plus wrap slack.
+    static int period_for(int n_phases, int ic_rounds)
+    {
+        return n_phases * phase_length_for(ic_rounds) + 2;
+    }
+
+    /// Send rounds of one activation under `factory` for an (n, f) system.
+    static int ic_rounds_of(const bft::Ic_factory& factory, int n, int f);
+
+    void on_pulse(sim::Pulse_context& ctx) final;
+    void corrupt(common::Rng& rng) final;
+
+    [[nodiscard]] int clock() const { return clock_.value(); }
+
+protected:
+    /// `clock_rng` seeds only the clock core; subclasses keep their own
+    /// generators so the base never perturbs their random streams.
+    Ic_schedule_processor(common::Processor_id id, int n, int f, int n_phases,
+                          bft::Ic_factory ic_factory, common::Rng clock_rng);
+
+    /// The value this processor proposes to phase `phase`'s IC activation.
+    [[nodiscard]] virtual bft::Value phase_input(int phase, common::Pulse now) = 0;
+
+    /// Consume the agreed vector once phase `phase`'s activation completes.
+    virtual void process_phase_result(int phase, common::Pulse now) = 0;
+
+    /// Transient-fault hook: scramble subclass state (the base already
+    /// scrambles the clock and drops the in-flight activation).
+    virtual void corrupt_state(common::Rng& rng) = 0;
+
+    /// The in-flight activation's agreed vector (valid inside
+    /// process_phase_result only).
+    [[nodiscard]] const std::vector<bft::Value>& agreed() const
+    {
+        return session_->agreed_vector();
+    }
+
+    [[nodiscard]] int n() const { return n_; }
+    [[nodiscard]] int f() const { return f_; }
+    [[nodiscard]] int n_phases() const { return n_phases_; }
+    [[nodiscard]] int ic_rounds() const { return ic_rounds_; }
+
+private:
+    int n_;
+    int f_;
+    int n_phases_;
+    bft::Ic_factory ic_factory_;
+    int ic_rounds_;
+    clock::Clock_core clock_;
+
+    std::unique_ptr<bft::Ic_session> session_;
+    int last_sent_phase_ = -1;           ///< own broadcast echo (the Session
+    common::Round last_sent_round_ = -1; ///< contract includes self-delivery)
+    common::Bytes last_sent_payload_;
+};
+
+} // namespace ga::authority
+
+#endif // GA_AUTHORITY_IC_SCHEDULE_PROCESSOR_H

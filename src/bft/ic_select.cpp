@@ -1,0 +1,44 @@
+#include "bft/ic_select.h"
+
+#include "bft/eig.h"
+#include "bft/parallel_ic.h"
+#include "bft/phase_king.h"
+#include "bft/turpin_coan.h"
+
+namespace ga::bft {
+
+Ic_factory ic_eig()
+{
+    return [](int n, int f, common::Processor_id self,
+              Value input) -> std::unique_ptr<Ic_session> {
+        return std::make_unique<Eig_session>(n, f, self, std::move(input));
+    };
+}
+
+Ic_factory ic_parallel_phase_king()
+{
+    return [](int n, int f, common::Processor_id self,
+              Value input) -> std::unique_ptr<Ic_session> {
+        return std::make_unique<Parallel_ic_session>(
+            n, f, self, std::move(input),
+            [](int nn, int ff, common::Processor_id s, Value v) -> std::unique_ptr<Session> {
+                return std::make_unique<Turpin_coan_session>(
+                    nn, ff, s, std::move(v),
+                    [](int n3, int f3, common::Processor_id s3,
+                       int b) -> std::unique_ptr<Session> {
+                        return std::make_unique<Phase_king_session>(n3, f3, s3, b);
+                    });
+            });
+    };
+}
+
+Ic_factory choose_ic(int n, int f)
+{
+    // E7 crossover (bench_bap_scaling, BM_authority_play): EIG wins at f = 1
+    // (~0.27 vs 0.41 ms/play at n = 5); parallel-IC wins from f = 2 on
+    // (~4.9x at n = 9) — but only exists for n > 4f.
+    if (f >= 2 && n > 4 * f) return ic_parallel_phase_king();
+    return ic_eig();
+}
+
+} // namespace ga::bft

@@ -1,0 +1,65 @@
+#include "pipeline/batch_audit.h"
+
+#include "game/analysis.h"
+
+namespace ga::pipeline {
+
+std::vector<authority::Verdict> audit_batch(const authority::Game_spec& spec,
+                                            const std::vector<game::Pure_profile>& cascade,
+                                            const std::vector<std::vector<Reveal_slot>>& reveals,
+                                            const std::vector<bool>& has_root,
+                                            const std::vector<bool>& active, double eps)
+{
+    common::ensure(spec.game != nullptr, "audit_batch: null game");
+    const int n = spec.game->n_agents();
+    std::vector<authority::Verdict> verdicts(static_cast<std::size_t>(n));
+    for (common::Agent_id i = 0; i < n; ++i) verdicts[static_cast<std::size_t>(i)].agent = i;
+
+    // Post-fault garbage state never incriminates: a clean batch is audited
+    // only when every window artifact has the expected shape.
+    const int k = static_cast<int>(reveals.size());
+    if (k == 0 || static_cast<int>(cascade.size()) != k + 1 ||
+        static_cast<int>(has_root.size()) != n || static_cast<int>(active.size()) != n) {
+        return verdicts;
+    }
+    for (const auto& play : reveals) {
+        if (static_cast<int>(play.size()) != n) return verdicts;
+    }
+
+    for (common::Agent_id i = 0; i < n; ++i) {
+        authority::Verdict& verdict = verdicts[static_cast<std::size_t>(i)];
+        if (!active[static_cast<std::size_t>(i)]) continue;
+        if (!has_root[static_cast<std::size_t>(i)]) {
+            verdict.offence = authority::Offence::missing_commitment;
+            continue;
+        }
+        for (int j = 0; j < k && verdict.offence == authority::Offence::none; ++j) {
+            const Reveal_slot& slot = reveals[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+            switch (slot.status) {
+            case Reveal_slot::Status::missing:
+                verdict.offence = authority::Offence::missing_commitment;
+                break;
+            case Reveal_slot::Status::unverifiable:
+                verdict.offence = authority::Offence::commitment_mismatch;
+                break;
+            case Reveal_slot::Status::verified: {
+                if (!spec.game->is_legitimate_action(i, slot.action)) {
+                    verdict.offence = authority::Offence::illegal_action;
+                    break;
+                }
+                // §3.2 requirement 3 against the reference cascade: ties
+                // never incriminate (any member of the BR set is lawful).
+                game::Pure_profile probe = cascade[static_cast<std::size_t>(j)];
+                probe[static_cast<std::size_t>(i)] = slot.action;
+                if (!game::is_best_response(*spec.game, i, probe, eps)) {
+                    verdict.offence = authority::Offence::not_best_response;
+                }
+                break;
+            }
+            }
+        }
+    }
+    return verdicts;
+}
+
+} // namespace ga::pipeline

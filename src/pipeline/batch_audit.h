@@ -1,0 +1,47 @@
+// Batch-edge audit of the play pipeline (§3.2 requirements over a §5.3-style
+// window).
+//
+// During a batch, the per-play reveal phases record only what was agreed and
+// whether it verified; no verdicts are issued. At the batch edge every honest
+// replica replays the same deterministic audit over the whole window — the
+// commitment-vector discipline (every play must open the committed leaf) plus
+// the best-response rule against the batch's reference cascade — and the foul
+// phase agrees on the flag bitmasks. Detection is delayed by at most one
+// batch, never lost.
+#ifndef GA_PIPELINE_BATCH_AUDIT_H
+#define GA_PIPELINE_BATCH_AUDIT_H
+
+#include "authority/judicial.h"
+#include "pipeline/play_batcher.h"
+
+namespace ga::pipeline {
+
+/// What one reveal phase established about one agent's play.
+struct Reveal_slot {
+    enum class Status {
+        missing,      ///< no usable reveal arrived
+        unverifiable, ///< a reveal arrived but did not open the committed leaf
+        verified,     ///< opened leaf `play` of the agent's agreed root
+    };
+    Status status = Status::missing;
+    int action = -1; ///< decoded action (verified reveals only; -1 otherwise)
+
+    friend bool operator==(const Reveal_slot&, const Reveal_slot&) = default;
+};
+
+/// The deterministic batch-edge audit. `cascade` is the reference trajectory
+/// (k+1 profiles), `reveals[j][i]` agent i's slot in play j, `has_root[i]`
+/// whether a valid batch root was agreed for agent i, `active[i]` whether the
+/// executive still lists the agent. Returns one verdict per agent carrying
+/// the first offence found scanning the batch in play order (inactive agents
+/// are never audited; malformed state — e.g. right after a transient fault —
+/// incriminates no one).
+std::vector<authority::Verdict> audit_batch(const authority::Game_spec& spec,
+                                            const std::vector<game::Pure_profile>& cascade,
+                                            const std::vector<std::vector<Reveal_slot>>& reveals,
+                                            const std::vector<bool>& has_root,
+                                            const std::vector<bool>& active, double eps = 1e-9);
+
+} // namespace ga::pipeline
+
+#endif // GA_PIPELINE_BATCH_AUDIT_H

@@ -1,0 +1,63 @@
+// Harness for the batched game-authority tier: the pipelined counterpart of
+// Distributed_authority.
+//
+// Installs one Pipeline_processor per honest agent (and arbitrary Byzantine
+// processors elsewhere) over the shared Replica_group_harness skeleton, so
+// stepping, expulsion enactment, and the Authority_group harvesting surface
+// are identical to the classic tier — and the sharded fabric can run any
+// shard in pipelined mode transparently, same per-shard derive_seed
+// determinism contract, k plays per 4-phase clock period.
+#ifndef GA_PIPELINE_PIPELINE_AUTHORITY_H
+#define GA_PIPELINE_PIPELINE_AUTHORITY_H
+
+#include <map>
+
+#include "authority/distributed_authority.h"
+#include "pipeline/pipeline_processor.h"
+
+namespace ga::pipeline {
+
+class Pipeline_authority final : public authority::Replica_group_harness {
+public:
+    /// `behaviors[i]` may be null for slots listed in `byzantine`. A null
+    /// `ic_factory` auto-selects the substrate via bft::choose_ic(n, f).
+    /// `tampers` makes the listed slots equivocate inside their sealed
+    /// batches (test instrumentation for the batch-edge audit).
+    Pipeline_authority(authority::Game_spec spec, int f, int k,
+                       std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
+                       const std::set<common::Processor_id>& byzantine,
+                       authority::Punishment_factory make_punishment, common::Rng rng,
+                       authority::Byzantine_factory make_byzantine = {},
+                       authority::Ic_factory ic_factory = {},
+                       std::map<common::Processor_id, Tamper> tampers = {});
+
+    /// Pulses for `plays` complete steady-state plays, rounded up to whole
+    /// batches (a batch is the pipeline's scheduling quantum).
+    void run_plays(int plays) override;
+
+    /// Step the system for `count` complete batches (k plays each).
+    void run_batches(int count);
+
+    [[nodiscard]] int batch_k() const { return k_; }
+    [[nodiscard]] int pulses_per_batch() const;
+    [[nodiscard]] common::Pulse pulses_for_plays(int plays) const override;
+    [[nodiscard]] const Pipeline_processor& processor(common::Processor_id id) const;
+
+    // ---- Authority_group harvesting surface (read off the first honest
+    // replica; agreement keeps every honest copy identical).
+    [[nodiscard]] const std::vector<authority::Play_record>& agreed_plays() const override;
+    [[nodiscard]] const std::vector<authority::Standing>& agreed_standings() const override;
+
+protected:
+    [[nodiscard]] const authority::Executive_service&
+    replica_executive(common::Processor_id id) const override;
+
+private:
+    int k_;
+    authority::Ic_factory ic_factory_;
+    int ic_rounds_;
+};
+
+} // namespace ga::pipeline
+
+#endif // GA_PIPELINE_PIPELINE_AUTHORITY_H

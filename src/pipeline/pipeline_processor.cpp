@@ -1,0 +1,227 @@
+#include "pipeline/pipeline_processor.h"
+
+#include "game/analysis.h"
+
+namespace ga::pipeline {
+
+Pipeline_processor::Pipeline_processor(common::Processor_id id, int n, int f,
+                                       authority::Game_spec spec, int k,
+                                       std::unique_ptr<authority::Agent_behavior> behavior,
+                                       std::unique_ptr<authority::Punishment_scheme> punishment,
+                                       common::Rng rng, bft::Ic_factory ic_factory,
+                                       std::optional<Tamper> tamper)
+    : Ic_schedule_processor{id, n, f, /*n_phases=*/4, std::move(ic_factory), rng.split(1)},
+      spec_{spec},
+      behavior_{std::move(behavior)},
+      punishment_{std::move(punishment)},
+      k_{k},
+      tamper_{tamper},
+      rng_{rng.split(2)},
+      executive_{n},
+      batcher_{std::move(spec), id, k}
+{
+    common::ensure(spec_.game != nullptr, "Pipeline_processor: null game");
+    common::ensure(spec_.game->n_agents() == this->n(),
+                   "Pipeline_processor: one agent per processor (§2)");
+    common::ensure(spec_.audit_mode == authority::Audit_mode::pure_best_response,
+                   "Pipeline_processor: the pipeline audits pure strategies (the batch "
+                   "edge is the deferred-audit window)");
+    common::ensure(behavior_ != nullptr, "Pipeline_processor: null behavior");
+    common::ensure(punishment_ != nullptr, "Pipeline_processor: null punishment scheme");
+    if (tamper_.has_value()) {
+        common::ensure(tamper_->play >= 0 && tamper_->play < k_,
+                       "Pipeline_processor: tamper targets a play outside the batch");
+    }
+    previous_ = first_play_profile(spec_);
+    roots_.resize(static_cast<std::size_t>(this->n()));
+}
+
+bft::Value Pipeline_processor::phase_input(int phase, common::Pulse)
+{
+    switch (static_cast<Phase>(phase)) {
+    case Phase::outcome:
+        return authority::Authority_processor::encode_profile(previous_);
+
+    case Phase::commit: {
+        const std::vector<bool> active = executive_.active_mask();
+        if (!active[static_cast<std::size_t>(id())]) return {};
+        batcher_.build(*behavior_, previous_, static_cast<int>(plays_.size()), rng_);
+        return encode(batcher_.root());
+    }
+
+    case Phase::reveal:
+        if (!batcher_.built()) return {};
+        return batcher_.reveal_bytes(tamper_, rng_);
+
+    case Phase::foul: {
+        // Batch edge: deterministic audit of the whole agreed window.
+        std::vector<bool> has_root(static_cast<std::size_t>(n()), false);
+        for (common::Agent_id a = 0; a < n(); ++a) {
+            has_root[static_cast<std::size_t>(a)] =
+                roots_[static_cast<std::size_t>(a)].has_value();
+        }
+        my_verdicts_ =
+            audit_batch(spec_, cascade_, reveals_, has_root, executive_.active_mask());
+        common::Bytes mask;
+        for (const authority::Verdict& v : my_verdicts_)
+            mask.push_back(v.offence != authority::Offence::none ? 1 : 0);
+        return mask;
+    }
+    }
+    return {};
+}
+
+void Pipeline_processor::process_phase_result(int phase, common::Pulse now)
+{
+    switch (static_cast<Phase>(phase)) {
+    case Phase::outcome: process_outcome_result(); break;
+    case Phase::commit: process_commit_result(); break;
+    case Phase::reveal: process_reveal_result(now); break;
+    case Phase::foul: process_foul_result(); break;
+    }
+}
+
+void Pipeline_processor::process_outcome_result()
+{
+    // Majority view wins (the same strict-majority rule as the classic
+    // tier); with no majority fall back to the first-play profile.
+    previous_ = authority::Authority_processor::majority_profile(agreed(), spec_)
+                    .value_or(first_play_profile(spec_));
+}
+
+void Pipeline_processor::process_commit_result()
+{
+    for (common::Agent_id a = 0; a < n(); ++a) {
+        roots_[static_cast<std::size_t>(a)] =
+            decode_batch_root(agreed()[static_cast<std::size_t>(a)], k_);
+    }
+    // Every honest replica derives the same reference trajectory from the
+    // agreed previous outcome — the audit standard of this batch.
+    cascade_ = reference_cascade(*spec_.game, previous_, k_);
+    reveals_.assign(static_cast<std::size_t>(k_),
+                    std::vector<Reveal_slot>(static_cast<std::size_t>(n())));
+}
+
+void Pipeline_processor::process_reveal_result(common::Pulse now)
+{
+    // Mid-batch transient faults leave no window to publish from; the next
+    // clock wrap starts a clean batch (all honest replicas skip in lockstep).
+    if (static_cast<int>(reveals_.size()) != k_ ||
+        static_cast<int>(cascade_.size()) != k_ + 1) {
+        return;
+    }
+
+    // Open every agent's agreed vector: one O(k) tree rebuild per agent
+    // verifies all k positions at once (opens_vector); a vector that does
+    // not open the agreed root is voided wholesale — without per-position
+    // proofs no position of a broken vector is trustworthy.
+    for (common::Agent_id a = 0; a < n(); ++a) {
+        const bft::Value& value = agreed()[static_cast<std::size_t>(a)];
+        const auto& root = roots_[static_cast<std::size_t>(a)];
+        Reveal_slot::Status status = Reveal_slot::Status::missing;
+        std::optional<Batch_reveal> reveal;
+        if (root.has_value() && !value.empty()) {
+            reveal = decode_batch_reveal(value, k_);
+            if (!reveal.has_value()) {
+                status = Reveal_slot::Status::unverifiable;
+            } else if (!opens_vector(*root, *reveal)) {
+                status = Reveal_slot::Status::unverifiable;
+                reveal.reset();
+            } else {
+                status = Reveal_slot::Status::verified;
+            }
+        }
+        for (int j = 0; j < k_; ++j) {
+            Reveal_slot& slot = reveals_[static_cast<std::size_t>(j)][static_cast<std::size_t>(a)];
+            slot.status = status;
+            if (status == Reveal_slot::Status::verified) {
+                const auto action = authority::Judicial_service::decode_action(
+                    reveal->openings[static_cast<std::size_t>(j)].payload);
+                slot.action = action.value_or(-1);
+            }
+        }
+    }
+
+    // Open plays one-by-one from the agreed vectors: verified legitimate
+    // actions verbatim (deviations included — their verdict lands at the
+    // batch edge), the cascade prescription substituted where nothing
+    // usable was opened.
+    for (int j = 0; j < k_; ++j) {
+        const game::Pure_profile& reference = cascade_[static_cast<std::size_t>(j)];
+        game::Pure_profile outcome(static_cast<std::size_t>(n()));
+        for (common::Agent_id a = 0; a < n(); ++a) {
+            const Reveal_slot& slot =
+                reveals_[static_cast<std::size_t>(j)][static_cast<std::size_t>(a)];
+            if (slot.status == Reveal_slot::Status::verified &&
+                spec_.game->is_legitimate_action(a, slot.action)) {
+                outcome[static_cast<std::size_t>(a)] = slot.action;
+            } else {
+                outcome[static_cast<std::size_t>(a)] =
+                    game::best_response(*spec_.game, a, reference);
+            }
+        }
+
+        authority::Play_record record;
+        record.completed_at = now;
+        record.outcome = outcome;
+        std::vector<double> costs(static_cast<std::size_t>(n()), 0.0);
+        if (executive_.active_count() == n()) {
+            for (common::Agent_id a = 0; a < n(); ++a)
+                costs[static_cast<std::size_t>(a)] = spec_.game->cost(a, outcome);
+        }
+        executive_.publish_outcome(outcome, costs);
+        previous_ = outcome;
+        plays_.push_back(std::move(record));
+    }
+}
+
+void Pipeline_processor::process_foul_result()
+{
+    // N' = agents flagged by a strict majority of the agreed bitmasks.
+    const std::vector<bool> flagged =
+        authority::Authority_processor::strict_majority_flags(agreed(), n());
+    const std::vector<bool> active = executive_.active_mask();
+    std::vector<common::Agent_id> punished;
+    for (common::Agent_id a = 0; a < n(); ++a) {
+        if (flagged[static_cast<std::size_t>(a)] && active[static_cast<std::size_t>(a)]) {
+            punished.push_back(a);
+            // Offence label from the local audit (scheme effects are
+            // label-independent, so replicas agree).
+            authority::Offence offence = authority::Offence::not_best_response;
+            for (const authority::Verdict& v : my_verdicts_) {
+                if (v.agent == a && v.offence != authority::Offence::none) offence = v.offence;
+            }
+            punishment_->punish(executive_, a, offence);
+        }
+    }
+    // The batch edge is where verdicts land: attribute the foul set to the
+    // window's last published play (the §5.3 delayed-detection semantics).
+    if (!punished.empty() && !plays_.empty()) {
+        plays_.back().punished = std::move(punished);
+    }
+
+    ++batches_;
+    batcher_.reset();
+    for (auto& root : roots_) root.reset();
+    reveals_.clear();
+    cascade_.clear();
+    my_verdicts_.clear();
+}
+
+void Pipeline_processor::corrupt_state(common::Rng& rng)
+{
+    // Arbitrary replicated state: scramble the previous-outcome replica and
+    // drop the in-flight batch (the executive ledger is application state;
+    // §4 leaves its stabilization case-by-case).
+    for (common::Agent_id i = 0; i < n(); ++i) {
+        previous_[static_cast<std::size_t>(i)] =
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(spec_.game->n_actions(i))));
+    }
+    batcher_.reset();
+    for (auto& root : roots_) root.reset();
+    reveals_.clear();
+    cascade_.clear();
+    my_verdicts_.clear();
+}
+
+} // namespace ga::pipeline

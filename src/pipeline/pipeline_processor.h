@@ -1,0 +1,95 @@
+// Batched game-authority processor: k plays per BA activation.
+//
+// The classic Authority_processor spends one IC activation per §3.3 phase of
+// every play, pinning a group to its 4(f+2)-pulse-per-play cadence. This
+// processor amortizes the agreement cost over a batch of k plays with the
+// same 4-phase schedule on the shared Ic_schedule_processor skeleton — each
+// activation now agrees on k plays' worth of data:
+//
+//   phase 0  outcome      IC on the previous outcome; majority re-aligns
+//                         replicas after transient faults (as in §3.3)
+//   phase 1  batch commit agents seal their next k action commitments under
+//                         one Merkle root (pipeline/play_batcher.h); IC on
+//                         the set of roots
+//   phase 2  batch reveal IC on the whole opening vectors; every replica
+//                         rebuilds each agent's tree from the k agreed
+//                         openings (one O(k) check per agent opens all
+//                         positions at once), then opens plays one-by-one
+//                         from the agreed vectors: play j is published with
+//                         verified actions verbatim and the reference
+//                         cascade's prescription substituted elsewhere
+//   phase 3  foul         batch-edge audit (pipeline/batch_audit.h), IC on
+//                         the foul bitmasks, punishment
+//
+// Steady state completes k plays per 4(f+2)+2-pulse period — the full k-fold
+// pulse amortization over the classic schedule. The cost is §5.3's: verdicts
+// (and thus punishment) are delayed to the batch edge, so a deviator or
+// equivocator is exposed for at most k plays — detection delayed, never
+// lost. Audits compare against the batch's deterministic best-response
+// cascade (see play_batcher.h), which is what sealed-ahead commitments make
+// lawful; a detected vector mismatch voids the whole window (prescriptions
+// substituted), since without per-position proofs no position of a broken
+// vector is trustworthy.
+#ifndef GA_PIPELINE_PIPELINE_PROCESSOR_H
+#define GA_PIPELINE_PIPELINE_PROCESSOR_H
+
+#include "authority/authority_processor.h"
+#include "pipeline/batch_audit.h"
+
+namespace ga::pipeline {
+
+class Pipeline_processor final : public authority::Ic_schedule_processor {
+public:
+    /// The schedule is k-invariant: four phases per batch, like one classic
+    /// play — k only scales the payloads.
+    static int clock_period_for(int ic_rounds) { return period_for(4, ic_rounds); }
+
+    /// Like the classic tier, the pipeline audits pure strategies; the batch
+    /// edge plays the role of the §5.3 window edge. A null tamper is honest
+    /// protocol; a Tamper equivocates inside the sealed vector (tests).
+    Pipeline_processor(common::Processor_id id, int n, int f, authority::Game_spec spec, int k,
+                       std::unique_ptr<authority::Agent_behavior> behavior,
+                       std::unique_ptr<authority::Punishment_scheme> punishment,
+                       common::Rng rng, bft::Ic_factory ic_factory,
+                       std::optional<Tamper> tamper = std::nullopt);
+
+    [[nodiscard]] int batch_k() const { return k_; }
+    [[nodiscard]] std::int64_t batches_completed() const { return batches_; }
+    [[nodiscard]] const std::vector<authority::Play_record>& plays() const { return plays_; }
+    [[nodiscard]] const authority::Executive_service& executive() const { return executive_; }
+    [[nodiscard]] const game::Pure_profile& previous_outcome() const { return previous_; }
+
+protected:
+    bft::Value phase_input(int phase, common::Pulse now) override;
+    void process_phase_result(int phase, common::Pulse now) override;
+    void corrupt_state(common::Rng& rng) override;
+
+private:
+    enum class Phase : int { outcome = 0, commit = 1, reveal = 2, foul = 3 };
+
+    void process_outcome_result();
+    void process_commit_result();
+    void process_reveal_result(common::Pulse now);
+    void process_foul_result();
+
+    authority::Game_spec spec_;
+    std::unique_ptr<authority::Agent_behavior> behavior_;
+    std::unique_ptr<authority::Punishment_scheme> punishment_;
+    int k_;
+    std::optional<Tamper> tamper_;
+    common::Rng rng_;
+    authority::Executive_service executive_;
+    Play_batcher batcher_;
+
+    game::Pure_profile previous_;               ///< replicated previous outcome
+    std::vector<game::Pure_profile> cascade_;   ///< reference trajectory Q_0..Q_k
+    std::vector<std::optional<Batch_root>> roots_;    ///< agreed roots per agent
+    std::vector<std::vector<Reveal_slot>> reveals_;   ///< [play][agent] opened slots
+    std::vector<authority::Verdict> my_verdicts_;     ///< local batch-edge audit
+    std::vector<authority::Play_record> plays_;
+    std::int64_t batches_ = 0;
+};
+
+} // namespace ga::pipeline
+
+#endif // GA_PIPELINE_PIPELINE_PROCESSOR_H

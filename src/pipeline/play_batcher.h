@@ -1,0 +1,89 @@
+// One agent's side of a sealed play batch.
+//
+// At the batch-commit phase an agent decides its next k actions, commits to
+// each (Blum-style, as in §3.3), and seals the commitment vector under one
+// Merkle root — the Play_batcher holds the private half (openings, proofs)
+// until the per-play reveal phases open positions one by one.
+//
+// Because the whole batch is decided before any of its plays is revealed,
+// a within-batch action cannot respond to the *actual* outcomes of earlier
+// batch plays. The audit reference is therefore the deterministic
+// best-response cascade: starting from the agreed previous outcome, play j's
+// lawful actions are the best responses to the cascade's j-th profile (every
+// honest replica derives the identical cascade, so the batch-edge audit stays
+// a replicated deterministic computation). Honest agents commit exactly the
+// cascade actions; a deviation anywhere in the batch is detected at the batch
+// edge — delayed, like the §5.3 window, but never lost.
+#ifndef GA_PIPELINE_PLAY_BATCHER_H
+#define GA_PIPELINE_PLAY_BATCHER_H
+
+#include <memory>
+
+#include "authority/agent.h"
+#include "authority/game_spec.h"
+#include "pipeline/vector_commit.h"
+
+namespace ga::pipeline {
+
+/// The reference trajectory of one batch: profiles Q_0..Q_k with Q_0 = start
+/// and Q_{j+1}[i] = the canonical best response of agent i to Q_j. Play j is
+/// audited against Q_j; Q_{j+1} is the full prescribed profile of play j.
+std::vector<game::Pure_profile> reference_cascade(const game::Strategic_game& game,
+                                                  const game::Pure_profile& start, int k);
+
+/// A two-faced batch strategy: commit to the honest cascade vector (so the
+/// sealed root looks clean), then open a freshly committed different action
+/// at one position of the reveal vector. The substituted opening changes
+/// that position's rebuilt leaf, so the vector no longer opens the agreed
+/// root and the batch edge flags commitment_mismatch — the pipeline analogue
+/// of sim::Two_faced equivocation.
+struct Tamper {
+    int play = 0;   ///< batch position whose opening is substituted
+    int action = 0; ///< the secretly preferred action revealed instead
+};
+
+class Play_batcher {
+public:
+    /// `k` in [1, k_max_batch]; `self` is the agent this batcher plays for.
+    Play_batcher(authority::Game_spec spec, common::Agent_id self, int k);
+
+    [[nodiscard]] int k() const { return k_; }
+
+    /// Seal a fresh batch: decide the k actions along the reference cascade
+    /// from `start` (behavior consulted once per play, rounds numbered from
+    /// `first_round`), commit each, and build the vector commitment.
+    void build(authority::Agent_behavior& behavior, const game::Pure_profile& start,
+               int first_round, common::Rng& rng);
+
+    /// Drop the sealed batch (transient fault, or batch completed).
+    void reset();
+
+    [[nodiscard]] bool built() const { return tree_ != nullptr; }
+
+    /// The value to propose to the batch-commit IC activation.
+    [[nodiscard]] Batch_root root() const;
+
+    /// The whole-vector reveal payload for the batch-reveal activation;
+    /// applies `tamper` to its position when present (rng draws the
+    /// substituted commitment's nonce).
+    [[nodiscard]] common::Bytes reveal_bytes(const std::optional<Tamper>& tamper,
+                                             common::Rng& rng) const;
+
+    /// The logarithmic spot opening of one position (§5.3 spot audits).
+    [[nodiscard]] Spot_reveal spot_reveal(int play) const;
+
+    /// The actions this batch committed to (decided once at build time).
+    [[nodiscard]] const std::vector<int>& actions() const { return actions_; }
+
+private:
+    authority::Game_spec spec_;
+    common::Agent_id self_;
+    int k_;
+    std::vector<int> actions_;
+    std::vector<crypto::Committed> committed_;
+    std::unique_ptr<crypto::Merkle_tree> tree_;
+};
+
+} // namespace ga::pipeline
+
+#endif // GA_PIPELINE_PLAY_BATCHER_H

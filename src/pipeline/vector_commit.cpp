@@ -1,0 +1,130 @@
+#include "pipeline/vector_commit.h"
+
+namespace ga::pipeline {
+
+namespace {
+
+/// Honest openings carry a 32-byte nonce and a 4-byte action encoding;
+/// anything materially larger is Byzantine spam.
+constexpr std::size_t k_max_opening_bytes = 64;
+
+} // namespace
+
+common::Bytes encode(const Batch_root& value)
+{
+    common::Bytes out;
+    common::put_u32(out, value.k);
+    out.insert(out.end(), value.root.begin(), value.root.end());
+    return out;
+}
+
+std::optional<Batch_root> decode_batch_root(const common::Bytes& bytes, int expected_k)
+{
+    try {
+        common::Byte_reader reader{bytes};
+        Batch_root value;
+        value.k = reader.get_u32();
+        for (auto& byte : value.root) byte = reader.get_u8();
+        if (!reader.exhausted()) return std::nullopt;
+        if (value.k != static_cast<std::uint32_t>(expected_k)) return std::nullopt;
+        return value;
+    } catch (const common::Decode_error&) {
+        return std::nullopt;
+    }
+}
+
+common::Bytes leaf_payload(int play, const crypto::Commitment& commitment)
+{
+    common::Bytes out;
+    common::put_u32(out, static_cast<std::uint32_t>(play));
+    out.insert(out.end(), commitment.digest.begin(), commitment.digest.end());
+    return out;
+}
+
+common::Bytes encode(const Batch_reveal& value)
+{
+    common::Bytes out;
+    common::put_u32(out, static_cast<std::uint32_t>(value.openings.size()));
+    for (const crypto::Opening& opening : value.openings) {
+        common::put_bytes(out, crypto::encode(opening));
+    }
+    return out;
+}
+
+std::optional<Batch_reveal> decode_batch_reveal(const common::Bytes& bytes, int expected_k)
+{
+    try {
+        common::Byte_reader reader{bytes};
+        const std::uint32_t count = reader.get_u32();
+        if (count != static_cast<std::uint32_t>(expected_k)) return std::nullopt;
+        Batch_reveal value;
+        value.openings.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            const common::Bytes opening_bytes = reader.get_bytes();
+            if (opening_bytes.size() > k_max_opening_bytes + 8) return std::nullopt;
+            common::Byte_reader opening_reader{opening_bytes};
+            crypto::Opening opening = crypto::decode_opening(opening_reader);
+            if (!opening_reader.exhausted()) return std::nullopt;
+            value.openings.push_back(std::move(opening));
+        }
+        if (!reader.exhausted()) return std::nullopt;
+        return value;
+    } catch (const common::Decode_error&) {
+        return std::nullopt;
+    }
+}
+
+bool opens_vector(const Batch_root& root, const Batch_reveal& reveal)
+{
+    if (reveal.openings.size() != root.k || reveal.openings.empty()) return false;
+    std::vector<common::Bytes> leaves;
+    leaves.reserve(reveal.openings.size());
+    for (std::size_t j = 0; j < reveal.openings.size(); ++j) {
+        leaves.push_back(
+            leaf_payload(static_cast<int>(j), crypto::recommit(reveal.openings[j])));
+    }
+    return crypto::Merkle_tree{leaves}.root() == root.root;
+}
+
+common::Bytes encode(const Spot_reveal& value)
+{
+    common::Bytes out;
+    common::put_bytes(out, crypto::encode(value.opening));
+    common::put_u32(out, static_cast<std::uint32_t>(value.proof.size()));
+    for (const crypto::Proof_node& node : value.proof) {
+        out.insert(out.end(), node.sibling.begin(), node.sibling.end());
+        out.push_back(node.sibling_is_left ? 1 : 0);
+    }
+    return out;
+}
+
+std::optional<Spot_reveal> decode_spot_reveal(const common::Bytes& bytes, int max_proof_nodes)
+{
+    try {
+        common::Byte_reader reader{bytes};
+        Spot_reveal value;
+        const common::Bytes opening_bytes = reader.get_bytes();
+        common::Byte_reader opening_reader{opening_bytes};
+        value.opening = crypto::decode_opening(opening_reader);
+        if (!opening_reader.exhausted()) return std::nullopt;
+        const std::uint32_t nodes = reader.get_u32();
+        if (nodes > static_cast<std::uint32_t>(max_proof_nodes)) return std::nullopt;
+        value.proof.resize(nodes);
+        for (crypto::Proof_node& node : value.proof) {
+            for (auto& byte : node.sibling) byte = reader.get_u8();
+            node.sibling_is_left = reader.get_u8() == 1;
+        }
+        if (!reader.exhausted()) return std::nullopt;
+        return value;
+    } catch (const common::Decode_error&) {
+        return std::nullopt;
+    }
+}
+
+bool opens_position(const Batch_root& root, int play, const Spot_reveal& reveal)
+{
+    const crypto::Commitment committed = crypto::recommit(reveal.opening);
+    return crypto::verify_inclusion(root.root, leaf_payload(play, committed), reveal.proof);
+}
+
+} // namespace ga::pipeline

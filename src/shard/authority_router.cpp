@@ -5,7 +5,7 @@
 namespace ga::shard {
 
 Authority_router::Authority_router(const Shard_map& map,
-                                   std::vector<const authority::Distributed_authority*> shards)
+                                   std::vector<const authority::Authority_group*> shards)
     : map_{map}, shards_{std::move(shards)}
 {
     common::ensure(static_cast<int>(shards_.size()) == map_.n_shards(),
@@ -42,7 +42,7 @@ Authority_router::partition_behaviors(const Shard_map& map,
     return per_shard;
 }
 
-const authority::Distributed_authority& Authority_router::shard_at(int shard) const
+const authority::Authority_group& Authority_router::shard_at(int shard) const
 {
     common::ensure(shard >= 0 && shard < static_cast<int>(shards_.size()),
                    "Authority_router: shard out of range");

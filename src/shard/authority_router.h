@@ -17,17 +17,18 @@
 
 #include <memory>
 
-#include "authority/distributed_authority.h"
+#include "authority/authority_group.h"
 #include "shard/shard_map.h"
 
 namespace ga::shard {
 
 class Authority_router {
 public:
-    /// `shards[s]` is shard s's authority group; one entry per map shard.
-    /// Both the map and the shards must outlive the router.
+    /// `shards[s]` is shard s's authority group (classic or pipelined — any
+    /// Authority_group); one entry per map shard. Both the map and the shards
+    /// must outlive the router.
     Authority_router(const Shard_map& map,
-                     std::vector<const authority::Distributed_authority*> shards);
+                     std::vector<const authority::Authority_group*> shards);
 
     /// Where a global agent lives: its shard and its id inside it.
     struct Route {
@@ -70,10 +71,10 @@ public:
     [[nodiscard]] const Shard_map& map() const { return map_; }
 
 private:
-    [[nodiscard]] const authority::Distributed_authority& shard_at(int shard) const;
+    [[nodiscard]] const authority::Authority_group& shard_at(int shard) const;
 
     const Shard_map& map_;
-    std::vector<const authority::Distributed_authority*> shards_;
+    std::vector<const authority::Authority_group*> shards_;
 };
 
 } // namespace ga::shard

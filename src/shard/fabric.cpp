@@ -38,7 +38,14 @@ Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behav
     for (const common::Agent_id g : config_.byzantine) {
         common::ensure(g >= 0 && g < map_.n_agents(), "Fabric: Byzantine id out of range");
     }
-    if (!config_.ic_factory) config_.ic_factory = authority::ic_eig();
+    common::ensure(config_.batch_k >= 1 && config_.batch_k <= pipeline::k_max_batch,
+                   "Fabric: batch_k out of range");
+    common::ensure(config_.tampers.empty() || pipelined(),
+                   "Fabric: tampers require pipelined mode (batch_k > 1)");
+    for (const auto& [g, tamper] : config_.tampers) {
+        common::ensure(g >= 0 && g < map_.n_agents(), "Fabric: tamper id out of range");
+        (void)tamper;
+    }
 
     auto per_shard_behaviors = Authority_router::partition_behaviors(map_, std::move(behaviors));
 
@@ -58,20 +65,33 @@ Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behav
 
         optimum_costs_.push_back(enumerable_optimum_cost(*spec.game));
 
-        shards_.push_back(std::make_unique<authority::Distributed_authority>(
-            std::move(spec), config_.f, std::move(per_shard_behaviors[static_cast<std::size_t>(s)]),
-            local_byzantine, config_.punishment,
-            common::Rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(s))},
-            config_.byzantine_factory, config_.ic_factory));
+        common::Rng shard_rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(s))};
+        if (pipelined()) {
+            std::map<common::Processor_id, pipeline::Tamper> local_tampers;
+            for (const auto& [g, tamper] : config_.tampers) {
+                if (map_.shard_of(g) == s) local_tampers.emplace(map_.local_of(g), tamper);
+            }
+            shards_.push_back(std::make_unique<pipeline::Pipeline_authority>(
+                std::move(spec), config_.f, config_.batch_k,
+                std::move(per_shard_behaviors[static_cast<std::size_t>(s)]), local_byzantine,
+                config_.punishment, std::move(shard_rng), config_.byzantine_factory,
+                config_.ic_factory, std::move(local_tampers)));
+        } else {
+            shards_.push_back(std::make_unique<authority::Distributed_authority>(
+                std::move(spec), config_.f,
+                std::move(per_shard_behaviors[static_cast<std::size_t>(s)]), local_byzantine,
+                config_.punishment, std::move(shard_rng), config_.byzantine_factory,
+                config_.ic_factory));
+        }
     }
 
-    std::vector<const authority::Distributed_authority*> shard_views;
+    std::vector<const authority::Authority_group*> shard_views;
     shard_views.reserve(shards_.size());
     for (const auto& shard : shards_) shard_views.push_back(shard.get());
     router_ = std::make_unique<Authority_router>(map_, std::move(shard_views));
 }
 
-const authority::Distributed_authority& Fabric::shard(int s) const
+const authority::Authority_group& Fabric::shard(int s) const
 {
     common::ensure(s >= 0 && s < n_shards(), "Fabric::shard: index out of range");
     return *shards_[static_cast<std::size_t>(s)];
@@ -104,7 +124,7 @@ void Fabric::inject_transient_fault()
 
 metrics::Shard_sample Fabric::harvest(int s) const
 {
-    const authority::Distributed_authority& group = shard(s);
+    const authority::Authority_group& group = shard(s);
     metrics::Shard_sample sample;
     sample.shard = s;
     sample.agents = group.n_agents();

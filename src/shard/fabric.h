@@ -16,12 +16,20 @@
 // common::derive_seed(config.seed, s), and shards never share mutable state,
 // so a whole-fabric run is a pure function of (seed, map, config) — the same
 // verdicts, outcomes, and aggregated stats bit-for-bit on 1 thread or N.
+//
+// Pipelined mode: config.batch_k > 1 runs every shard as a Pipeline_authority
+// (src/pipeline/) that amortizes agreement cost over batches of k plays —
+// per-group throughput scaling, orthogonal to the fabric's scale-out across
+// groups. The determinism contract is unchanged: batched shards draw from the
+// same derive_seed streams.
 #ifndef GA_SHARD_FABRIC_H
 #define GA_SHARD_FABRIC_H
 
+#include <map>
 #include <set>
 
 #include "metrics/shard_aggregate.h"
+#include "pipeline/pipeline_authority.h"
 #include "shard/authority_router.h"
 #include "shard/executor.h"
 
@@ -42,9 +50,16 @@ struct Fabric_config {
     authority::Punishment_factory punishment; ///< required
     std::set<common::Agent_id> byzantine;     ///< *global* ids run attackers
     authority::Byzantine_factory byzantine_factory = {};  ///< default babbler
-    authority::Ic_factory ic_factory = {};    ///< default EIG
+    authority::Ic_factory ic_factory = {};    ///< default: bft::choose_ic per shard
     std::uint64_t seed = 0;            ///< fabric seed; shard s uses derive_seed(seed, s)
     int threads = 1;                   ///< executor width (result-invariant)
+    /// Plays agreed per BA activation batch: 1 = the classic per-play §3.3
+    /// schedule (Distributed_authority), > 1 = pipelined shards amortizing
+    /// agreement cost over k-play batches (Pipeline_authority).
+    int batch_k = 1;
+    /// Equivocating-agent instrumentation (global ids; pipelined mode only):
+    /// the listed agents open a substituted action inside their sealed batch.
+    std::map<common::Agent_id, pipeline::Tamper> tampers;
 };
 
 class Fabric {
@@ -58,7 +73,9 @@ public:
     [[nodiscard]] int n_agents() const { return map_.n_agents(); }
     [[nodiscard]] const Shard_map& map() const { return map_; }
     [[nodiscard]] const Authority_router& router() const { return *router_; }
-    [[nodiscard]] const authority::Distributed_authority& shard(int s) const;
+    [[nodiscard]] const authority::Authority_group& shard(int s) const;
+    [[nodiscard]] bool pipelined() const { return config_.batch_k > 1; }
+    [[nodiscard]] int batch_k() const { return config_.batch_k; }
 
     /// Step every shard `count` pulses (concurrently across the pool).
     void run_pulses(common::Pulse count);
@@ -79,7 +96,7 @@ public:
 private:
     Shard_map map_;
     Fabric_config config_;
-    std::vector<std::unique_ptr<authority::Distributed_authority>> shards_;
+    std::vector<std::unique_ptr<authority::Authority_group>> shards_;
     std::vector<std::optional<double>> optimum_costs_; ///< per-shard social optimum
     std::unique_ptr<Authority_router> router_;
     Executor executor_;

@@ -1,10 +1,15 @@
 // §5.3 batched audit windows: per-play audits check only the commitment
 // discipline; the seed replay fires at the window edge — detection is
 // delayed but never lost, and honest agents still never get flagged.
+// The distributed counterpart is the batched play pipeline (src/pipeline/):
+// its batch edge is the same window edge, exercised here against a two-faced
+// (equivocating) agent whose sealed commitment vector does not match what it
+// opens mid-window.
 #include <gtest/gtest.h>
 
 #include "authority/local_authority.h"
 #include "game/canonical.h"
+#include "pipeline/pipeline_authority.h"
 
 namespace {
 
@@ -119,6 +124,76 @@ TEST(BatchedAudit, ValidatesWindowParameter)
                                      std::make_unique<Honest_behavior>()),
                                  std::make_unique<Disconnect_scheme>(), Rng{6}),
                  ga::common::Contract_error);
+}
+
+// ------------------------------------------------- Distributed batched window
+//
+// The play pipeline's batch is the distributed §5.3 window: per-play reveals
+// only open the sealed vector; the commitment-vector audit fires at the
+// batch edge.
+
+/// Four-agent dominant-action game for the distributed window tests.
+class Dominant_game final : public ga::game::Strategic_game {
+public:
+    int n_agents() const override { return 4; }
+    int n_actions(ga::common::Agent_id) const override { return 2; }
+    double cost(ga::common::Agent_id i, const ga::game::Pure_profile& p) const override
+    {
+        return p[static_cast<std::size_t>(i)] == 1 ? 1.0 : 2.0;
+    }
+};
+
+ga::pipeline::Pipeline_authority batched_window(int window, std::uint64_t seed,
+                                                std::map<ga::common::Processor_id,
+                                                         ga::pipeline::Tamper> tampers)
+{
+    Game_spec spec;
+    spec.name = "dominant-batched";
+    spec.game = std::make_shared<Dominant_game>();
+    spec.equilibrium.assign(4, {0.0, 1.0});
+    std::vector<std::unique_ptr<Agent_behavior>> behaviors;
+    for (int i = 0; i < 4; ++i) behaviors.push_back(std::make_unique<Honest_behavior>());
+    return ga::pipeline::Pipeline_authority{
+        spec,       1,        window, std::move(behaviors), {},
+        [] { return std::make_unique<Disconnect_scheme>(); },
+        Rng{seed},  {},       {},     std::move(tampers)};
+}
+
+TEST(BatchedAudit, TwoFacedAgentInsideDistributedWindowIsCaughtAtTheEdge)
+{
+    // Agent 2 seals an honest-looking vector but opens a substituted action
+    // at window position 1: every honest replica sees the commitment-vector
+    // mismatch at the batch edge and the executive disconnects the agent.
+    const int window = 8;
+    auto authority = batched_window(window, /*seed=*/41, {{2, ga::pipeline::Tamper{1, 0}}});
+    authority.run_pulses(1);
+    authority.run_batches(1);
+
+    ASSERT_EQ(authority.agreed_plays().size(), static_cast<std::size_t>(window));
+    for (int j = 0; j + 1 < window; ++j) {
+        EXPECT_TRUE(authority.agreed_plays()[static_cast<std::size_t>(j)].punished.empty())
+            << "detection must wait for the window edge (play " << j << ")";
+    }
+    EXPECT_EQ(authority.agreed_plays().back().punished,
+              std::vector<ga::common::Agent_id>{2});
+    EXPECT_EQ(authority.agreed_standings()[2].fouls, 1);
+    EXPECT_FALSE(authority.agreed_standings()[2].active);
+    EXPECT_EQ(authority.disconnected_agents(), std::vector<ga::common::Agent_id>{2});
+}
+
+TEST(BatchedAudit, HonestAgentsNeverFlaggedInDistributedWindows)
+{
+    auto authority = batched_window(/*window=*/8, /*seed=*/42, {});
+    authority.run_pulses(1);
+    authority.run_batches(3);
+    ASSERT_EQ(authority.agreed_plays().size(), 24u);
+    for (const Play_record& play : authority.agreed_plays()) {
+        EXPECT_TRUE(play.punished.empty());
+    }
+    for (const Standing& standing : authority.agreed_standings()) {
+        EXPECT_TRUE(standing.active);
+        EXPECT_EQ(standing.fouls, 0);
+    }
 }
 
 } // namespace

@@ -65,6 +65,26 @@ TEST(Sha256, IncrementalMatchesOneShot)
     EXPECT_EQ(ctx.finish(), sha256(data));
 }
 
+TEST(Sha256, AcceleratedPathMatchesPortableReference)
+{
+    // The runtime dispatcher may pick the SHA-NI kernel; whatever it picks
+    // must compress bit-identically to the portable FIPS reference. (On
+    // machines without SHA extensions both sides run the same code and the
+    // test is a tautology — the real check happens where it matters.)
+    ga::common::Rng rng{2027};
+    for (const std::size_t blocks : {1u, 2u, 3u, 7u}) {
+        std::vector<std::uint8_t> data(blocks * 64);
+        for (auto& byte : data) byte = static_cast<std::uint8_t>(rng.below(256));
+        std::array<std::uint32_t, 8> dispatched = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                                   0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                                   0x1f83d9ab, 0x5be0cd19};
+        std::array<std::uint32_t, 8> portable = dispatched;
+        ga::crypto::detail::compress(dispatched, data.data(), blocks);
+        ga::crypto::detail::compress_portable(portable, data.data(), blocks);
+        EXPECT_EQ(dispatched, portable) << blocks << " blocks";
+    }
+}
+
 TEST(Sha256, ReuseAfterFinishThrows)
 {
     Sha256 ctx;

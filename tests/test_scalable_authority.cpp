@@ -57,6 +57,56 @@ TEST(ScalableAuthority, RoundBudgetIsPolynomialSchedule)
     EXPECT_EQ(Authority_processor::ic_rounds_of(ic_parallel_phase_king(), 5, 1), 7);
 }
 
+TEST(ScalableAuthority, ChooseIcFollowsTheMeasuredCrossover)
+{
+    // bft::choose_ic encodes E7's BM_authority_play crossover: EIG wins at
+    // f = 1, parallel-IC from f = 2 on — but only where n > 4f allows it.
+    EXPECT_EQ(Authority_processor::ic_rounds_of(ga::bft::choose_ic(4, 1), 4, 1),
+              Authority_processor::ic_rounds_of(ic_eig(), 4, 1));
+    EXPECT_EQ(Authority_processor::ic_rounds_of(ga::bft::choose_ic(5, 1), 5, 1),
+              Authority_processor::ic_rounds_of(ic_eig(), 5, 1));
+    EXPECT_EQ(Authority_processor::ic_rounds_of(ga::bft::choose_ic(9, 2), 9, 2),
+              Authority_processor::ic_rounds_of(ic_parallel_phase_king(), 9, 2));
+    EXPECT_EQ(Authority_processor::ic_rounds_of(ga::bft::choose_ic(13, 3), 13, 3),
+              Authority_processor::ic_rounds_of(ic_parallel_phase_king(), 13, 3));
+    // n = 7, f = 2 violates parallel-IC's n > 4f: EIG is the only option.
+    EXPECT_EQ(Authority_processor::ic_rounds_of(ga::bft::choose_ic(7, 2), 7, 2),
+              Authority_processor::ic_rounds_of(ic_eig(), 7, 2));
+}
+
+TEST(ScalableAuthority, DefaultSubstrateIsAutoSelected)
+{
+    // A default-constructed authority (no explicit Ic_factory) gets the
+    // crossover substrate: EIG's 4(2+1)+2 period at f = 1, parallel-IC's
+    // 4(9+1)+2 at n = 9, f = 2.
+    Distributed_authority at_f1{dominant_spec(5), 1,      honest_behaviors(5), {},
+                                disconnects(),    Rng{17}};
+    EXPECT_EQ(at_f1.pulses_per_play(), 14);
+    Distributed_authority at_f2{dominant_spec(9), 2,      honest_behaviors(9), {},
+                                disconnects(),    Rng{18}};
+    EXPECT_EQ(at_f2.pulses_per_play(), 42);
+
+    // The override still wins.
+    Distributed_authority forced{dominant_spec(9), 2,       honest_behaviors(9), {},
+                                 disconnects(),    Rng{19}, {},
+                                 ic_eig()};
+    EXPECT_EQ(forced.pulses_per_play(), 18);
+}
+
+TEST(ScalableAuthority, AutoSelectedPlaysStillAgree)
+{
+    // End-to-end sanity at the auto-selected f = 2 point.
+    const int n = 9;
+    Distributed_authority authority{dominant_spec(n), 2,      honest_behaviors(n), {},
+                                    disconnects(),    Rng{20}};
+    authority.run_pulses(1 + 2 * authority.pulses_per_play());
+    const auto& reference = authority.processor(0).plays();
+    ASSERT_GE(reference.size(), 2u);
+    for (const Processor_id id : authority.honest_slots()) {
+        EXPECT_EQ(authority.processor(id).plays().size(), reference.size());
+    }
+}
+
 TEST(ScalableAuthority, AllHonestPlaysAgreeAcrossReplicas)
 {
     const int n = 5;
