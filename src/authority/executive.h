@@ -23,6 +23,8 @@ struct Standing {
     double reputation = 1.0;     ///< multiplicative reputation score
     double cumulative_cost = 0.0;///< game cost accrued over all plays
     int fouls = 0;               ///< number of punished offences
+
+    friend bool operator==(const Standing&, const Standing&) = default;
 };
 
 class Executive_service {

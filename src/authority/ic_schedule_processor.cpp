@@ -30,6 +30,7 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
     // ---- Parse inbox (first message per sender wins).
     std::vector<bool> seen(static_cast<std::size_t>(ctx.system_size()), false);
     std::vector<int> clock_values;
+    clock_values.reserve(ctx.inbox().size());
     bft::Round_payloads section_payloads(static_cast<std::size_t>(n_));
     std::vector<int> section_phase(static_cast<std::size_t>(n_), -1);
     std::vector<common::Round> section_round(static_cast<std::size_t>(n_), -1);
@@ -92,20 +93,22 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
             common::Bytes section = session_->message_for_round(r);
             last_sent_phase_ = phase_index;
             last_sent_round_ = r;
-            last_sent_payload_ = section;
+            out.reserve(4 + 1 + 1 + 4 + 4 + section.size());
             common::put_u32(out, static_cast<std::uint32_t>(c));
             out.push_back(1);
             out.push_back(static_cast<std::uint8_t>(phase_index));
             common::put_u32(out, static_cast<std::uint32_t>(r));
             common::put_bytes(out, section);
-            ctx.broadcast(out);
+            last_sent_payload_ = std::move(section);
+            ctx.broadcast(std::move(out));
             return;
         }
     }
 
+    out.reserve(4 + 1);
     common::put_u32(out, static_cast<std::uint32_t>(c));
     out.push_back(0);
-    ctx.broadcast(out);
+    ctx.broadcast(std::move(out));
 }
 
 void Ic_schedule_processor::corrupt(common::Rng& rng)

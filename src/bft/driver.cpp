@@ -24,9 +24,12 @@ Drive_result drive(std::vector<Participant>& participants)
     Drive_result result;
     result.rounds = rounds;
 
+    // Staging reused across rounds and recipients: assign() recycles capacity.
+    std::vector<std::optional<common::Bytes>> broadcast;
+    Round_payloads view;
     for (common::Round r = 0; r < rounds; ++r) {
         // Honest broadcasts: one payload for everyone.
-        std::vector<std::optional<common::Bytes>> broadcast(static_cast<std::size_t>(n));
+        broadcast.assign(static_cast<std::size_t>(n), std::nullopt);
         for (int i = 0; i < n; ++i) {
             if (participants[static_cast<std::size_t>(i)].session)
                 broadcast[static_cast<std::size_t>(i)] =
@@ -35,7 +38,7 @@ Drive_result drive(std::vector<Participant>& participants)
 
         // Per-recipient views (attackers may equivocate).
         for (int to = 0; to < n; ++to) {
-            Round_payloads view(static_cast<std::size_t>(n));
+            view.assign(static_cast<std::size_t>(n), std::nullopt);
             for (int from = 0; from < n; ++from) {
                 auto& p = participants[static_cast<std::size_t>(from)];
                 if (p.session) {

@@ -38,12 +38,17 @@ common::Bytes Eig_session::message_for_round(common::Round r)
         static const Path empty_path{};
         pairs.emplace_back(empty_path, &input_);
     } else {
+        pairs.reserve(tree_.size());
         for (const auto& [path, value] : tree_) {
             if (path.size() != static_cast<std::size_t>(r)) continue;
             if (std::find(path.begin(), path.end(), self_) != path.end()) continue;
             pairs.emplace_back(path, &value);
         }
     }
+
+    std::size_t wire_size = 4;
+    for (const auto& [path, value] : pairs) wire_size += 4 + 4 * path.size() + 4 + value->size();
+    payload.reserve(wire_size);
 
     common::put_u32(payload, static_cast<std::uint32_t>(pairs.size()));
     for (const auto& [path, value] : pairs) {

@@ -1,8 +1,8 @@
-#include "shard/executor.h"
+#include "common/executor.h"
 
 #include "common/ensure.h"
 
-namespace ga::shard {
+namespace ga::common {
 
 Executor::Executor(int threads) : threads_{threads}
 {
@@ -52,14 +52,16 @@ void Executor::worker_loop()
 void Executor::drain()
 {
     for (;;) {
-        const std::function<void()>* job = nullptr;
+        std::size_t index = 0;
+        const std::function<void(std::size_t)>* body = nullptr;
         {
             const std::lock_guard<std::mutex> lock{mutex_};
-            if (jobs_ == nullptr || next_ >= jobs_->size()) return;
-            job = &(*jobs_)[next_++];
+            if (body_ == nullptr || next_ >= count_) return;
+            index = next_++;
+            body = body_;
         }
         try {
-            (*job)();
+            (*body)(index);
         } catch (...) {
             const std::lock_guard<std::mutex> lock{mutex_};
             if (!error_) error_ = std::current_exception();
@@ -67,7 +69,7 @@ void Executor::drain()
         {
             const std::lock_guard<std::mutex> lock{mutex_};
             if (--unfinished_ == 0) {
-                jobs_ = nullptr; // batch over; late-waking workers see no work
+                body_ = nullptr; // batch over; late-waking workers see no work
                 done_cv_.notify_all();
             }
         }
@@ -76,13 +78,19 @@ void Executor::drain()
 
 void Executor::run_all(const std::vector<std::function<void()>>& jobs)
 {
-    if (jobs.empty()) return;
+    parallel_for(jobs.size(), [&jobs](std::size_t i) { jobs[i](); });
+}
+
+void Executor::parallel_for(std::size_t count, const std::function<void(std::size_t)>& body)
+{
+    if (count == 0) return;
     {
         const std::lock_guard<std::mutex> lock{mutex_};
-        common::ensure(jobs_ == nullptr, "Executor::run_all: not reentrant");
-        jobs_ = &jobs;
+        common::ensure(body_ == nullptr, "Executor: batches must not nest on one instance");
+        body_ = &body;
+        count_ = count;
         next_ = 0;
-        unfinished_ = jobs.size();
+        unfinished_ = count;
         error_ = nullptr;
         ++generation_;
     }
@@ -98,4 +106,4 @@ void Executor::run_all(const std::vector<std::function<void()>>& jobs)
     if (error) std::rethrow_exception(error);
 }
 
-} // namespace ga::shard
+} // namespace ga::common

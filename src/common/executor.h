@@ -1,0 +1,65 @@
+// Fixed-size thread pool for deterministic fork-join parallelism.
+//
+// Grew out of src/shard/ (where it steps whole shards) and now also drives
+// the sim engine's parallel pulse: both callers hand the pool jobs that
+// never share mutable state, so the pool only changes *when* work executes
+// on the wall clock, never what it computes. That is the mechanical half of
+// every 1-vs-N-thread bit-identical determinism contract in this repo; the
+// other half (ordered merges of worker output) belongs to the callers.
+#ifndef GA_COMMON_EXECUTOR_H
+#define GA_COMMON_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ga::common {
+
+class Executor {
+public:
+    /// `threads >= 1`; the calling thread is one of them, so `threads == 1`
+    /// spawns no workers and runs every job inline in submission order.
+    explicit Executor(int threads);
+    ~Executor();
+
+    Executor(const Executor&) = delete;
+    Executor& operator=(const Executor&) = delete;
+
+    [[nodiscard]] int threads() const { return threads_; }
+
+    /// Run every job to completion before returning (sugar over parallel_for).
+    void run_all(const std::vector<std::function<void()>>& jobs);
+
+    /// Run `body(0) .. body(count-1)` to completion across the pool, claiming
+    /// indices dynamically; the caller participates. One std::function for
+    /// the whole batch, so a per-pulse caller allocates nothing per index.
+    /// The first exception a body call throws is rethrown here once the whole
+    /// batch has finished. Not reentrant: bodies must not call back into this
+    /// Executor (nested batches on a *different* instance are fine).
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+private:
+    void worker_loop();
+    void drain();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable batch_cv_; ///< wakes workers on a new batch
+    std::condition_variable done_cv_;  ///< wakes the submitter when a batch drains
+    const std::function<void(std::size_t)>* body_ = nullptr; ///< non-null while a batch is in flight
+    std::size_t count_ = 0;      ///< indices in the current batch
+    std::size_t next_ = 0;       ///< next unclaimed index in the current batch
+    std::size_t unfinished_ = 0; ///< claimed-or-unclaimed indices still running
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+    std::exception_ptr error_;
+};
+
+} // namespace ga::common
+
+#endif // GA_COMMON_EXECUTOR_H

@@ -1,0 +1,132 @@
+// Refcounted immutable byte payload for zero-copy message fan-out.
+//
+// A broadcast on a complete graph used to deep-copy its payload once per
+// recipient — O(n) copies of the same bytes per send, O(n^2) per pulse for
+// the full-information protocols. Shared_payload wraps the buffer behind an
+// intrusive refcount so every recipient's Message aliases one allocation;
+// the bytes are immutable through the shared handle, which is what makes
+// concurrent readers (the multi-threaded pulse executor) safe without locks.
+// `fan_out` mints all n-1 aliases of a broadcast with a single atomic add,
+// and the handle is one pointer wide, so a Message stays two words.
+//
+// The one writer is fault injection: `unique()` is copy-on-write, cloning
+// the buffer iff other Messages still alias it, so garbling one recipient's
+// delivery can never leak into another recipient's copy.
+#ifndef GA_COMMON_SHARED_PAYLOAD_H
+#define GA_COMMON_SHARED_PAYLOAD_H
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "common/bytes.h"
+
+namespace ga::common {
+
+class Shared_payload {
+public:
+    /// Empty payload (no allocation until bytes are attached).
+    Shared_payload() = default;
+
+    /// Wrap `bytes` (implicit, so `send(to, encode(...))` keeps working).
+    Shared_payload(Bytes bytes) // NOLINT(google-explicit-constructor)
+        : ctrl_{new Control{{1}, std::move(bytes)}}
+    {
+    }
+
+    Shared_payload(const Shared_payload& other) noexcept : ctrl_{other.ctrl_}
+    {
+        if (ctrl_) ctrl_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+    Shared_payload(Shared_payload&& other) noexcept : ctrl_{other.ctrl_} { other.ctrl_ = nullptr; }
+    Shared_payload& operator=(Shared_payload other) noexcept
+    {
+        std::swap(ctrl_, other.ctrl_);
+        return *this;
+    }
+    ~Shared_payload() { release(); }
+
+    /// Read-only view of the buffer; also the implicit bridge into every
+    /// decoder that takes `const Bytes&` (Byte_reader, decode_clock, ...).
+    [[nodiscard]] const Bytes& bytes() const { return ctrl_ ? ctrl_->bytes : empty_bytes(); }
+    operator const Bytes&() const { return bytes(); } // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] std::size_t size() const { return ctrl_ ? ctrl_->bytes.size() : 0; }
+    [[nodiscard]] bool empty() const { return size() == 0; }
+    [[nodiscard]] const std::uint8_t* data() const { return bytes().data(); }
+    [[nodiscard]] auto begin() const { return bytes().begin(); }
+    [[nodiscard]] auto end() const { return bytes().end(); }
+    [[nodiscard]] const std::uint8_t& operator[](std::size_t i) const { return bytes()[i]; }
+
+    /// Mint `copies` aliases with one atomic add, passing each to `sink`.
+    /// This is the broadcast fan-out: per recipient it costs a pointer copy,
+    /// not a refcount round-trip (let alone a buffer copy).
+    template <typename Sink>
+    void fan_out(std::size_t copies, Sink&& sink) const
+    {
+        if (copies == 0) return;
+        if (ctrl_) ctrl_->refs.fetch_add(static_cast<long>(copies), std::memory_order_relaxed);
+        for (std::size_t i = 0; i < copies; ++i) sink(Shared_payload{ctrl_, Adopt_ref{}});
+    }
+
+    /// Copy-on-write mutable access: clones the buffer iff it is aliased, so
+    /// the caller's edits stay invisible to every other holder. (Safe against
+    /// concurrent *readers* of other handles; racing another mutator of the
+    /// same handle is a bug in the caller, as with any non-const access.)
+    [[nodiscard]] Bytes& unique()
+    {
+        if (!ctrl_) {
+            ctrl_ = new Control{{1}, {}};
+        } else if (ctrl_->refs.load(std::memory_order_acquire) > 1) {
+            auto* clone = new Control{{1}, ctrl_->bytes};
+            release();
+            ctrl_ = clone;
+        }
+        return ctrl_->bytes;
+    }
+
+    /// True iff both handles alias the same buffer (aliasing tests).
+    [[nodiscard]] bool aliases(const Shared_payload& other) const
+    {
+        return ctrl_ != nullptr && ctrl_ == other.ctrl_;
+    }
+
+    /// Holders of this exact buffer (0 for the empty payload).
+    [[nodiscard]] long use_count() const
+    {
+        return ctrl_ ? ctrl_->refs.load(std::memory_order_relaxed) : 0;
+    }
+
+    friend bool operator==(const Shared_payload& a, const Shared_payload& b)
+    {
+        return a.bytes() == b.bytes();
+    }
+
+private:
+    struct Control {
+        std::atomic<long> refs;
+        Bytes bytes;
+    };
+    struct Adopt_ref {};
+
+    /// Takes ownership of one already-counted reference (fan_out).
+    Shared_payload(Control* ctrl, Adopt_ref) noexcept : ctrl_{ctrl} {}
+
+    void release() noexcept
+    {
+        if (ctrl_ && ctrl_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete ctrl_;
+        ctrl_ = nullptr;
+    }
+
+    static const Bytes& empty_bytes()
+    {
+        static const Bytes empty{};
+        return empty;
+    }
+
+    Control* ctrl_ = nullptr;
+};
+
+} // namespace ga::common
+
+#endif // GA_COMMON_SHARED_PAYLOAD_H

@@ -28,10 +28,10 @@
 #include <map>
 #include <set>
 
+#include "common/executor.h"
 #include "metrics/shard_aggregate.h"
 #include "pipeline/pipeline_authority.h"
 #include "shard/authority_router.h"
-#include "shard/executor.h"
 
 namespace ga::shard {
 
@@ -99,7 +99,7 @@ private:
     std::vector<std::unique_ptr<authority::Authority_group>> shards_;
     std::vector<std::optional<double>> optimum_costs_; ///< per-shard social optimum
     std::unique_ptr<Authority_router> router_;
-    Executor executor_;
+    common::Executor executor_;
 };
 
 } // namespace ga::shard

@@ -2,18 +2,23 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/ensure.h"
 
 namespace ga::sim {
 
-Engine::Engine(Graph graph, common::Rng rng)
+Engine::Engine(Graph graph, common::Rng rng, Engine_config config)
     : graph_{std::move(graph)},
       rng_{rng},
+      config_{config},
       byzantine_(static_cast<std::size_t>(graph_.size()), false),
       disconnected_(static_cast<std::size_t>(graph_.size()), false),
-      inboxes_(static_cast<std::size_t>(graph_.size()))
+      inboxes_(static_cast<std::size_t>(graph_.size())),
+      next_inboxes_(static_cast<std::size_t>(graph_.size())),
+      outboxes_(static_cast<std::size_t>(graph_.size()))
 {
+    common::ensure(config_.threads >= 1, "Engine: threads must be >= 1");
 }
 
 void Engine::install(std::unique_ptr<Processor> processor, bool byzantine)
@@ -38,6 +43,12 @@ int Engine::byzantine_count() const
     return static_cast<int>(std::count(byzantine_.begin(), byzantine_.end(), true));
 }
 
+void Engine::set_threads(int threads)
+{
+    common::ensure(threads >= 1, "Engine::set_threads: threads must be >= 1");
+    config_.threads = threads;
+}
+
 Processor& Engine::processor(common::Processor_id id)
 {
     common::ensure(id >= 0 && id < static_cast<int>(processors_.size()),
@@ -58,37 +69,125 @@ void Engine::throw_processor_type_mismatch(common::Processor_id id, const char* 
                                  " is not of the requested type " + requested_type};
 }
 
+void Engine::step_processor(common::Processor_id id, std::vector<std::vector<Message>>& rows,
+                            Traffic_stats& stats)
+{
+    const auto slot = static_cast<std::size_t>(id);
+    std::vector<Message>& outbox = outboxes_[slot];
+    outbox.clear(); // keeps its high-water capacity
+    Pulse_context ctx{pulse_, id, size(), &graph_.neighbors(id), &inboxes_[slot], &outbox};
+    processors_[slot]->on_pulse(ctx);
+
+    // Fast path: a fully connected sender on an undamaged network can only
+    // produce deliverable or silently-droppable messages (an out-of-range or
+    // self target is dropped for honest and Byzantine senders alike, exactly
+    // as the general path below does), so per-message validation reduces to
+    // three integer compares.
+    if (!any_disconnected_ && static_cast<int>(graph_.neighbors(id).size()) == size() - 1) {
+        for (Message& msg : outbox) {
+            if (msg.to < 0 || msg.to >= size() || msg.to == id) continue;
+            stats.messages += 1;
+            stats.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
+            rows[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+        }
+        return;
+    }
+
+    const bool sender_byzantine = byzantine_[slot];
+    for (Message& msg : outbox) {
+        const bool target_valid = msg.to >= 0 && msg.to < size() && msg.to != id;
+        const bool edge_exists = target_valid && graph_.has_edge(id, msg.to);
+        if (!edge_exists || disconnected_[static_cast<std::size_t>(msg.to)]) {
+            // Honest protocol code must not address non-neighbors; a
+            // Byzantine processor attempting it just loses the message.
+            common::ensure(sender_byzantine || !target_valid ||
+                               disconnected_[static_cast<std::size_t>(msg.to)] || edge_exists,
+                           "honest processor sent to a non-neighbor");
+            continue;
+        }
+        stats.messages += 1;
+        stats.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
+        rows[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+    }
+}
+
+void Engine::run_pulse_single()
+{
+    for (std::vector<Message>& inbox : next_inboxes_) inbox.clear();
+    for (common::Processor_id id = 0; id < size(); ++id) {
+        if (disconnected_[static_cast<std::size_t>(id)]) continue;
+        step_processor(id, next_inboxes_, stats_);
+    }
+    inboxes_.swap(next_inboxes_);
+}
+
+void Engine::ensure_pool()
+{
+    if (pool_ && pool_->threads() == config_.threads) return;
+    pool_ = std::make_unique<common::Executor>(config_.threads);
+    const auto n = static_cast<std::size_t>(size());
+    const auto workers = static_cast<std::size_t>(config_.threads);
+    slices_.clear();
+    for (std::size_t s = 0; s < workers; ++s) {
+        slices_.emplace_back(static_cast<int>(s * n / workers),
+                             static_cast<int>((s + 1) * n / workers));
+    }
+    stage_.assign(workers, std::vector<std::vector<Message>>(n));
+    slice_stats_.assign(workers, Traffic_stats{});
+}
+
+void Engine::run_pulse_parallel()
+{
+    ensure_pool();
+    const std::size_t workers = slices_.size();
+
+    // Phase 1: every worker steps its contiguous slice of senders into its
+    // private staging rows. No shared mutable state; reads (inboxes, graph,
+    // flags) are frozen for the whole phase.
+    pool_->parallel_for(workers, [this](std::size_t s) {
+        std::vector<std::vector<Message>>& rows = stage_[s];
+        for (std::vector<Message>& row : rows) row.clear();
+        Traffic_stats local;
+        const auto [begin, end] = slices_[s];
+        for (common::Processor_id id = begin; id < end; ++id) {
+            if (disconnected_[static_cast<std::size_t>(id)]) continue;
+            step_processor(id, rows, local);
+        }
+        slice_stats_[s] = local;
+    });
+
+    // Phase 2: gather, partitioned by recipient. Slices hold contiguous
+    // ascending sender ranges and each worker stepped its senders in
+    // ascending order, so concatenating stage rows in slice order rebuilds
+    // exactly the delivery order of the sequential loop.
+    pool_->parallel_for(workers, [this](std::size_t s) {
+        const auto [begin, end] = slices_[s];
+        for (common::Processor_id to = begin; to < end; ++to) {
+            std::vector<Message>& inbox = inboxes_[static_cast<std::size_t>(to)];
+            inbox.clear();
+            for (std::size_t from_slice = 0; from_slice < stage_.size(); ++from_slice) {
+                for (Message& msg : stage_[from_slice][static_cast<std::size_t>(to)])
+                    inbox.push_back(std::move(msg));
+            }
+        }
+    });
+
+    for (const Traffic_stats& local : slice_stats_) {
+        stats_.messages += local.messages;
+        stats_.payload_bytes += local.payload_bytes;
+    }
+}
+
 void Engine::run_pulse()
 {
     common::ensure(static_cast<int>(processors_.size()) == graph_.size(),
                    "Engine::run_pulse: not all processors installed");
 
-    std::vector<std::vector<Message>> next_inboxes(static_cast<std::size_t>(size()));
-    for (common::Processor_id id = 0; id < size(); ++id) {
-        if (disconnected_[static_cast<std::size_t>(id)]) continue;
-        std::vector<Message> outbox;
-        Pulse_context ctx{pulse_, id, size(), &graph_.neighbors(id),
-                          &inboxes_[static_cast<std::size_t>(id)], &outbox};
-        processors_[static_cast<std::size_t>(id)]->on_pulse(ctx);
-
-        for (Message& msg : outbox) {
-            const bool target_valid = msg.to >= 0 && msg.to < size() && msg.to != id;
-            const bool edge_exists = target_valid && graph_.has_edge(id, msg.to);
-            if (!edge_exists || disconnected_[static_cast<std::size_t>(msg.to)]) {
-                // Honest protocol code must not address non-neighbors; a
-                // Byzantine processor attempting it just loses the message.
-                common::ensure(byzantine_[static_cast<std::size_t>(id)] || !target_valid ||
-                                   disconnected_[static_cast<std::size_t>(msg.to)] || edge_exists,
-                               "honest processor sent to a non-neighbor");
-                continue;
-            }
-            stats_.messages += 1;
-            stats_.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
-            next_inboxes[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
-        }
+    if (config_.threads > 1 && size() > 1) {
+        run_pulse_parallel();
+    } else {
+        run_pulse_single();
     }
-
-    inboxes_ = std::move(next_inboxes);
     ++pulse_;
     ++stats_.pulses;
 }
@@ -101,12 +200,14 @@ void Engine::run(common::Pulse count)
 void Engine::inject_transient_fault()
 {
     for (auto& processor : processors_) processor->corrupt(rng_);
-    // In-flight messages become arbitrary: some dropped, some garbled.
+    // In-flight messages become arbitrary: some dropped, some garbled. The
+    // garble writes through Shared_payload::unique(), which clones the buffer
+    // iff other recipients still alias it (copy-on-write isolation).
     for (auto& inbox : inboxes_) {
         std::vector<Message> corrupted;
         for (Message& msg : inbox) {
             if (rng_.chance(0.5)) continue; // dropped
-            for (auto& byte : msg.payload)
+            for (auto& byte : msg.payload.unique())
                 if (rng_.chance(0.5)) byte = static_cast<std::uint8_t>(rng_.below(256));
             corrupted.push_back(std::move(msg));
         }
@@ -125,6 +226,7 @@ void Engine::disconnect(common::Processor_id id)
 {
     common::ensure(id >= 0 && id < size(), "disconnect: id out of range");
     disconnected_[static_cast<std::size_t>(id)] = true;
+    any_disconnected_ = true;
     inboxes_[static_cast<std::size_t>(id)].clear();
 }
 

@@ -6,6 +6,16 @@
 // fault model: a designated Byzantine set (whose Processor implementations
 // may do anything) and transient faults (state corruption of every processor
 // plus arbitrary in-flight messages).
+//
+// The pulse loop is allocation-free in steady state (double-buffered inboxes,
+// persistent per-processor outboxes that keep their high-water capacity) and
+// payloads are zero-copy (one refcounted buffer per broadcast, aliased by
+// every recipient — see common::Shared_payload). With Engine_config{threads}
+// > 1 the pulse runs on a worker pool: each worker steps a contiguous slice
+// of processors into private staging rows, then a sender-id-ordered gather
+// rebuilds every inbox exactly as the single-thread loop would have, so an
+// N-thread run is bit-identical to the 1-thread run (same delivery order,
+// same stats, same verdicts downstream).
 #ifndef GA_SIM_ENGINE_H
 #define GA_SIM_ENGINE_H
 
@@ -14,6 +24,7 @@
 #include <typeinfo>
 #include <vector>
 
+#include "common/executor.h"
 #include "sim/graph.h"
 #include "sim/processor.h"
 
@@ -28,10 +39,22 @@ struct Traffic_stats {
     friend bool operator==(const Traffic_stats&, const Traffic_stats&) = default;
 };
 
+/// Execution knobs. Thread count is result-invariant: it partitions the pulse
+/// across workers but never changes what the pulse computes.
+struct Engine_config {
+    int threads = 1;
+};
+
 class Engine {
 public:
     /// The graph fixes both the system size and who can talk to whom.
-    explicit Engine(Graph graph, common::Rng rng = common::Rng{0});
+    explicit Engine(Graph graph, common::Rng rng = common::Rng{0}, Engine_config config = {});
+
+    /// Jobs capture `this`, so the engine must stay put once built.
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+    Engine(Engine&&) = delete;
+    Engine& operator=(Engine&&) = delete;
 
     /// Install the processor with id = number of processors installed so far.
     /// All `graph.size()` slots must be filled before running.
@@ -43,6 +66,11 @@ public:
     [[nodiscard]] int byzantine_count() const;
     [[nodiscard]] common::Pulse now() const { return pulse_; }
     [[nodiscard]] const Traffic_stats& stats() const { return stats_; }
+
+    /// Resize the worker pool (>= 1). Callable between pulses at any time;
+    /// has no effect on results, only on wall-clock speed.
+    void set_threads(int threads);
+    [[nodiscard]] int threads() const { return config_.threads; }
 
     /// Typed access to an installed processor (tests and result harvesting).
     [[nodiscard]] Processor& processor(common::Processor_id id);
@@ -72,7 +100,9 @@ public:
     void run(common::Pulse count);
 
     /// Transient fault (§4): corrupt the state of every processor and replace
-    /// the in-flight messages with arbitrary garbage.
+    /// the in-flight messages with arbitrary garbage. Garbling is
+    /// copy-on-write per delivery, so corrupting one recipient's copy of a
+    /// broadcast never touches the other recipients' copies.
     void inject_transient_fault();
 
     /// Corrupt a single processor's state.
@@ -89,14 +119,33 @@ private:
     [[noreturn]] static void throw_processor_type_mismatch(common::Processor_id id,
                                                            const char* requested_type);
 
+    /// Step `id` into its persistent outbox, then validate and move each
+    /// message into `rows[recipient]`, accounting into `stats`.
+    void step_processor(common::Processor_id id, std::vector<std::vector<Message>>& rows,
+                        Traffic_stats& stats);
+
+    void run_pulse_single();
+    void run_pulse_parallel();
+    void ensure_pool();
+
     Graph graph_;
     common::Rng rng_;
+    Engine_config config_;
     std::vector<std::unique_ptr<Processor>> processors_;
     std::vector<bool> byzantine_;
     std::vector<bool> disconnected_;
-    std::vector<std::vector<Message>> inboxes_; // indexed by recipient
+    bool any_disconnected_ = false; ///< skips per-message disconnect checks while false
+    std::vector<std::vector<Message>> inboxes_;      ///< indexed by recipient
+    std::vector<std::vector<Message>> next_inboxes_; ///< double buffer (1-thread path)
+    std::vector<std::vector<Message>> outboxes_;     ///< persistent, indexed by sender
     common::Pulse pulse_ = 0;
     Traffic_stats stats_;
+
+    // ---- Worker-pool state (built lazily on the first parallel pulse).
+    std::unique_ptr<common::Executor> pool_;
+    std::vector<std::pair<int, int>> slices_; ///< contiguous [begin, end) id ranges
+    std::vector<std::vector<std::vector<Message>>> stage_; ///< [slice][recipient]
+    std::vector<Traffic_stats> slice_stats_;               ///< per-slice accumulators
 };
 
 } // namespace ga::sim

@@ -11,6 +11,8 @@ Graph::Graph(int n)
 {
     common::ensure(n >= 0, "Graph size must be non-negative");
     adjacency_.resize(static_cast<std::size_t>(n));
+    words_per_vertex_ = (static_cast<std::size_t>(n) + 63) / 64;
+    edge_bits_.assign(static_cast<std::size_t>(n) * words_per_vertex_, 0);
 }
 
 void Graph::add_edge(common::Processor_id a, common::Processor_id b)
@@ -22,13 +24,18 @@ void Graph::add_edge(common::Processor_id a, common::Processor_id b)
     auto& nb = adjacency_[static_cast<std::size_t>(b)];
     na.insert(std::lower_bound(na.begin(), na.end(), b), b);
     nb.insert(std::lower_bound(nb.begin(), nb.end(), a), a);
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    edge_bits_[ua * words_per_vertex_ + ub / 64] |= std::uint64_t{1} << (ub % 64);
+    edge_bits_[ub * words_per_vertex_ + ua / 64] |= std::uint64_t{1} << (ua % 64);
 }
 
 bool Graph::has_edge(common::Processor_id a, common::Processor_id b) const
 {
     common::ensure(a >= 0 && a < size() && b >= 0 && b < size(), "has_edge: vertex out of range");
-    const auto& na = adjacency_[static_cast<std::size_t>(a)];
-    return std::binary_search(na.begin(), na.end(), b);
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    return (edge_bits_[ua * words_per_vertex_ + ub / 64] >> (ub % 64) & 1) != 0;
 }
 
 const std::vector<common::Processor_id>& Graph::neighbors(common::Processor_id v) const

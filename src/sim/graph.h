@@ -7,6 +7,7 @@
 #ifndef GA_SIM_GRAPH_H
 #define GA_SIM_GRAPH_H
 
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -24,6 +25,8 @@ public:
     /// Add the undirected edge {a, b}; idempotent.
     void add_edge(common::Processor_id a, common::Processor_id b);
 
+    /// O(1) via the per-vertex adjacency bitset (this sits on the engine's
+    /// per-message delivery-validation path).
     [[nodiscard]] bool has_edge(common::Processor_id a, common::Processor_id b) const;
 
     /// Neighbors of `v` in increasing id order.
@@ -47,7 +50,11 @@ public:
 private:
     [[nodiscard]] int max_vertex_disjoint_paths(common::Processor_id s, common::Processor_id t) const;
 
+    /// Sorted neighbor lists (iteration order) + a flattened n x ceil(n/64)
+    /// bitset mirror of the same edges (constant-time membership).
     std::vector<std::vector<common::Processor_id>> adjacency_;
+    std::vector<std::uint64_t> edge_bits_;
+    std::size_t words_per_vertex_ = 0;
 };
 
 /// Complete graph K_n.

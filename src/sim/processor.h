@@ -14,14 +14,18 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "common/shared_payload.h"
 
 namespace ga::sim {
 
-/// A point-to-point message delivered one pulse after it is sent.
+/// A point-to-point message delivered one pulse after it is sent. The payload
+/// is a refcounted immutable buffer: a broadcast enqueues one allocation
+/// aliased by every recipient's Message, and fault injection garbles
+/// copy-on-write so no recipient's corruption leaks into another's delivery.
 struct Message {
     common::Processor_id from = -1;
     common::Processor_id to = -1;
-    common::Bytes payload;
+    common::Shared_payload payload;
 };
 
 /// Per-pulse interface handed to a processor: its inbox plus a send facility.
@@ -50,17 +54,32 @@ public:
     /// Messages sent to this processor at the previous pulse.
     [[nodiscard]] const std::vector<Message>& inbox() const { return *inbox_; }
 
-    /// Queue a message for delivery at the next pulse.
-    void send(common::Processor_id to, common::Bytes payload)
+    /// Queue a message for delivery at the next pulse. The shared-handle
+    /// overload aliases an existing buffer (relays and echo attackers forward
+    /// without copying); the Bytes overload wraps fresh bytes once.
+    void send(common::Processor_id to, common::Shared_payload payload)
     {
         outbox_->push_back(Message{self_, to, std::move(payload)});
+    }
+    void send(common::Processor_id to, common::Bytes payload)
+    {
+        send(to, common::Shared_payload{std::move(payload)});
     }
 
     /// Queue the same payload to every neighbor (the full-information
     /// protocols all run on complete graphs, where this is a true broadcast).
-    void broadcast(const common::Bytes& payload)
+    /// Zero-copy: one buffer, aliased by all n-1 recipients' Messages, minted
+    /// with a single refcount update.
+    void broadcast(common::Shared_payload payload)
     {
-        for (const common::Processor_id to : *neighbors_) send(to, payload);
+        auto to = neighbors_->begin();
+        payload.fan_out(neighbors_->size(), [&](common::Shared_payload alias) {
+            outbox_->push_back(Message{self_, *to++, std::move(alias)});
+        });
+    }
+    void broadcast(common::Bytes payload)
+    {
+        broadcast(common::Shared_payload{std::move(payload)});
     }
 
 private:

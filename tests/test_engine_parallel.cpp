@@ -1,0 +1,267 @@
+// The engine's zero-copy/parallel-pulse contracts: N-thread runs are
+// bit-identical to 1-thread runs (same delivery order, traces, and stats)
+// under Byzantine senders, disconnection, and transient faults; broadcast
+// payloads alias one buffer; fault garbling is copy-on-write per recipient.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/engine.h"
+#include "sim/malicious.h"
+#include "sim/two_faced.h"
+
+namespace {
+
+using namespace ga::sim;
+using ga::common::Bytes;
+using ga::common::Processor_id;
+using ga::common::Pulse;
+using ga::common::Rng;
+using ga::common::Shared_payload;
+
+/// Records every delivery (pulse, sender, payload) and broadcasts a payload
+/// derived from its id and the pulse, so traces capture delivery order and
+/// content exactly.
+class Recorder final : public Processor {
+public:
+    explicit Recorder(Processor_id id) : Processor{id} {}
+
+    void on_pulse(Pulse_context& ctx) override
+    {
+        for (const Message& m : ctx.inbox())
+            trace.emplace_back(ctx.pulse(), m.from, m.payload.bytes());
+        Bytes payload;
+        ga::common::put_u32(payload, static_cast<std::uint32_t>(id()));
+        ga::common::put_u64(payload, static_cast<std::uint64_t>(ctx.pulse()));
+        ctx.broadcast(std::move(payload));
+    }
+
+    void corrupt(Rng& rng) override
+    {
+        if (rng.chance(0.5)) trace.clear();
+    }
+
+    std::vector<std::tuple<Pulse, Processor_id, Bytes>> trace;
+};
+
+/// One scripted chaos run: Byzantine babblers, a two-faced equivocator, a
+/// mid-run disconnection, and a mid-run transient fault.
+struct Run_result {
+    Traffic_stats stats;
+    std::vector<std::vector<std::tuple<Pulse, Processor_id, Bytes>>> traces;
+
+    friend bool operator==(const Run_result&, const Run_result&) = default;
+};
+
+Run_result chaos_run(int threads)
+{
+    const int n = 11;
+    Engine engine{complete_graph(n), Rng{2026}, Engine_config{threads}};
+    for (Processor_id id = 0; id < n; ++id) {
+        if (id == 3) {
+            engine.install(std::make_unique<Random_babbler>(id, Rng{77}), /*byzantine=*/true);
+        } else if (id == 7) {
+            engine.install(std::make_unique<Two_faced_processor>(std::make_unique<Recorder>(id),
+                                                                 std::make_unique<Recorder>(id),
+                                                                 /*split_at=*/5),
+                           /*byzantine=*/true);
+        } else {
+            engine.install(std::make_unique<Recorder>(id));
+        }
+    }
+
+    engine.run(3);
+    engine.disconnect(5);
+    engine.run(2);
+    engine.inject_transient_fault();
+    engine.run(3);
+
+    Run_result result;
+    result.stats = engine.stats();
+    for (Processor_id id = 0; id < n; ++id) {
+        if (id == 3 || id == 7) continue;
+        result.traces.push_back(engine.processor_as<Recorder>(id).trace);
+    }
+    return result;
+}
+
+TEST(EngineParallel, ThreadCountIsResultInvariantUnderChaos)
+{
+    const Run_result single = chaos_run(1);
+    EXPECT_GT(single.stats.messages, 0);
+    for (const int threads : {2, 4}) {
+        const Run_result pooled = chaos_run(threads);
+        EXPECT_EQ(single, pooled) << "diverged at " << threads << " threads";
+    }
+}
+
+/// Byzantine sends to non-neighbors on a sparse graph must be dropped
+/// identically at every thread count.
+TEST(EngineParallel, SparseGraphDropsAreDeterministic)
+{
+    auto run = [](int threads) {
+        const int n = 8;
+        Engine engine{ring_graph(n), Rng{5}, Engine_config{threads}};
+        for (Processor_id id = 0; id < n; ++id) {
+            if (id == 2) {
+                // Babbles at everyone; only ring neighbors may receive.
+                engine.install(std::make_unique<Random_babbler>(id, Rng{13}),
+                               /*byzantine=*/true);
+            } else {
+                engine.install(std::make_unique<Recorder>(id));
+            }
+        }
+        engine.run(4);
+        std::vector<std::vector<std::tuple<Pulse, Processor_id, Bytes>>> traces;
+        for (Processor_id id = 0; id < n; ++id) {
+            if (id == 2) continue;
+            traces.push_back(engine.processor_as<Recorder>(id).trace);
+        }
+        return std::make_pair(engine.stats(), traces);
+    };
+    const auto single = run(1);
+    for (const int threads : {2, 4}) EXPECT_EQ(single, run(threads));
+}
+
+TEST(EngineParallel, SetThreadsMidRunKeepsResultsIdentical)
+{
+    auto run = [](bool resize) {
+        Engine engine{complete_graph(6), Rng{9}, Engine_config{1}};
+        for (Processor_id id = 0; id < 6; ++id)
+            engine.install(std::make_unique<Recorder>(id));
+        engine.run(3);
+        if (resize) engine.set_threads(3);
+        engine.run(3);
+        std::vector<std::vector<std::tuple<Pulse, Processor_id, Bytes>>> traces;
+        for (Processor_id id = 0; id < 6; ++id)
+            traces.push_back(engine.processor_as<Recorder>(id).trace);
+        return std::make_pair(engine.stats(), traces);
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+// ------------------------------------------------------- payload aliasing
+
+TEST(SharedPayload, BroadcastAliasesOneBufferAcrossRecipients)
+{
+    const std::vector<Processor_id> neighbors{1, 2, 3, 4};
+    std::vector<Message> inbox;
+    std::vector<Message> outbox;
+    Pulse_context ctx{0, 0, 5, &neighbors, &inbox, &outbox};
+
+    ctx.broadcast(Bytes{0xaa, 0xbb, 0xcc});
+    ASSERT_EQ(outbox.size(), 4u);
+    for (std::size_t i = 1; i < outbox.size(); ++i) {
+        EXPECT_TRUE(outbox[0].payload.aliases(outbox[i].payload));
+    }
+    EXPECT_EQ(outbox[0].payload.use_count(), 4);
+    EXPECT_EQ(outbox[2].payload.bytes(), (Bytes{0xaa, 0xbb, 0xcc}));
+}
+
+TEST(SharedPayload, ForwardedSendAliasesInsteadOfCopying)
+{
+    const std::vector<Processor_id> neighbors{1};
+    std::vector<Message> inbox;
+    inbox.push_back(Message{2, 0, Shared_payload{Bytes{0x01, 0x02}}});
+    std::vector<Message> outbox;
+    Pulse_context ctx{0, 0, 3, &neighbors, &inbox, &outbox};
+
+    ctx.send(1, inbox[0].payload); // the relay idiom (sim::Replayer)
+    ASSERT_EQ(outbox.size(), 1u);
+    EXPECT_TRUE(outbox[0].payload.aliases(inbox[0].payload));
+}
+
+TEST(SharedPayload, GarbleIsCopyOnWritePerHolder)
+{
+    Shared_payload original{Bytes{1, 2, 3, 4}};
+    Shared_payload a = original;
+    Shared_payload b = original;
+    ASSERT_TRUE(a.aliases(b));
+
+    b.unique()[0] = 0xff; // one recipient's delivery is corrupted...
+    EXPECT_FALSE(a.aliases(b));
+    EXPECT_EQ(a.bytes(), (Bytes{1, 2, 3, 4}));        // ...the others are untouched
+    EXPECT_EQ(original.bytes(), (Bytes{1, 2, 3, 4}));
+    EXPECT_EQ(b.bytes(), (Bytes{0xff, 2, 3, 4}));
+    EXPECT_EQ(b.use_count(), 1);
+    EXPECT_EQ(a.use_count(), 2);
+}
+
+/// Engine-level proof: after a transient fault garbles some in-flight copies
+/// of one broadcast, recipients whose copies survived un-garbled still read
+/// the exact original bytes — corruption never crosses deliveries.
+TEST(SharedPayload, TransientFaultGarbleNeverLeaksAcrossRecipients)
+{
+    /// Broadcasts a fixed marker payload once, then stays silent.
+    class One_shot final : public Processor {
+    public:
+        explicit One_shot(Processor_id id) : Processor{id} {}
+        void on_pulse(Pulse_context& ctx) override
+        {
+            if (ctx.pulse() == 0) ctx.broadcast(Bytes(1, 0x5a));
+        }
+        void corrupt(Rng&) override {}
+    };
+    /// Records payloads only (senders/pulses irrelevant here).
+    class Sink final : public Processor {
+    public:
+        explicit Sink(Processor_id id) : Processor{id} {}
+        void on_pulse(Pulse_context& ctx) override
+        {
+            for (const Message& m : ctx.inbox()) payloads.push_back(m.payload.bytes());
+        }
+        void corrupt(Rng&) override {}
+        std::vector<Bytes> payloads;
+    };
+
+    const Bytes marker(1, 0x5a);
+    bool saw_both_in_one_run = false;
+    // Sweep seeds until the 0.5-drop/0.5-garble fault model produces, in one
+    // run, both a garbled and an intact delivery of the one shared buffer:
+    // the intact copy proves the garble went into a private clone.
+    for (std::uint64_t seed = 0; seed < 20 && !saw_both_in_one_run; ++seed) {
+        Engine engine{complete_graph(6), Rng{seed}};
+        engine.install(std::make_unique<One_shot>(0));
+        for (Processor_id id = 1; id < 6; ++id) engine.install(std::make_unique<Sink>(id));
+
+        engine.run_pulse();             // broadcast is now in flight, aliased 5 ways
+        engine.inject_transient_fault(); // drops some copies, garbles others (COW)
+        engine.run_pulse();
+
+        bool garbled_in_run = false;
+        bool intact_in_run = false;
+        for (Processor_id id = 1; id < 6; ++id) {
+            for (const Bytes& payload : engine.processor_as<Sink>(id).payloads) {
+                if (payload == marker) {
+                    intact_in_run = true;
+                } else {
+                    garbled_in_run = true;
+                    EXPECT_EQ(payload.size(), marker.size()); // garbled in place, not resized
+                }
+            }
+        }
+        saw_both_in_one_run = garbled_in_run && intact_in_run;
+    }
+    EXPECT_TRUE(saw_both_in_one_run);
+}
+
+TEST(SharedPayload, StatsCountPerDeliveryDespiteSharing)
+{
+    /// One broadcaster, silent receivers: payload bytes must be accounted
+    /// once per recipient even though only one buffer exists.
+    class Broadcaster final : public Processor {
+    public:
+        explicit Broadcaster(Processor_id id) : Processor{id} {}
+        void on_pulse(Pulse_context& ctx) override { ctx.broadcast(Bytes(10, 0x11)); }
+        void corrupt(Rng&) override {}
+    };
+    Engine engine{complete_graph(4)};
+    engine.install(std::make_unique<Broadcaster>(0));
+    for (Processor_id id = 1; id < 4; ++id)
+        engine.install(std::make_unique<Silent_processor>(id), /*byzantine=*/true);
+    engine.run(2);
+    EXPECT_EQ(engine.stats().messages, 2 * 3);
+    EXPECT_EQ(engine.stats().payload_bytes, 2 * 3 * 10);
+}
+
+} // namespace

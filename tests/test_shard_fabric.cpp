@@ -14,6 +14,7 @@ namespace {
 using namespace ga;
 using namespace ga::shard;
 using common::Agent_id;
+using common::Executor;
 using common::Rng;
 
 // ---------------------------------------------------------------- Shard_map
