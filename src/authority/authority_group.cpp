@@ -85,4 +85,10 @@ void Replica_group_harness::inject_transient_fault()
     engine_.inject_transient_fault();
 }
 
+void Replica_group_harness::expel_agent(common::Agent_id id)
+{
+    common::ensure(id >= 0 && id < n_, "expel_agent: agent out of range");
+    if (!engine_.is_disconnected(id)) engine_.disconnect(id);
+}
+
 } // namespace ga::authority

@@ -39,6 +39,22 @@ public:
     /// rounds up to whole batches).
     [[nodiscard]] virtual common::Pulse pulses_for_plays(int plays) const = 0;
 
+    /// Window-edge quiesce hook: pulses until the group's replicated schedule
+    /// reaches the next play-window edge — the wrap-slack slot where the
+    /// previous play (or k-play batch) is fully processed and the next has
+    /// not started. 0 when already quiesced (including before the boot
+    /// pulse). The elastic fabric retires a group for migration/split/merge
+    /// only after stepping it exactly this many pulses, so a rebalance pauses
+    /// an affected shard for at most one play window.
+    [[nodiscard]] virtual common::Pulse pulses_to_window_edge() const = 0;
+
+    /// Window-edge rebuild hook: physically expel an agent from the group's
+    /// network (idempotent). The elastic fabric uses it to carry an earlier
+    /// epoch's disconnection orders into a freshly built group — expulsion is
+    /// permanent across migrations even though the rebuilt group's executive
+    /// ledger starts fresh.
+    virtual void expel_agent(common::Agent_id id) = 0;
+
     [[nodiscard]] virtual const Game_spec& spec() const = 0;
 
     [[nodiscard]] virtual bool is_honest_slot(common::Processor_id id) const = 0;
@@ -77,6 +93,7 @@ public:
 
     void run_pulses(common::Pulse count) override;
     void inject_transient_fault() override;
+    void expel_agent(common::Agent_id id) override;
 
 protected:
     /// Validates n > 3f and |byzantine| <= f; `rng` is consumed for the

@@ -49,6 +49,18 @@ common::Pulse Distributed_authority::pulses_for_plays(int plays) const
     return static_cast<common::Pulse>(plays) * pulses_per_play();
 }
 
+common::Pulse Distributed_authority::pulses_to_window_edge() const
+{
+    // The reference replica's clock is the group's schedule position: a play
+    // occupies clock values 1..period-2 and the remaining slack (period-1,
+    // then 0) is idle, so stepping until the clock wraps to 0 completes any
+    // in-flight play. In steady state every honest clock agrees; after a
+    // transient fault this is best-effort until the clocks re-converge.
+    const int period = pulses_per_play();
+    const int value = processor(reference_slot()).clock();
+    return (period - value) % period;
+}
+
 const Authority_processor& Distributed_authority::processor(common::Processor_id id) const
 {
     common::ensure(is_honest_slot(id), "processor: Byzantine slot has no authority replica");

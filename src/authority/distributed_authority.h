@@ -37,6 +37,10 @@ public:
 
     [[nodiscard]] int pulses_per_play() const;
     [[nodiscard]] common::Pulse pulses_for_plays(int plays) const override;
+
+    /// Pulses until the replicated clock wraps to its idle slot (clock 0): the
+    /// in-flight play finishes and its verdicts are processed on the way.
+    [[nodiscard]] common::Pulse pulses_to_window_edge() const override;
     [[nodiscard]] const Authority_processor& processor(common::Processor_id id) const;
 
     // ---- Per-play result harvesting (the routing front-end of the sharded

@@ -69,4 +69,15 @@ void Executive_service::scale_reputation(common::Agent_id i, double factor)
     standings_[static_cast<std::size_t>(i)].reputation *= factor;
 }
 
+Standing merge_standings(const Standing& earlier, const Standing& later)
+{
+    Standing merged;
+    merged.active = earlier.active && later.active;
+    merged.fines = earlier.fines + later.fines;
+    merged.reputation = earlier.reputation * later.reputation;
+    merged.cumulative_cost = earlier.cumulative_cost + later.cumulative_cost;
+    merged.fouls = earlier.fouls + later.fouls;
+    return merged;
+}
+
 } // namespace ga::authority

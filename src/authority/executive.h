@@ -27,6 +27,14 @@ struct Standing {
     friend bool operator==(const Standing&, const Standing&) = default;
 };
 
+/// Fold two consecutive epochs of one agent's ledger into a single continuous
+/// standing: additive fields (fines, cost, fouls) sum, reputation compounds,
+/// and the agent stays inactive once any epoch deactivated it. The default
+/// Standing is the fold's identity, so the elastic fabric can seed its
+/// cross-epoch carried ledger with `Standing{}` and fold each retiring
+/// group's entry in as agents migrate between replica groups.
+[[nodiscard]] Standing merge_standings(const Standing& earlier, const Standing& later);
+
 class Executive_service {
 public:
     explicit Executive_service(int n_agents);

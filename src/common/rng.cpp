@@ -87,6 +87,11 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream)
     return mixer.next();
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream, std::uint64_t substream)
+{
+    return derive_seed(derive_seed(base_seed, stream), substream);
+}
+
 Rng Rng::split(std::uint64_t stream)
 {
     // Derive a child seed from fresh output mixed with the stream index so

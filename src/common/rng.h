@@ -92,6 +92,12 @@ private:
 /// reproducible from one 64-bit seed regardless of construction order.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream);
 
+/// Two-level stream derivation: seed_of(shard s at epoch e) =
+/// derive_seed(base, s, e). Pure composition of the one-level form, so the
+/// elastic fabric's rebuilt replica groups are reproducible from (seed,
+/// shard, epoch) alone — no generator state survives a rebuild.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream, std::uint64_t substream);
+
 } // namespace ga::common
 
 #endif // GA_COMMON_RNG_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "common/ensure.h"
 
@@ -10,15 +11,20 @@ namespace ga::metrics {
 Fabric_metrics aggregate_shards(std::vector<Shard_sample> samples)
 {
     common::ensure(!samples.empty(), "aggregate_shards: at least one shard sample");
-    std::sort(samples.begin(), samples.end(),
-              [](const Shard_sample& a, const Shard_sample& b) { return a.shard < b.shard; });
+    std::sort(samples.begin(), samples.end(), [](const Shard_sample& a, const Shard_sample& b) {
+        return std::pair{a.epoch, a.shard} < std::pair{b.epoch, b.shard};
+    });
     for (std::size_t s = 0; s + 1 < samples.size(); ++s) {
-        common::ensure(samples[s].shard != samples[s + 1].shard,
-                       "aggregate_shards: duplicate shard index");
+        common::ensure(samples[s].epoch != samples[s + 1].epoch ||
+                           samples[s].shard != samples[s + 1].shard,
+                       "aggregate_shards: duplicate (epoch, shard) sample");
     }
 
     Fabric_metrics out;
     out.shards = static_cast<int>(samples.size());
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+        if (s == 0 || samples[s].epoch != samples[s - 1].epoch) ++out.epochs;
+    }
     out.min_shard_plays = std::numeric_limits<std::int64_t>::max();
     double optimal_total = 0.0;
     double social_over_known_optima = 0.0;

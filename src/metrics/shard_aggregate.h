@@ -18,13 +18,24 @@
 namespace ga::metrics {
 
 /// One shard's harvest over a measurement interval.
+///
+/// The elastic fabric produces one sample per *group lifetime*: groups
+/// retired at an epoch edge contribute a sample tagged with the epoch they
+/// retired in, live groups a sample tagged with the current epoch. Samples
+/// are therefore unique per (epoch, shard) pair and sum without loss or
+/// double counting even when the same shard index is rebuilt many times.
 struct Shard_sample {
     int shard = -1;                 ///< shard index within the fabric
+    int epoch = 0;                  ///< shard-map epoch the sample was harvested under
     int agents = 0;                 ///< agents supervised by this shard
     std::int64_t plays = 0;         ///< agreed plays completed
     sim::Traffic_stats traffic;     ///< wire cost of the shard's engine
     std::int64_t fouls = 0;         ///< punished offences across all agents
-    int disconnected = 0;           ///< agents expelled from the network
+    /// Agents this sample's group expelled from the network. An expulsion
+    /// carried into a rebuilt group at an epoch edge is re-enacted there but
+    /// counted only by the group that ordered it, so `total_disconnected`
+    /// equals the number of distinct expelled agents across epochs.
+    int disconnected = 0;
     double social_cost = 0.0;       ///< sum over plays of the outcome's social cost
     /// plays x the shard game's optimum social cost; nullopt when the game is
     /// too large to enumerate (the ratio is then omitted from the report).
@@ -36,7 +47,11 @@ struct Shard_sample {
 /// Fabric-level totals; operator== makes bit-identical run comparison a
 /// single expression (the determinism contract of the fabric).
 struct Fabric_metrics {
-    int shards = 0;
+    int shards = 0;   ///< samples folded (group lifetimes, not unique shard ids)
+    int epochs = 0;   ///< distinct shard-map epochs among the samples
+    /// Agent-slots summed over samples: equals the population for a static
+    /// single-epoch fabric; in an elastic run an agent contributes once per
+    /// group lifetime it lived through.
     int agents = 0;
     std::int64_t total_plays = 0;
     sim::Traffic_stats total_traffic;
@@ -53,8 +68,10 @@ struct Fabric_metrics {
     friend bool operator==(const Fabric_metrics&, const Fabric_metrics&) = default;
 };
 
-/// Fold per-shard samples (any order; the result is sorted by shard index so
-/// aggregation is executor-schedule independent).
+/// Fold per-shard samples (any order; the result is sorted by (epoch, shard)
+/// so aggregation is executor-schedule independent). Samples must be unique
+/// per (epoch, shard) — the elastic fabric's retire-once discipline; a
+/// duplicate pair would double-count a group's harvest and throws.
 Fabric_metrics aggregate_shards(std::vector<Shard_sample> samples);
 
 } // namespace ga::metrics

@@ -63,6 +63,15 @@ common::Pulse Pipeline_authority::pulses_for_plays(int plays) const
     return static_cast<common::Pulse>(batches) * pulses_per_batch();
 }
 
+common::Pulse Pipeline_authority::pulses_to_window_edge() const
+{
+    // Same wrap-to-idle rule as the classic tier, over the batch period: the
+    // reference replica's clock runs one 4-phase schedule per k-play batch.
+    const int period = pulses_per_batch();
+    const int value = processor(reference_slot()).clock();
+    return (period - value) % period;
+}
+
 const Pipeline_processor& Pipeline_authority::processor(common::Processor_id id) const
 {
     common::ensure(is_honest_slot(id), "processor: Byzantine slot has no authority replica");

@@ -41,6 +41,11 @@ public:
     [[nodiscard]] int batch_k() const { return k_; }
     [[nodiscard]] int pulses_per_batch() const;
     [[nodiscard]] common::Pulse pulses_for_plays(int plays) const override;
+
+    /// Pulses until the next batch edge: the in-flight k-play batch (commit
+    /// vectors, reveals, and the batch-edge audit) completes on the way, so a
+    /// batch boundary doubles as the fabric's migration point.
+    [[nodiscard]] common::Pulse pulses_to_window_edge() const override;
     [[nodiscard]] const Pipeline_processor& processor(common::Processor_id id) const;
 
     // ---- Authority_group harvesting surface (read off the first honest

@@ -49,20 +49,26 @@ const authority::Authority_group& Authority_router::shard_at(int shard) const
     return *shards_[static_cast<std::size_t>(shard)];
 }
 
+Authority_router::Agent_play Authority_router::play_view(const authority::Play_record& play,
+                                                         common::Agent_id local)
+{
+    Agent_play entry;
+    entry.completed_at = play.completed_at;
+    entry.action = local < static_cast<int>(play.outcome.size())
+                       ? play.outcome[static_cast<std::size_t>(local)]
+                       : -1;
+    entry.punished =
+        std::find(play.punished.begin(), play.punished.end(), local) != play.punished.end();
+    return entry;
+}
+
 std::vector<Authority_router::Agent_play>
 Authority_router::plays_of(common::Agent_id global) const
 {
     const Route route = locate(global);
     std::vector<Agent_play> history;
     for (const authority::Play_record& play : shard_at(route.shard).agreed_plays()) {
-        Agent_play entry;
-        entry.completed_at = play.completed_at;
-        entry.action = route.local < static_cast<int>(play.outcome.size())
-                           ? play.outcome[static_cast<std::size_t>(route.local)]
-                           : -1;
-        entry.punished = std::find(play.punished.begin(), play.punished.end(), route.local) !=
-                         play.punished.end();
-        history.push_back(entry);
+        history.push_back(play_view(play, route.local));
     }
     return history;
 }

@@ -53,7 +53,15 @@ public:
         friend bool operator==(const Agent_play&, const Agent_play&) = default;
     };
 
-    /// The agent's full agreed play history, collected from its shard.
+    /// One play record reduced to the view of shard member `local`. The
+    /// elastic fabric folds retiring groups' histories through this same
+    /// reduction, so an agent's pre- and post-migration entries are directly
+    /// comparable.
+    [[nodiscard]] static Agent_play play_view(const authority::Play_record& play,
+                                              common::Agent_id local);
+
+    /// The agent's agreed play history on its *current* shard (the elastic
+    /// fabric prepends earlier epochs' folded history for migrated agents).
     [[nodiscard]] std::vector<Agent_play> plays_of(common::Agent_id global) const;
 
     /// The agent's executive ledger entry on its shard.

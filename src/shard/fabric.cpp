@@ -1,6 +1,8 @@
 #include "shard/fabric.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "game/analysis.h"
 
@@ -29,71 +31,129 @@ std::optional<double> enumerable_optimum_cost(const game::Strategic_game& game)
 
 } // namespace
 
-Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
-               Fabric_config config)
-    : map_{std::move(map)}, config_{std::move(config)}, executor_{config_.threads}
+void Fabric::validate_config() const
 {
     common::ensure(config_.spec_factory != nullptr, "Fabric: null shard spec factory");
     common::ensure(config_.punishment != nullptr, "Fabric: null punishment factory");
     for (const common::Agent_id g : config_.byzantine) {
-        common::ensure(g >= 0 && g < map_.n_agents(), "Fabric: Byzantine id out of range");
+        common::ensure(g >= 0 && g < plan_.map().n_agents(), "Fabric: Byzantine id out of range");
     }
     common::ensure(config_.batch_k >= 1 && config_.batch_k <= pipeline::k_max_batch,
                    "Fabric: batch_k out of range");
     common::ensure(config_.tampers.empty() || pipelined(),
                    "Fabric: tampers require pipelined mode (batch_k > 1)");
     for (const auto& [g, tamper] : config_.tampers) {
-        common::ensure(g >= 0 && g < map_.n_agents(), "Fabric: tamper id out of range");
+        common::ensure(g >= 0 && g < plan_.map().n_agents(), "Fabric: tamper id out of range");
         (void)tamper;
     }
+}
 
-    auto per_shard_behaviors = Authority_router::partition_behaviors(map_, std::move(behaviors));
+Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
+               Fabric_config config)
+    : plan_{std::move(map)}, config_{std::move(config)}, executor_{config_.threads}
+{
+    validate_config();
+    common::ensure(config_.behavior_factory == nullptr && config_.rebalance == nullptr,
+                   "Fabric: a static fabric cannot rebuild shards — use the elastic "
+                   "constructor (behavior factory) for rebalancing");
+    build_all(Authority_router::partition_behaviors(plan_.map(), std::move(behaviors)));
+}
 
-    shards_.reserve(static_cast<std::size_t>(map_.n_shards()));
-    optimum_costs_.reserve(static_cast<std::size_t>(map_.n_shards()));
-    for (int s = 0; s < map_.n_shards(); ++s) {
-        const std::vector<common::Agent_id>& members = map_.members(s);
-        authority::Game_spec spec = config_.spec_factory(s, members);
-        common::ensure(spec.game != nullptr, "Fabric: shard spec factory returned a null game");
-        common::ensure(spec.game->n_agents() == static_cast<int>(members.size()),
-                       "Fabric: shard game size must match the shard population");
+Fabric::Fabric(Shard_map initial, Fabric_config config)
+    : plan_{std::move(initial)}, config_{std::move(config)}, executor_{config_.threads}
+{
+    validate_config();
+    common::ensure(config_.behavior_factory != nullptr,
+                   "Fabric: elastic construction requires a behavior factory");
+    std::vector<std::vector<std::unique_ptr<authority::Agent_behavior>>> per_shard;
+    per_shard.reserve(static_cast<std::size_t>(plan_.map().n_shards()));
+    for (int s = 0; s < plan_.map().n_shards(); ++s) {
+        per_shard.push_back(mint_behaviors(plan_.map(), s));
+    }
+    build_all(std::move(per_shard));
+    if (config_.rebalance != nullptr) rebalancer_.emplace(config_.rebalance);
+}
 
-        std::set<common::Processor_id> local_byzantine;
-        for (const common::Agent_id g : config_.byzantine) {
-            if (map_.shard_of(g) == s) local_byzantine.insert(map_.local_of(g));
-        }
+std::vector<std::unique_ptr<authority::Agent_behavior>>
+Fabric::mint_behaviors(const Shard_map& map, int s) const
+{
+    const std::vector<common::Agent_id>& members = map.members(s);
+    std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors;
+    behaviors.reserve(members.size());
+    for (const common::Agent_id g : members) {
+        behaviors.push_back(config_.behavior_factory(g));
+    }
+    return behaviors;
+}
 
-        optimum_costs_.push_back(enumerable_optimum_cost(*spec.game));
+Fabric::Built_group
+Fabric::build_group(const Shard_plan& plan, int s,
+                    std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors) const
+{
+    const Shard_map& map = plan.map();
+    const std::vector<common::Agent_id>& members = map.members(s);
+    authority::Game_spec spec = config_.spec_factory(s, members);
+    common::ensure(spec.game != nullptr, "Fabric: shard spec factory returned a null game");
+    common::ensure(spec.game->n_agents() == static_cast<int>(members.size()),
+                   "Fabric: shard game size must match the shard population");
 
-        common::Rng shard_rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(s))};
-        if (pipelined()) {
-            std::map<common::Processor_id, pipeline::Tamper> local_tampers;
-            for (const auto& [g, tamper] : config_.tampers) {
-                if (map_.shard_of(g) == s) local_tampers.emplace(map_.local_of(g), tamper);
-            }
-            shards_.push_back(std::make_unique<pipeline::Pipeline_authority>(
-                std::move(spec), config_.f, config_.batch_k,
-                std::move(per_shard_behaviors[static_cast<std::size_t>(s)]), local_byzantine,
-                config_.punishment, std::move(shard_rng), config_.byzantine_factory,
-                config_.ic_factory, std::move(local_tampers)));
-        } else {
-            shards_.push_back(std::make_unique<authority::Distributed_authority>(
-                std::move(spec), config_.f,
-                std::move(per_shard_behaviors[static_cast<std::size_t>(s)]), local_byzantine,
-                config_.punishment, std::move(shard_rng), config_.byzantine_factory,
-                config_.ic_factory));
-        }
+    std::set<common::Processor_id> local_byzantine;
+    for (const common::Agent_id g : config_.byzantine) {
+        if (map.shard_of(g) == s) local_byzantine.insert(map.local_of(g));
     }
 
+    Built_group built;
+    built.optimum = enumerable_optimum_cost(*spec.game);
+
+    common::Rng shard_rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(s),
+                                              static_cast<std::uint64_t>(plan.epoch()))};
+    if (pipelined()) {
+        std::map<common::Processor_id, pipeline::Tamper> local_tampers;
+        for (const auto& [g, tamper] : config_.tampers) {
+            if (map.shard_of(g) == s) local_tampers.emplace(map.local_of(g), tamper);
+        }
+        built.group = std::make_unique<pipeline::Pipeline_authority>(
+            std::move(spec), config_.f, config_.batch_k, std::move(behaviors), local_byzantine,
+            config_.punishment, std::move(shard_rng), config_.byzantine_factory,
+            config_.ic_factory, std::move(local_tampers));
+    } else {
+        built.group = std::make_unique<authority::Distributed_authority>(
+            std::move(spec), config_.f, std::move(behaviors), local_byzantine, config_.punishment,
+            std::move(shard_rng), config_.byzantine_factory, config_.ic_factory);
+    }
+    return built;
+}
+
+void Fabric::build_all(
+    std::vector<std::vector<std::unique_ptr<authority::Agent_behavior>>> per_shard)
+{
+    ledgers_.resize(static_cast<std::size_t>(plan_.map().n_agents()));
+    shards_.clear();
+    shards_.reserve(static_cast<std::size_t>(plan_.map().n_shards()));
+    optimum_costs_.assign(static_cast<std::size_t>(plan_.map().n_shards()), std::nullopt);
+    for (int s = 0; s < plan_.map().n_shards(); ++s) {
+        Built_group built =
+            build_group(plan_, s, std::move(per_shard[static_cast<std::size_t>(s)]));
+        shards_.push_back(std::move(built.group));
+        optimum_costs_[static_cast<std::size_t>(s)] = built.optimum;
+    }
+    rebuild_router();
+}
+
+void Fabric::rebuild_router()
+{
     std::vector<const authority::Authority_group*> shard_views;
     shard_views.reserve(shards_.size());
     for (const auto& shard : shards_) shard_views.push_back(shard.get());
-    router_ = std::make_unique<Authority_router>(map_, std::move(shard_views));
+    router_ = std::make_unique<Authority_router>(plan_.map(), std::move(shard_views));
 }
 
 const authority::Authority_group& Fabric::shard(int s) const
 {
-    common::ensure(s >= 0 && s < n_shards(), "Fabric::shard: index out of range");
+    if (s < 0 || s >= n_shards()) {
+        throw common::Contract_error{"Fabric::shard: shard " + std::to_string(s) +
+                                     " out of range [0, " + std::to_string(n_shards()) + ")"};
+    }
     return *shards_[static_cast<std::size_t>(s)];
 }
 
@@ -122,11 +182,181 @@ void Fabric::inject_transient_fault()
     for (auto& shard : shards_) shard->inject_transient_fault();
 }
 
+bool Fabric::maybe_rebalance()
+{
+    if (!rebalancer_.has_value()) return false;
+    // The policy's load view is O(shards) to assemble — counts only, not the
+    // O(total plays) cost/standings fold a full harvest() performs.
+    std::vector<Shard_load> loads;
+    loads.reserve(static_cast<std::size_t>(n_shards()));
+    for (int s = 0; s < n_shards(); ++s) {
+        const authority::Authority_group& group = *shards_[static_cast<std::size_t>(s)];
+        Shard_load load;
+        load.shard = s;
+        load.agents = group.n_agents();
+        load.plays = static_cast<std::int64_t>(group.agreed_plays().size());
+        load.messages = group.traffic().messages;
+        loads.push_back(load);
+    }
+    const Rebalance_plan proposal = rebalancer_->propose(plan_, std::move(loads));
+    if (proposal.empty()) return false;
+    // Transform with the structural floor only: a *malformed* plan (stale
+    // shard ids, duplicate movers, ...) is a policy bug and propagates. A
+    // well-formed plan whose resulting groups would dip under this fabric's
+    // 3f+1 replica floor — which the policy cannot know — is skipped
+    // (deterministically, every window it recurs); explicit apply_rebalance
+    // stays strict about the floor too.
+    Shard_plan next = plan_.apply(proposal, /*min_members=*/1);
+    const int floor = 3 * config_.f + 1;
+    for (const int size : next.map().shard_sizes()) {
+        if (size < floor) return false;
+    }
+    apply_next_plan(std::move(next));
+    return true;
+}
+
+Rebalance_report Fabric::apply_rebalance(const Rebalance_plan& plan)
+{
+    return apply_next_plan(plan_.apply(plan, 3 * config_.f + 1));
+}
+
+Rebalance_report Fabric::apply_next_plan(Shard_plan next)
+{
+    common::ensure(config_.behavior_factory != nullptr,
+                   "Fabric::apply_rebalance: static fabric cannot rebuild shards");
+    const std::vector<int> carried = carried_shards(plan_.map(), next.map());
+
+    const int old_count = plan_.map().n_shards();
+    std::vector<bool> keep(static_cast<std::size_t>(old_count), false);
+    for (const int old_shard : carried) {
+        if (old_shard >= 0) keep[static_cast<std::size_t>(old_shard)] = true;
+    }
+
+    // ---- Build every replacement group first (the only step that runs
+    // user-supplied factories): a throw here leaves the fabric untouched.
+    std::vector<std::unique_ptr<authority::Authority_group>> next_groups(
+        static_cast<std::size_t>(next.map().n_shards()));
+    std::vector<std::optional<double>> next_optima(
+        static_cast<std::size_t>(next.map().n_shards()), std::nullopt);
+    Rebalance_report report;
+    report.epoch = next.epoch();
+    report.moves = next.pending();
+    for (std::size_t s = 0; s < next_groups.size(); ++s) {
+        if (carried[s] >= 0) continue;
+        Built_group built = build_group(next, static_cast<int>(s),
+                                        mint_behaviors(next.map(), static_cast<int>(s)));
+        next_groups[s] = std::move(built.group);
+        next_optima[s] = built.optimum;
+        ++report.rebuilt;
+    }
+
+    // ---- Quiesce every retiring group to its play-window edge (concurrent
+    // across the pool; each group's pulse count is its own, so the schedule
+    // is result-invariant).
+    std::vector<common::Pulse> quiesce(static_cast<std::size_t>(old_count), 0);
+    std::vector<std::function<void()>> jobs;
+    for (int s = 0; s < old_count; ++s) {
+        if (keep[static_cast<std::size_t>(s)]) continue;
+        const common::Pulse pulses = shards_[static_cast<std::size_t>(s)]->pulses_to_window_edge();
+        quiesce[static_cast<std::size_t>(s)] = pulses;
+        authority::Authority_group* group = shards_[static_cast<std::size_t>(s)].get();
+        jobs.push_back([group, pulses] { group->run_pulses(pulses); });
+    }
+    executor_.run_all(jobs);
+
+    // ---- Retire: fold each quiesced group into the carried ledger.
+    for (int s = 0; s < old_count; ++s) {
+        if (keep[static_cast<std::size_t>(s)]) continue;
+        report.max_quiesce_pulses =
+            std::max(report.max_quiesce_pulses, quiesce[static_cast<std::size_t>(s)]);
+        retire_group(s);
+        ++report.retired;
+    }
+
+    // ---- Swap the topology: adopt carried groups under their new ids.
+    for (std::size_t s = 0; s < next_groups.size(); ++s) {
+        if (carried[s] >= 0) {
+            next_groups[s] = std::move(shards_[static_cast<std::size_t>(carried[s])]);
+            next_optima[s] = optimum_costs_[static_cast<std::size_t>(carried[s])];
+            ++report.carried;
+        }
+    }
+    plan_ = std::move(next);
+    shards_ = std::move(next_groups);
+    optimum_costs_ = std::move(next_optima);
+
+    // ---- Finish the rebuilt shards against the now-folded ledger:
+    // expulsion is permanent, so re-expel members disconnected in any
+    // earlier epoch, then boot each fresh group's clock so it joins the
+    // fabric's play cadence on the next fabric step.
+    for (int s = 0; s < plan_.map().n_shards(); ++s) {
+        if (carried[static_cast<std::size_t>(s)] >= 0) continue;
+        const std::vector<common::Agent_id>& members = plan_.map().members(s);
+        for (common::Agent_id local = 0; local < static_cast<int>(members.size()); ++local) {
+            if (ledgers_[static_cast<std::size_t>(members[static_cast<std::size_t>(local)])]
+                    .expelled) {
+                shards_[static_cast<std::size_t>(s)]->expel_agent(local);
+            }
+        }
+        shards_[static_cast<std::size_t>(s)]->run_pulses(1);
+    }
+    rebuild_router();
+
+    last_rebalance_ = report;
+    return report;
+}
+
+void Fabric::retire_group(int s)
+{
+    retired_samples_.push_back(harvest(s));
+    const authority::Authority_group& group = *shards_[static_cast<std::size_t>(s)];
+    const std::vector<common::Agent_id>& members = plan_.map().members(s);
+    const std::vector<authority::Play_record>& plays = group.agreed_plays();
+    const std::vector<authority::Standing>& standings = group.agreed_standings();
+    for (common::Agent_id local = 0; local < static_cast<int>(members.size()); ++local) {
+        Agent_ledger& ledger =
+            ledgers_[static_cast<std::size_t>(members[static_cast<std::size_t>(local)])];
+        for (const authority::Play_record& play : plays) {
+            ledger.history.push_back(Authority_router::play_view(play, local));
+        }
+        ledger.carried = authority::merge_standings(
+            ledger.carried, standings[static_cast<std::size_t>(local)]);
+        if (group.is_agent_disconnected(local)) ledger.expelled = true;
+    }
+    shards_[static_cast<std::size_t>(s)].reset();
+}
+
+std::vector<Authority_router::Agent_play> Fabric::agent_history(common::Agent_id global) const
+{
+    common::ensure(global >= 0 && global < n_agents(), "Fabric::agent_history: id out of range");
+    std::vector<Authority_router::Agent_play> history =
+        ledgers_[static_cast<std::size_t>(global)].history;
+    const std::vector<Authority_router::Agent_play> current = router_->plays_of(global);
+    history.insert(history.end(), current.begin(), current.end());
+    return history;
+}
+
+authority::Standing Fabric::agent_standing(common::Agent_id global) const
+{
+    common::ensure(global >= 0 && global < n_agents(), "Fabric::agent_standing: id out of range");
+    return authority::merge_standings(ledgers_[static_cast<std::size_t>(global)].carried,
+                                      router_->standing(global));
+}
+
+bool Fabric::agent_disconnected(common::Agent_id global) const
+{
+    common::ensure(global >= 0 && global < n_agents(),
+                   "Fabric::agent_disconnected: id out of range");
+    return ledgers_[static_cast<std::size_t>(global)].expelled ||
+           router_->is_disconnected(global);
+}
+
 metrics::Shard_sample Fabric::harvest(int s) const
 {
     const authority::Authority_group& group = shard(s);
     metrics::Shard_sample sample;
     sample.shard = s;
+    sample.epoch = plan_.epoch();
     sample.agents = group.n_agents();
     sample.traffic = group.traffic();
 
@@ -142,14 +372,23 @@ metrics::Shard_sample Fabric::harvest(int s) const
     for (const authority::Standing& standing : group.agreed_standings()) {
         sample.fouls += standing.fouls;
     }
-    sample.disconnected = static_cast<int>(group.disconnected_agents().size());
+    // Count only expulsions this group performed: an expulsion carried into
+    // a rebuilt group (re-enacted at build time) was already counted by the
+    // retiring group that ordered it — the carried ledger flag marks those,
+    // since retire_group folds it only after harvesting.
+    const std::vector<common::Agent_id>& members = plan_.map().members(s);
+    for (common::Agent_id local = 0; local < static_cast<int>(members.size()); ++local) {
+        const bool carried_expulsion =
+            ledgers_[static_cast<std::size_t>(members[static_cast<std::size_t>(local)])].expelled;
+        if (group.is_agent_disconnected(local) && !carried_expulsion) ++sample.disconnected;
+    }
     return sample;
 }
 
 metrics::Fabric_metrics Fabric::report() const
 {
-    std::vector<metrics::Shard_sample> samples;
-    samples.reserve(shards_.size());
+    std::vector<metrics::Shard_sample> samples = retired_samples_;
+    samples.reserve(samples.size() + static_cast<std::size_t>(n_shards()));
     for (int s = 0; s < n_shards(); ++s) samples.push_back(harvest(s));
     return metrics::aggregate_shards(std::move(samples));
 }

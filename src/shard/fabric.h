@@ -1,37 +1,58 @@
 // The authority fabric: many concurrent game-authority groups behind one
-// front-end.
+// front-end — and, since the elastic refactor, a shard topology that can
+// change while the fabric runs.
 //
 // The paper's Distributed_authority supervises one game over one replica
 // group, so its throughput is pinned to one BA group's 4(f+2)-pulse play
 // cadence. The fabric lifts that bound the way the ROADMAP's "sharded
 // authority" item prescribes: a Shard_map partitions the global agent
-// population into shards, every shard runs its own Distributed_authority
-// (own sim::Engine, own replicas, own clock), and an Executor steps the
-// shards on a thread pool. Total plays/sec then scales with shard count and
-// hardware instead of one group's pulse cadence — and because BA cost grows
-// superlinearly in group size, S small groups are cheaper per play than one
-// big one even on a single core.
+// population into shards, every shard runs its own authority group (own
+// sim::Engine, own replicas, own clock), and an Executor steps the shards on
+// a thread pool. Total plays/sec then scales with shard count and hardware
+// instead of one group's pulse cadence.
 //
-// Determinism contract: shard s draws every bit of randomness from
-// common::derive_seed(config.seed, s), and shards never share mutable state,
-// so a whole-fabric run is a pure function of (seed, map, config) — the same
-// verdicts, outcomes, and aggregated stats bit-for-bit on 1 thread or N.
+// Elastic operation: the current topology lives in an epoch-versioned
+// Shard_plan. A Rebalance_policy (shard/rebalancer.h) inspects per-shard
+// harvested load and emits migration/split/merge plans; the fabric applies a
+// plan only at a play-window edge:
+//
+//   - affected shards finish their in-flight play (or k-play batch in
+//     pipelined mode) — pulses_to_window_edge() per group, at most one
+//     window — then retire: their harvest joins the retired-sample ledger
+//     and every member's standings/history fold into a per-global-id carried
+//     ledger;
+//   - unaffected shards are adopted untouched (same group object, same
+//     in-flight state — a merge relabel changes a routing id, never the
+//     group), so a rebalance pauses only the shards it changes;
+//   - changed shards are rebuilt from derive_seed(seed, shard, epoch), and
+//     migrating agents are re-keyed into their target group's next play
+//     window. Expulsions carry over: an agent disconnected in any earlier
+//     epoch is physically expelled from its rebuilt group before it boots
+//     (the fresh executive ledger re-registers the expulsion after one audit
+//     cycle).
+//
+// Determinism contract: every epoch-e group of shard s draws its randomness
+// from common::derive_seed(seed, s, e), rebalance decisions are pure
+// functions of replicated harvests, and shards never share mutable state —
+// so a whole elastic run is a pure function of (seed, initial map, rebalance
+// policy, config): the same epochs, verdicts, outcomes, and aggregated stats
+// bit-for-bit on 1 executor thread or N.
 //
 // Pipelined mode: config.batch_k > 1 runs every shard as a Pipeline_authority
-// (src/pipeline/) that amortizes agreement cost over batches of k plays —
-// per-group throughput scaling, orthogonal to the fabric's scale-out across
-// groups. The determinism contract is unchanged: batched shards draw from the
-// same derive_seed streams.
+// (src/pipeline/) amortizing agreement cost over k-play batches; batch edges
+// then double as the fabric's migration points.
 #ifndef GA_SHARD_FABRIC_H
 #define GA_SHARD_FABRIC_H
 
 #include <map>
+#include <optional>
 #include <set>
 
 #include "common/executor.h"
 #include "metrics/shard_aggregate.h"
 #include "pipeline/pipeline_authority.h"
 #include "shard/authority_router.h"
+#include "shard/rebalancer.h"
 
 namespace ga::shard {
 
@@ -41,8 +62,18 @@ namespace ga::shard {
 /// per-region sharding returns the same template sized to the region. The
 /// returned game object may be shared between shards only if its cost
 /// function is safe to call concurrently (const and stateless, the norm).
+/// Elastic note: called again for every rebuilt shard, with the new epoch's
+/// membership — `shard` ids are only unique within one epoch.
 using Shard_spec_factory =
     std::function<authority::Game_spec(int shard, const std::vector<common::Agent_id>& members)>;
+
+/// Mints a fresh behavior for a global agent. The elastic fabric calls it
+/// once per group build the agent is part of — initial construction and
+/// every rebuild after a migration/split/merge — so behaviors must be
+/// reconstructible from the global id alone. May return null only for ids in
+/// Fabric_config::byzantine.
+using Behavior_factory =
+    std::function<std::unique_ptr<authority::Agent_behavior>(common::Agent_id global)>;
 
 struct Fabric_config {
     int f = 1;                         ///< Byzantine resilience per shard
@@ -51,7 +82,7 @@ struct Fabric_config {
     std::set<common::Agent_id> byzantine;     ///< *global* ids run attackers
     authority::Byzantine_factory byzantine_factory = {};  ///< default babbler
     authority::Ic_factory ic_factory = {};    ///< default: bft::choose_ic per shard
-    std::uint64_t seed = 0;            ///< fabric seed; shard s uses derive_seed(seed, s)
+    std::uint64_t seed = 0;  ///< fabric seed; shard s at epoch e uses derive_seed(seed, s, e)
     int threads = 1;                   ///< executor width (result-invariant)
     /// Plays agreed per BA activation batch: 1 = the classic per-play §3.3
     /// schedule (Distributed_authority), > 1 = pipelined shards amortizing
@@ -60,19 +91,49 @@ struct Fabric_config {
     /// Equivocating-agent instrumentation (global ids; pipelined mode only):
     /// the listed agents open a substituted action inside their sealed batch.
     std::map<common::Agent_id, pipeline::Tamper> tampers;
+    /// Required by the elastic constructor; the static (behavior-vector)
+    /// constructor forbids it.
+    Behavior_factory behavior_factory;
+    /// Consulted by maybe_rebalance(); null = the topology never changes on
+    /// its own (apply_rebalance still works on an elastic fabric).
+    Rebalance_policy rebalance;
+};
+
+/// What one epoch transition did (returned by apply_rebalance and kept for
+/// the last transition): the bench's pause-bound and carried-group checks
+/// read this instead of re-deriving topology diffs.
+struct Rebalance_report {
+    int epoch = 0;     ///< the epoch the fabric moved to
+    int carried = 0;   ///< groups adopted untouched (possibly relabeled)
+    int retired = 0;   ///< groups quiesced and folded into the carried ledger
+    int rebuilt = 0;   ///< fresh groups built at the new epoch
+    common::Pulse max_quiesce_pulses = 0; ///< worst per-shard pause (< one play window)
+    Migration_set moves;                  ///< agent moves the transition performed
 };
 
 class Fabric {
 public:
-    /// `behaviors[g]` is global agent g's behavior (null allowed only for ids
-    /// in config.byzantine); the router dispatches them to the owning shards.
+    /// Static fabric: `behaviors[g]` is global agent g's behavior (null
+    /// allowed only for ids in config.byzantine); the router dispatches them
+    /// to the owning shards. The topology is frozen at construction —
+    /// config.behavior_factory and config.rebalance must be null (rebuilding
+    /// a shard needs behaviors mintable per epoch; use the elastic
+    /// constructor for that).
     Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
            Fabric_config config);
 
-    [[nodiscard]] int n_shards() const { return map_.n_shards(); }
-    [[nodiscard]] int n_agents() const { return map_.n_agents(); }
-    [[nodiscard]] const Shard_map& map() const { return map_; }
+    /// Elastic fabric: behaviors are minted from config.behavior_factory
+    /// (required), for the initial groups and again for every shard rebuilt
+    /// at an epoch edge.
+    Fabric(Shard_map initial, Fabric_config config);
+
+    [[nodiscard]] int n_shards() const { return plan_.map().n_shards(); }
+    [[nodiscard]] int n_agents() const { return plan_.map().n_agents(); }
+    [[nodiscard]] int epoch() const { return plan_.epoch(); }
+    [[nodiscard]] const Shard_plan& plan() const { return plan_; }
+    [[nodiscard]] const Shard_map& map() const { return plan_.map(); }
     [[nodiscard]] const Authority_router& router() const { return *router_; }
+    /// Throws Contract_error naming the shard id when out of range.
     [[nodiscard]] const authority::Authority_group& shard(int s) const;
     [[nodiscard]] bool pipelined() const { return config_.batch_k > 1; }
     [[nodiscard]] int batch_k() const { return config_.batch_k; }
@@ -87,19 +148,102 @@ public:
     /// §4 transient fault in every shard at once.
     void inject_transient_fault();
 
-    /// Harvest one shard's current totals (plays, traffic, fouls, costs).
+    // ---- Elastic operation (epoch transitions).
+
+    /// Consult config.rebalance over every live shard's load and apply any
+    /// non-empty plan at the window edge. Returns true when the topology
+    /// changed. No-op (false) without a policy, and also when the proposal
+    /// would dip a group under the fabric's 3f+1 floor (a policy configured
+    /// with a looser min_members cannot crash the run). A structurally
+    /// malformed proposal (stale shard ids, duplicate movers, ...) is a
+    /// policy bug and still throws Contract_error.
+    bool maybe_rebalance();
+
+    /// Apply an explicit non-empty plan now: quiesce affected shards to
+    /// their window edge, retire them into the carried ledger, adopt
+    /// untouched groups, rebuild changed shards at epoch+1. Requires the
+    /// elastic constructor.
+    Rebalance_report apply_rebalance(const Rebalance_plan& plan);
+
+    /// The most recent epoch transition, if any.
+    [[nodiscard]] const std::optional<Rebalance_report>& last_rebalance() const
+    {
+        return last_rebalance_;
+    }
+
+    // ---- Cross-epoch agent views (carried ledger + current shard, keyed by
+    // global id — continuous across migrations).
+
+    /// The agent's complete agreed play history: folded entries from every
+    /// retired group it was a member of, then its current shard's history.
+    [[nodiscard]] std::vector<Authority_router::Agent_play>
+    agent_history(common::Agent_id global) const;
+
+    /// The agent's continuous standing: retired epochs folded with the
+    /// current shard's ledger entry via authority::merge_standings.
+    [[nodiscard]] authority::Standing agent_standing(common::Agent_id global) const;
+
+    /// True once any epoch's group expelled the agent (permanent).
+    [[nodiscard]] bool agent_disconnected(common::Agent_id global) const;
+
+    // ---- Harvesting.
+
+    /// Harvest one live shard's current totals (plays, traffic, fouls,
+    /// costs), tagged with the current epoch.
     [[nodiscard]] metrics::Shard_sample harvest(int s) const;
 
-    /// Fabric-level aggregation of every shard's harvest.
+    /// Fabric-level aggregation: every retired group's final harvest plus
+    /// every live shard's current harvest — totals sum across epochs without
+    /// loss or double counting.
     [[nodiscard]] metrics::Fabric_metrics report() const;
 
 private:
-    Shard_map map_;
+    /// Per-global-agent state carried across epoch transitions.
+    struct Agent_ledger {
+        std::vector<Authority_router::Agent_play> history;
+        authority::Standing carried{};
+        bool expelled = false;
+    };
+
+    void validate_config() const;
+    /// A freshly built replica group plus its game's enumerable optimum.
+    struct Built_group {
+        std::unique_ptr<authority::Authority_group> group;
+        std::optional<double> optimum;
+    };
+    /// Build the group for shard `s` of `plan` (any epoch). `behaviors` must
+    /// be ordered by local id; null entries only for Byzantine slots. Pure
+    /// with respect to fabric state, so apply_rebalance can build every
+    /// replacement group *before* mutating anything — a throwing spec or
+    /// behavior factory leaves the fabric intact.
+    [[nodiscard]] Built_group
+    build_group(const Shard_plan& plan, int s,
+                std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors) const;
+    /// Mint a shard's behavior vector through config_.behavior_factory.
+    [[nodiscard]] std::vector<std::unique_ptr<authority::Agent_behavior>>
+    mint_behaviors(const Shard_map& map, int s) const;
+    /// Install groups for every shard of plan_ (construction time).
+    void build_all(std::vector<std::vector<std::unique_ptr<authority::Agent_behavior>>> per_shard);
+    /// Fold a quiesced group's harvest, histories, standings, and expulsions
+    /// into the carried state, then destroy it.
+    void retire_group(int s);
+    /// The epoch transition proper, over an already-validated successor
+    /// snapshot (shared by apply_rebalance and maybe_rebalance so the plan
+    /// transform runs exactly once per transition).
+    Rebalance_report apply_next_plan(Shard_plan next);
+    void rebuild_router();
+
+    Shard_plan plan_;
     Fabric_config config_;
     std::vector<std::unique_ptr<authority::Authority_group>> shards_;
     std::vector<std::optional<double>> optimum_costs_; ///< per-shard social optimum
     std::unique_ptr<Authority_router> router_;
     common::Executor executor_;
+    std::optional<Rebalancer> rebalancer_;
+
+    std::vector<Agent_ledger> ledgers_;                ///< one per global agent
+    std::vector<metrics::Shard_sample> retired_samples_;
+    std::optional<Rebalance_report> last_rebalance_;
 };
 
 } // namespace ga::shard

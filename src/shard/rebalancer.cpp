@@ -1,0 +1,129 @@
+#include "shard/rebalancer.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace ga::shard {
+
+namespace {
+
+/// Index of the hottest shard by per-play wire cost (lowest id on ties);
+/// -1 when no shard has completed a play yet.
+int hottest(const std::vector<Shard_load>& loads)
+{
+    int hot = -1;
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        if (loads[i].plays <= 0) continue;
+        if (hot < 0 || loads[i].cost_per_play() > loads[static_cast<std::size_t>(hot)].cost_per_play()) {
+            hot = static_cast<int>(i);
+        }
+    }
+    return hot;
+}
+
+/// The upper half (floor(size/2) members) of a shard's member list — the
+/// deterministic mover set the stock split policies use.
+std::vector<common::Agent_id> upper_half(const std::vector<common::Agent_id>& members)
+{
+    const std::size_t movers = members.size() / 2;
+    return {members.end() - static_cast<std::ptrdiff_t>(movers), members.end()};
+}
+
+} // namespace
+
+Rebalance_policy rebalance_load_threshold(double ratio, int min_members)
+{
+    common::ensure(ratio > 1.0, "rebalance_load_threshold: ratio must exceed 1");
+    common::ensure(min_members >= 1, "rebalance_load_threshold: min_members must be positive");
+    return [ratio, min_members](const Shard_plan& plan, const std::vector<Shard_load>& loads) {
+        Rebalance_plan out;
+        double total = 0.0;
+        int counted = 0;
+        for (const Shard_load& load : loads) {
+            if (load.plays > 0) {
+                total += load.cost_per_play();
+                ++counted;
+            }
+        }
+        if (counted < 2) return out; // nothing to compare against
+        const double mean = total / counted;
+        const int hot = hottest(loads);
+        if (hot < 0 || loads[static_cast<std::size_t>(hot)].cost_per_play() <= ratio * mean) {
+            return out;
+        }
+
+        const int hot_shard = loads[static_cast<std::size_t>(hot)].shard;
+        const std::vector<common::Agent_id>& members = plan.map().members(hot_shard);
+        const int size = static_cast<int>(members.size());
+        if (size / 2 >= min_members) {
+            out.splits.push_back(Shard_split{hot_shard, upper_half(members)});
+            return out;
+        }
+
+        // Too small to split: drain toward the lightest shard instead.
+        int light = -1;
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            if (loads[i].shard == hot_shard) continue;
+            if (light < 0 || loads[i].agents < loads[static_cast<std::size_t>(light)].agents) {
+                light = static_cast<int>(i);
+            }
+        }
+        if (light < 0) return out;
+        const int light_shard = loads[static_cast<std::size_t>(light)].shard;
+        const int gap = (size - loads[static_cast<std::size_t>(light)].agents) / 2;
+        const int movable = std::min(size - min_members, gap);
+        for (int i = 0; i < movable; ++i) {
+            out.migrations.push_back(
+                Migration{members[static_cast<std::size_t>(size - 1 - i)], hot_shard, light_shard});
+        }
+        return out;
+    };
+}
+
+Rebalance_policy rebalance_size_cap(int max_members, int min_members)
+{
+    common::ensure(min_members >= 1, "rebalance_size_cap: min_members must be positive");
+    common::ensure(max_members >= min_members, "rebalance_size_cap: cap below the group floor");
+    return [max_members, min_members](const Shard_plan& plan, const std::vector<Shard_load>&) {
+        Rebalance_plan out;
+        for (int s = 0; s < plan.map().n_shards(); ++s) {
+            const std::vector<common::Agent_id>& members = plan.map().members(s);
+            const int size = static_cast<int>(members.size());
+            if (size > max_members && size / 2 >= min_members) {
+                out.splits.push_back(Shard_split{s, upper_half(members)});
+            }
+        }
+        return out;
+    };
+}
+
+Rebalance_policy rebalance_explicit(std::vector<Rebalance_plan> scripted)
+{
+    // Keyed on the plan's epoch rather than a playback cursor, so the policy
+    // stays a pure function of its inputs: copies of the policy (and whole
+    // re-runs of a fabric) see the same plan at the same epoch, which is what
+    // the fabric's determinism contract requires.
+    auto script =
+        std::make_shared<const std::vector<Rebalance_plan>>(std::move(scripted));
+    return [script](const Shard_plan& plan, const std::vector<Shard_load>&) {
+        const auto e = static_cast<std::size_t>(plan.epoch());
+        return e < script->size() ? (*script)[e] : Rebalance_plan{};
+    };
+}
+
+Rebalancer::Rebalancer(Rebalance_policy policy) : policy_{std::move(policy)}
+{
+    common::ensure(policy_ != nullptr, "Rebalancer: null policy");
+}
+
+Rebalance_plan Rebalancer::propose(const Shard_plan& plan, std::vector<Shard_load> loads) const
+{
+    std::sort(loads.begin(), loads.end(),
+              [](const Shard_load& a, const Shard_load& b) { return a.shard < b.shard; });
+    return policy_(plan, loads);
+}
+
+} // namespace ga::shard

@@ -1,0 +1,88 @@
+// Rebalancing policies for the elastic authority fabric.
+//
+// The fabric harvests per-shard load every time it is asked to consider a
+// rebalance — agreed plays, wire traffic, and shard sizes — and hands the
+// numbers to a pluggable policy that answers with a Rebalance_plan (possibly
+// empty: no change). Policies are pure functions of the harvested loads and
+// the current Shard_plan, so rebalance decisions — like everything else in
+// the fabric — are bit-identical across executor widths and repeated runs.
+//
+// Three stock policies cover the ROADMAP's dynamic-sharding regimes:
+//   - load-threshold: split (or drain by migration) the hottest shard once
+//     its per-play wire cost pulls away from the fabric mean — the skewed-
+//     load absorber;
+//   - size-cap: split any shard whose population tops a cap — admission
+//     growth control;
+//   - explicit: a scripted sequence of plans — operator-driven topology
+//     changes and deterministic tests.
+#ifndef GA_SHARD_REBALANCER_H
+#define GA_SHARD_REBALANCER_H
+
+#include <cstdint>
+#include <functional>
+
+#include "shard/shard_plan.h"
+
+namespace ga::shard {
+
+/// One shard's harvested load at a rebalance decision point. `plays` and
+/// `messages` cover the current replica group's lifetime (a group rebuilt at
+/// an epoch edge restarts both, which conveniently cools freshly split
+/// shards down for a window).
+struct Shard_load {
+    int shard = -1;
+    int agents = 0;
+    std::int64_t plays = 0;
+    std::int64_t messages = 0;
+
+    /// Wire cost per agreed play — the wall-clock proxy the stock policies
+    /// rank shards by (comparable across groups of different ages, unlike
+    /// lifetime totals). 0 before the first play completes.
+    [[nodiscard]] double cost_per_play() const
+    {
+        return plays > 0 ? static_cast<double>(messages) / static_cast<double>(plays) : 0.0;
+    }
+};
+
+/// A rebalance policy: may return an empty plan (leave the topology alone).
+using Rebalance_policy =
+    std::function<Rebalance_plan(const Shard_plan& plan, const std::vector<Shard_load>& loads)>;
+
+/// Splits the hottest shard in half once its per-play wire cost exceeds
+/// `ratio` x the fabric mean; when the shard is too small to split (either
+/// half would drop below `min_members`) it drains agents toward the
+/// lightest shard instead, as far as `min_members` allows. `min_members`
+/// should be at least the fabric's replica-group floor 3f+1 — a looser
+/// value cannot crash the fabric (maybe_rebalance skips infeasible
+/// proposals) but wastes the policy's work every window.
+[[nodiscard]] Rebalance_policy rebalance_load_threshold(double ratio, int min_members);
+
+/// Splits every shard whose population exceeds `max_members` in half
+/// (repeatedly, one split per shard per epoch), never leaving a side below
+/// `min_members`.
+[[nodiscard]] Rebalance_policy rebalance_size_cap(int max_members, int min_members);
+
+/// Scripted topology changes: answers `scripted[e]` when consulted at epoch
+/// e, and empty plans once the script is exhausted. A pure function of the
+/// epoch — copies of the policy and repeated runs see the same sequence, so
+/// scripted rebalances stay inside the determinism contract.
+[[nodiscard]] Rebalance_policy rebalance_explicit(std::vector<Rebalance_plan> scripted);
+
+/// Thin harness binding a policy to the fabric's load-probe format: holds a
+/// validated-non-null policy and normalizes load order before consulting it.
+class Rebalancer {
+public:
+    explicit Rebalancer(Rebalance_policy policy);
+
+    /// Consult the policy (loads are sorted by shard id first, so callers
+    /// may assemble them in any order); empty plan = keep the topology.
+    [[nodiscard]] Rebalance_plan propose(const Shard_plan& plan,
+                                         std::vector<Shard_load> loads) const;
+
+private:
+    Rebalance_policy policy_;
+};
+
+} // namespace ga::shard
+
+#endif // GA_SHARD_REBALANCER_H

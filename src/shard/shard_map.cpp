@@ -121,7 +121,10 @@ common::Agent_id Shard_map::global_of(int shard, common::Agent_id local) const
 
 const std::vector<common::Agent_id>& Shard_map::members(int shard) const
 {
-    common::ensure(shard >= 0 && shard < n_shards(), "Shard_map::members: shard out of range");
+    if (shard < 0 || shard >= n_shards()) {
+        throw common::Contract_error{"Shard_map::members: shard " + std::to_string(shard) +
+                                     " out of range [0, " + std::to_string(n_shards()) + ")"};
+    }
     return members_[static_cast<std::size_t>(shard)];
 }
 

@@ -63,10 +63,15 @@ public:
     [[nodiscard]] common::Agent_id global_of(int shard, common::Agent_id local) const;
 
     /// Global ids owned by `shard`, in ascending order (== local id order).
+    /// Throws Contract_error naming the shard id when out of range.
     [[nodiscard]] const std::vector<common::Agent_id>& members(int shard) const;
 
     /// Shard population sizes (load-balance inspection).
     [[nodiscard]] std::vector<int> shard_sizes() const;
+
+    /// The raw partition vector (element g = shard owning global agent g) —
+    /// the value a Shard_plan transforms when agents migrate.
+    [[nodiscard]] const std::vector<int>& assignment() const { return shard_of_; }
 
 private:
     void build_from(const std::vector<int>& shard_of_agent, int n_shards);

@@ -1,0 +1,146 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace ga::shard {
+
+Shard_plan::Shard_plan(Shard_map initial) : epoch_{0}, map_{std::move(initial)} {}
+
+Shard_plan::Shard_plan(int epoch, Shard_map map, Migration_set pending)
+    : epoch_{epoch}, map_{std::move(map)}, pending_{std::move(pending)}
+{
+}
+
+Shard_plan Shard_plan::apply(const Rebalance_plan& plan, int min_members) const
+{
+    common::ensure(!plan.empty(), "Shard_plan::apply: empty rebalance plan");
+    common::ensure(min_members >= 1, "Shard_plan::apply: min_members must be positive");
+
+    const int n_agents = map_.n_agents();
+    const int old_shards = map_.n_shards();
+    std::vector<int> shard_of = map_.assignment();
+    int n_shards = old_shards;
+
+    // Operation disjointness: migrations may share shards among themselves,
+    // but a shard in any split/merge joins no other operation this epoch.
+    std::set<int> migration_shards;
+    std::vector<bool> structural(static_cast<std::size_t>(old_shards), false);
+    const auto claim_structural = [&](int s, const char* op) {
+        common::ensure(s >= 0 && s < old_shards, "Shard_plan::apply: shard id out of range");
+        common::ensure(!structural[static_cast<std::size_t>(s)] &&
+                           migration_shards.count(s) == 0,
+                       op);
+        structural[static_cast<std::size_t>(s)] = true;
+    };
+
+    Migration_set moves;
+
+    // ---- Explicit migrations between existing shards.
+    for (const Migration& m : plan.migrations) {
+        common::ensure(m.agent >= 0 && m.agent < n_agents,
+                       "Shard_plan::apply: migration agent out of range");
+        common::ensure(map_.shard_of(m.agent) == m.from,
+                       "Shard_plan::apply: migration from-shard mismatch");
+        common::ensure(m.to >= 0 && m.to < old_shards,
+                       "Shard_plan::apply: migration target shard out of range");
+        common::ensure(m.to != m.from, "Shard_plan::apply: migration to the agent's own shard");
+        common::ensure(shard_of[static_cast<std::size_t>(m.agent)] == m.from,
+                       "Shard_plan::apply: agent migrated twice in one plan");
+        shard_of[static_cast<std::size_t>(m.agent)] = m.to;
+        migration_shards.insert(m.from);
+        migration_shards.insert(m.to);
+        moves.push_back(m);
+    }
+
+    // ---- Splits: movers leave for a brand-new shard appended at the top.
+    for (const Shard_split& split : plan.splits) {
+        claim_structural(split.shard,
+                         "Shard_plan::apply: split shard already in another operation");
+        common::ensure(!split.movers.empty(), "Shard_plan::apply: split with no movers");
+        common::ensure(split.movers.size() < map_.members(split.shard).size(),
+                       "Shard_plan::apply: split must leave the source shard populated");
+        const int fresh = n_shards++;
+        std::set<common::Agent_id> seen;
+        for (const common::Agent_id a : split.movers) {
+            common::ensure(a >= 0 && a < n_agents,
+                           "Shard_plan::apply: split mover out of range");
+            common::ensure(map_.shard_of(a) == split.shard,
+                           "Shard_plan::apply: split mover not in the split shard");
+            common::ensure(seen.insert(a).second, "Shard_plan::apply: duplicate split mover");
+            shard_of[static_cast<std::size_t>(a)] = fresh;
+            moves.push_back(Migration{a, split.shard, fresh});
+        }
+    }
+
+    // ---- Merges: `from` empties into `into`; its dense id is recycled below.
+    std::vector<int> recycled;
+    for (const Shard_merge& merge : plan.merges) {
+        common::ensure(merge.from != merge.into, "Shard_plan::apply: merge of a shard with itself");
+        claim_structural(merge.from,
+                         "Shard_plan::apply: merge source already in another operation");
+        claim_structural(merge.into,
+                         "Shard_plan::apply: merge target already in another operation");
+        for (const common::Agent_id a : map_.members(merge.from)) {
+            shard_of[static_cast<std::size_t>(a)] = merge.into;
+            moves.push_back(Migration{a, merge.from, merge.into});
+        }
+        recycled.push_back(merge.from);
+    }
+
+    // Recycle each emptied id by relabeling the highest-numbered shard onto
+    // it (descending order, so an emptied slot never fills another). The
+    // relabeled shard's membership is untouched — its replica group is
+    // carried, only its routing id changes. Recorded moves keep `to` in the
+    // final numbering.
+    std::sort(recycled.begin(), recycled.end(), std::greater<>());
+    for (const int empty_slot : recycled) {
+        const int last = n_shards - 1;
+        if (empty_slot != last) {
+            for (int& s : shard_of) {
+                if (s == last) s = empty_slot;
+            }
+            for (Migration& m : moves) {
+                if (m.to == last) m.to = empty_slot;
+            }
+        }
+        --n_shards;
+    }
+
+    // ---- Result validation: every surviving shard keeps a viable group.
+    common::ensure(n_shards >= 1, "Shard_plan::apply: plan leaves no shards");
+    std::vector<int> sizes(static_cast<std::size_t>(n_shards), 0);
+    for (const int s : shard_of) ++sizes[static_cast<std::size_t>(s)];
+    for (int s = 0; s < n_shards; ++s) {
+        if (sizes[static_cast<std::size_t>(s)] < min_members) {
+            throw common::Contract_error{
+                "Shard_plan::apply: shard " + std::to_string(s) + " would keep " +
+                std::to_string(sizes[static_cast<std::size_t>(s)]) + " members, need >= " +
+                std::to_string(min_members)};
+        }
+    }
+
+    return Shard_plan{epoch_ + 1, Shard_map{shard_of}, std::move(moves)};
+}
+
+std::vector<int> carried_shards(const Shard_map& prev, const Shard_map& next)
+{
+    common::ensure(prev.n_agents() == next.n_agents(),
+                   "carried_shards: maps must partition the same population");
+    std::vector<int> carried(static_cast<std::size_t>(next.n_shards()), -1);
+    for (int s = 0; s < next.n_shards(); ++s) {
+        const std::vector<common::Agent_id>& members = next.members(s);
+        // Partitions are disjoint, so the only possible identical-membership
+        // shard of `prev` is the one owning this shard's first member.
+        const int candidate = prev.shard_of(members.front());
+        if (prev.members(candidate) == members) carried[static_cast<std::size_t>(s)] = candidate;
+    }
+    return carried;
+}
+
+} // namespace ga::shard

@@ -1,0 +1,110 @@
+// Epoch-versioned shard topology: the elastic half of the fabric's shard
+// layer.
+//
+// A Shard_map is an immutable partition snapshot; a Shard_plan wraps one
+// snapshot together with the epoch counter that versions it and the
+// Migration_set of agent moves that produced it from its predecessor. The
+// fabric never mutates a map in place — a Rebalance_plan (agent migrations,
+// shard splits, shard merges) is *applied* to the current Shard_plan,
+// yielding the epoch+1 snapshot, and the fabric swaps replica groups only at
+// a play-window edge. This mirrors the group split/merge dynamic of
+// Kutten–Lavi–Trehan's composition games: authority groups compose and
+// decompose while the agreement semantics inside each group stay those of
+// the paper's single game authority.
+//
+// Determinism: apply() is a pure function of (plan, snapshot), so a whole
+// elastic run remains a pure function of (seed, initial map, rebalance
+// policy, config) — the fabric's bit-identical 1-vs-N-thread contract
+// extends across epochs.
+#ifndef GA_SHARD_SHARD_PLAN_H
+#define GA_SHARD_SHARD_PLAN_H
+
+#include "shard/shard_map.h"
+
+namespace ga::shard {
+
+/// One agent's move between shards at an epoch edge. `from` is the shard
+/// that owned the agent in the *predecessor* snapshot's numbering (a merge
+/// source, for instance, exists only there); `to` is the agent's shard in
+/// the *successor* snapshot's numbering (for splits, the freshly created
+/// shard; under a merge relabel, the post-relabel id).
+struct Migration {
+    common::Agent_id agent = -1;
+    int from = -1;
+    int to = -1;
+
+    friend bool operator==(const Migration&, const Migration&) = default;
+};
+
+/// Every agent move one epoch edge performs, in deterministic order
+/// (explicit migrations, then split movers, then merge movers).
+using Migration_set = std::vector<Migration>;
+
+/// Split: `movers` leave `shard` for a brand-new shard appended at the next
+/// free id. Both halves must end up with at least the fabric's minimum
+/// replica-group size.
+struct Shard_split {
+    int shard = -1;
+    std::vector<common::Agent_id> movers;
+};
+
+/// Merge: every member of `from` joins `into`, and `from`'s dense id is
+/// recycled by relabeling the highest-numbered shard onto it (that shard's
+/// replica group is carried, not rebuilt — only its routing id changes).
+struct Shard_merge {
+    int from = -1;
+    int into = -1;
+};
+
+/// What a Rebalancer emits: any mix of migrations, splits, and merges, with
+/// the constraint that no shard participates in more than one split/merge
+/// and split/merge shards exchange no migrating agents in the same plan.
+struct Rebalance_plan {
+    Migration_set migrations;
+    std::vector<Shard_split> splits;
+    std::vector<Shard_merge> merges;
+
+    [[nodiscard]] bool empty() const
+    {
+        return migrations.empty() && splits.empty() && merges.empty();
+    }
+};
+
+/// An immutable, epoch-stamped shard-topology snapshot.
+class Shard_plan {
+public:
+    /// Epoch 0: the fabric's initial partition, no pending moves.
+    explicit Shard_plan(Shard_map initial);
+
+    [[nodiscard]] int epoch() const { return epoch_; }
+    [[nodiscard]] const Shard_map& map() const { return map_; }
+
+    /// The agent moves that produced this snapshot from its predecessor
+    /// (empty at epoch 0).
+    [[nodiscard]] const Migration_set& pending() const { return pending_; }
+
+    /// Validated successor snapshot: applies `plan` and stamps epoch+1.
+    /// Every resulting shard must keep at least `min_members` agents (the
+    /// fabric passes its replica-group floor 3f+1). Throws Contract_error on
+    /// any inconsistency — unknown agents, from-shard mismatches, splits
+    /// that empty a side, overlapping operations, or undersized results.
+    [[nodiscard]] Shard_plan apply(const Rebalance_plan& plan, int min_members) const;
+
+private:
+    Shard_plan(int epoch, Shard_map map, Migration_set pending);
+
+    int epoch_ = 0;
+    Shard_map map_;
+    Migration_set pending_;
+};
+
+/// Topology diff driving the window-edge swap: result[s] is the shard of
+/// `prev` whose member list is identical to shard s of `next` (its live
+/// replica group can be adopted unchanged, even under a merge relabel), or
+/// -1 when shard s must be rebuilt from scratch. Shards of `prev` that
+/// appear nowhere in the result are retired.
+[[nodiscard]] std::vector<int> carried_shards(const Shard_map& prev, const Shard_map& next);
+
+} // namespace ga::shard
+
+#endif // GA_SHARD_SHARD_PLAN_H

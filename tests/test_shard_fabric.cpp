@@ -93,6 +93,29 @@ TEST(ShardMap, RejectsEmptyShardAndBadIds)
     EXPECT_THROW(Shard_map(4, 5), common::Contract_error); // more shards than agents
 }
 
+TEST(ShardMap, ExplicitConstructorRejectsEveryMalformedAssignment)
+{
+    // Non-dense shard ids: 0 and 2 referenced, 1 never — would silently
+    // mis-partition if accepted.
+    EXPECT_THROW(Shard_map(std::vector<int>{0, 2, 0, 2}), common::Contract_error);
+    // Every agent on shard 3 leaves shards 0..2 as empty replica groups.
+    EXPECT_THROW(Shard_map(std::vector<int>{3, 3, 3}), common::Contract_error);
+    // Empty vector: no agents at all.
+    EXPECT_THROW(Shard_map(std::vector<int>{}), common::Contract_error);
+}
+
+TEST(ShardMap, MembersNamesTheBadShardId)
+{
+    const Shard_map map{10, 4};
+    try {
+        (void)map.members(7);
+        FAIL() << "members(7) must throw";
+    } catch (const common::Contract_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("shard 7"), std::string::npos) << error.what();
+    }
+    EXPECT_THROW((void)map.members(-1), common::Contract_error);
+}
+
 // ---------------------------------------------------------------- derive_seed
 
 TEST(DeriveSeed, PureAndStreamSeparated)
@@ -315,6 +338,18 @@ TEST(Fabric, HugeShardGameDegradesToNoAnarchyTerm)
     const auto report = fabric.report();
     EXPECT_FALSE(report.price_of_anarchy.has_value());
     EXPECT_EQ(report.total_plays, 0);
+}
+
+TEST(Fabric, ShardAccessorNamesTheBadShardId)
+{
+    Fabric fabric{Shard_map{8, 2}, honest_population(8), base_config(1, /*seed=*/4)};
+    try {
+        (void)fabric.shard(99);
+        FAIL() << "shard(99) must throw";
+    } catch (const common::Contract_error& error) {
+        EXPECT_NE(std::string{error.what()}.find("shard 99"), std::string::npos) << error.what();
+    }
+    EXPECT_THROW((void)fabric.shard(-1), common::Contract_error);
 }
 
 TEST(Fabric, HarvestHooksMatchEngineInternals)
