@@ -4,12 +4,12 @@ namespace ga::authority {
 
 Replica_group_harness::Replica_group_harness(Game_spec spec, int f,
                                              const std::set<common::Processor_id>& byzantine,
-                                             common::Rng& rng)
+                                             common::Rng& rng, sim::Net_model net)
     : n_{spec.game ? spec.game->n_agents() : 0},
       f_{f},
       spec_{std::move(spec)},
       byzantine_{byzantine},
-      engine_{sim::complete_graph(n_), rng.split(99)}
+      engine_{sim::complete_graph(n_), rng.split(99), {}, std::move(net)}
 {
     common::ensure(spec_.game != nullptr, "Replica_group_harness: null game");
     common::ensure(static_cast<int>(byzantine_.size()) <= f_,
@@ -29,6 +29,19 @@ std::vector<common::Processor_id> Replica_group_harness::honest_slots() const
         if (is_honest_slot(id)) slots.push_back(id);
     }
     return slots;
+}
+
+common::Pulse Replica_group_harness::pulses_for_slots(int slots) const
+{
+    if (slots <= 0) return 0;
+    const int d = engine_.net().delta;
+    const common::Pulse now = engine_.now();
+    // First boundary at or after `now` (boundaries are positive multiples of
+    // delta); the run must include it and slots-1 further boundaries, each a
+    // frame apart, and the last boundary pulse itself must be processed.
+    common::Pulse next = ((now + d - 1) / d) * d;
+    if (next == 0) next = d;
+    return next - now + static_cast<common::Pulse>(slots - 1) * d + 1;
 }
 
 common::Processor_id Replica_group_harness::reference_slot() const

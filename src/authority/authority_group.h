@@ -95,12 +95,25 @@ public:
     void inject_transient_fault() override;
     void expel_agent(common::Agent_id id) override;
 
+    /// The group's network delivery bound (1 under the default clean model).
+    [[nodiscard]] int delta() const { return engine_.net().delta; }
+
 protected:
     /// Validates n > 3f and |byzantine| <= f; `rng` is consumed for the
     /// engine stream only (stream 99), leaving the caller's generator ready
-    /// for the per-processor splits.
+    /// for the per-processor splits. `net` is the adversarial network model
+    /// the group's engine delivers through (default: clean classic
+    /// transport); subclasses must build their replicas with the matching
+    /// delta so the clock frames line up with timed delivery.
     Replica_group_harness(Game_spec spec, int f, const std::set<common::Processor_id>& byzantine,
-                          common::Rng& rng);
+                          common::Rng& rng, sim::Net_model net = {});
+
+    /// Pulses until the replicated clock completes `slots` more slot steps:
+    /// under a clean net a slot is one pulse; under delta > 1 each slot is a
+    /// delta-pulse frame and the clock only steps at frame boundaries
+    /// (engine pulses that are positive multiples of delta). 0 when slots
+    /// is 0.
+    [[nodiscard]] common::Pulse pulses_for_slots(int slots) const;
 
     /// The executive ledger replica at an honest slot (disconnection votes).
     [[nodiscard]] virtual const Executive_service&

@@ -7,8 +7,8 @@ namespace ga::authority {
 Authority_processor::Authority_processor(common::Processor_id id, int n, int f, Game_spec spec,
                                          std::unique_ptr<Agent_behavior> behavior,
                                          std::unique_ptr<Punishment_scheme> punishment,
-                                         common::Rng rng, Ic_factory ic_factory)
-    : Ic_schedule_processor{id, n, f, /*n_phases=*/4, std::move(ic_factory), rng.split(1)},
+                                         common::Rng rng, Ic_factory ic_factory, int delta)
+    : Ic_schedule_processor{id, n, f, /*n_phases=*/4, std::move(ic_factory), rng.split(1), delta},
       spec_{std::move(spec)},
       behavior_{std::move(behavior)},
       punishment_{std::move(punishment)},

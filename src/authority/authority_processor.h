@@ -61,10 +61,12 @@ public:
 
     /// Distributed plays currently support pure best-response auditing (the
     /// mixed tier is exercised through Local_authority).
+    /// `delta` must match the engine's Net_model delivery bound (1 = the
+    /// classic clean transport).
     Authority_processor(common::Processor_id id, int n, int f, Game_spec spec,
                         std::unique_ptr<Agent_behavior> behavior,
                         std::unique_ptr<Punishment_scheme> punishment, common::Rng rng,
-                        Ic_factory ic_factory = ic_eig());
+                        Ic_factory ic_factory = ic_eig(), int delta = 1);
 
     [[nodiscard]] const std::vector<Play_record>& plays() const { return plays_; }
     [[nodiscard]] const Executive_service& executive() const { return executive_; }

@@ -9,8 +9,8 @@ namespace ga::authority {
 Distributed_authority::Distributed_authority(
     Game_spec spec, int f, std::vector<std::unique_ptr<Agent_behavior>> behaviors,
     const std::set<common::Processor_id>& byzantine, Punishment_factory make_punishment,
-    common::Rng rng, Byzantine_factory make_byzantine, Ic_factory ic_factory)
-    : Replica_group_harness{std::move(spec), f, byzantine, rng},
+    common::Rng rng, Byzantine_factory make_byzantine, Ic_factory ic_factory, sim::Net_model net)
+    : Replica_group_harness{std::move(spec), f, byzantine, rng, std::move(net)},
       ic_factory_{ic_factory ? std::move(ic_factory)
                              : bft::choose_ic(std::max(n_, 3 * f + 1), f)},
       ic_rounds_{Authority_processor::ic_rounds_of(ic_factory_, std::max(n_, 3 * f + 1), f)}
@@ -33,7 +33,7 @@ Distributed_authority::Distributed_authority(
             engine_.install(std::make_unique<Authority_processor>(
                                 id, n_, f_, spec_,
                                 std::move(behaviors[static_cast<std::size_t>(id)]),
-                                make_punishment(), rng.split(2000 + id), ic_factory_),
+                                make_punishment(), rng.split(2000 + id), ic_factory_, delta()),
                             /*byzantine=*/false);
         }
     }
@@ -41,7 +41,9 @@ Distributed_authority::Distributed_authority(
 
 int Distributed_authority::pulses_per_play() const
 {
-    return Authority_processor::clock_period_for(ic_rounds_);
+    // One play spans one clock period in slot units; under an adversarial
+    // net every slot stretches to a delta-pulse frame.
+    return Authority_processor::clock_period_for(ic_rounds_) * delta();
 }
 
 common::Pulse Distributed_authority::pulses_for_plays(int plays) const
@@ -56,9 +58,9 @@ common::Pulse Distributed_authority::pulses_to_window_edge() const
     // then 0) is idle, so stepping until the clock wraps to 0 completes any
     // in-flight play. In steady state every honest clock agrees; after a
     // transient fault this is best-effort until the clocks re-converge.
-    const int period = pulses_per_play();
+    const int period = Authority_processor::clock_period_for(ic_rounds_);
     const int value = processor(reference_slot()).clock();
-    return (period - value) % period;
+    return pulses_for_slots((period - value) % period);
 }
 
 const Authority_processor& Distributed_authority::processor(common::Processor_id id) const

@@ -25,12 +25,15 @@ public:
     /// Byzantine processors instead of the protocol). A null `ic_factory`
     /// auto-selects the substrate via bft::choose_ic(n, f) (the E7 crossover);
     /// pass ic_eig()/ic_parallel_phase_king() to override.
+    /// `net` installs an adversarial network model on the group's engine
+    /// (default: clean classic transport); the replicas' clock frames are
+    /// sized to its delta so the schedule tolerates timed delivery.
     Distributed_authority(Game_spec spec, int f,
                           std::vector<std::unique_ptr<Agent_behavior>> behaviors,
                           const std::set<common::Processor_id>& byzantine,
                           Punishment_factory make_punishment, common::Rng rng,
                           Byzantine_factory make_byzantine = {},
-                          Ic_factory ic_factory = {});
+                          Ic_factory ic_factory = {}, sim::Net_model net = {});
 
     /// Convenience: pulses for `plays` complete steady-state plays.
     void run_plays(int plays) override;

@@ -11,73 +11,111 @@ int Ic_schedule_processor::ic_rounds_of(const bft::Ic_factory& factory, int n, i
 }
 
 Ic_schedule_processor::Ic_schedule_processor(common::Processor_id id, int n, int f, int n_phases,
-                                             bft::Ic_factory ic_factory, common::Rng clock_rng)
+                                             bft::Ic_factory ic_factory, common::Rng clock_rng,
+                                             int delta)
     : Processor{id},
       n_{n},
       f_{f},
       n_phases_{n_phases},
       ic_factory_{std::move(ic_factory)},
       ic_rounds_{ic_rounds_of(ic_factory_, n, f)},
-      clock_{n, f, period_for(n_phases, ic_rounds_), std::move(clock_rng)}
+      clock_{n, f, period_for(n_phases, ic_rounds_), std::move(clock_rng)},
+      cache_{id, n, period_for(n_phases, ic_rounds_), delta},
+      buf_round_(static_cast<std::size_t>(n), -1),
+      buf_payload_(static_cast<std::size_t>(n))
 {
     // The wire section carries the phase index in one byte.
     common::ensure(n_phases_ >= 1 && n_phases_ <= 255,
                    "Ic_schedule_processor: phase count must fit a wire byte");
 }
 
+void Ic_schedule_processor::reset_section_buffer(int phase)
+{
+    buf_phase_ = phase;
+    for (common::Round& round : buf_round_) round = -1;
+    for (common::Bytes& payload : buf_payload_) payload.clear();
+}
+
 void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
 {
-    // ---- Parse inbox (first message per sender wins).
-    std::vector<bool> seen(static_cast<std::size_t>(ctx.system_size()), false);
-    std::vector<int> clock_values;
-    clock_values.reserve(ctx.inbox().size());
-    bft::Round_payloads section_payloads(static_cast<std::size_t>(n_));
-    std::vector<int> section_phase(static_cast<std::size_t>(n_), -1);
-    std::vector<common::Round> section_round(static_cast<std::size_t>(n_), -1);
+    // ---- Parse inbox. Under delta > 1 a pulse legitimately carries several
+    // copies per sender (retransmissions with different delays landing
+    // together), so every copy is parsed: the cache keeps the freshest
+    // beacon per sender, and every decodable section is parked for the
+    // newest-round-per-sender buffer fold below.
+    struct Parked {
+        common::Processor_id from;
+        int phase;
+        common::Round round;
+        common::Bytes payload;
+    };
+    std::vector<Parked> parked;
     for (const sim::Message& msg : ctx.inbox()) {
         if (msg.from < 0 || msg.from >= ctx.system_size()) continue;
-        if (seen[static_cast<std::size_t>(msg.from)]) continue;
-        seen[static_cast<std::size_t>(msg.from)] = true;
         try {
             common::Byte_reader reader{msg.payload};
             const auto clock_value = static_cast<int>(reader.get_u32());
-            if (clock_value >= 0 && clock_value < clock_.period())
-                clock_values.push_back(clock_value);
+            cache_.observe(msg.from, clock_value, msg.sent_at, ctx.pulse());
             const std::uint8_t has_section = reader.get_u8();
             if (has_section == 1) {
                 const auto phase = static_cast<int>(reader.get_u8());
                 const auto round = static_cast<common::Round>(reader.get_u32());
                 common::Bytes payload = reader.get_bytes();
                 if (reader.exhausted()) {
-                    section_phase[static_cast<std::size_t>(msg.from)] = phase;
-                    section_round[static_cast<std::size_t>(msg.from)] = round;
-                    section_payloads[static_cast<std::size_t>(msg.from)] = std::move(payload);
+                    parked.push_back({msg.from, phase, round, std::move(payload)});
                 }
             }
         } catch (const common::Decode_error&) {
         }
     }
 
-    // ---- Clock step, then derive the schedule slot.
-    const int c = clock_.step(clock_values);
+    // ---- Clock: quorum step at frame boundaries, held in between.
+    const bool boundary = cache_.is_boundary(ctx.pulse());
+    if (boundary) clock_.step(cache_.collect(ctx.pulse()));
+    const int c = clock_.value();
     const int len = phase_length_for(ic_rounds_);
     const int slot = c - 1;
     const bool in_schedule = slot >= 0 && slot < n_phases_ * len;
+    const bool slot_entered = boundary && slot != last_slot_;
+    last_slot_ = slot;
 
     common::Bytes out;
     if (in_schedule) {
         const int phase_index = slot / len;
         const common::Round r = slot % len;
 
-        if (r == 0) {
+        // ---- Fold this pulse's sections into the cross-pulse buffer:
+        // current phase only, newest round per sender wins (this retires
+        // retransmit copies of already delivered rounds; a held clock never
+        // re-delivers stale data). Within one round the first copy wins, so
+        // same-pulse Byzantine duplicates cannot flip an already parked
+        // section.
+        if (phase_index != buf_phase_ || (slot_entered && r == 0)) {
+            reset_section_buffer(phase_index);
+        }
+        for (Parked& p : parked) {
+            const auto sender = static_cast<std::size_t>(p.from);
+            if (p.phase != phase_index) continue;
+            if (p.round < 0 || p.round >= ic_rounds_) continue;
+            if (p.round <= buf_round_[sender]) continue;
+            buf_round_[sender] = p.round;
+            buf_payload_[sender] = std::move(p.payload);
+        }
+
+        if (slot_entered && r == 0) {
             session_ = ic_factory_(n_, f_, id(), phase_input(phase_index, ctx.pulse()));
-        } else if (session_ && !session_->done()) {
+            last_sent_phase_ = -1; // force a fresh round-0 mint below
+            last_sent_round_ = -1;
+        } else if (boundary && r >= 1 && session_ && !session_->done()) {
+            // Deliver round r-1 from the buffer. A boundary repeated under a
+            // held clock merges late arrivals into the same round — the
+            // sessions' deliver_round is first-writer-wins and re-delivery
+            // safe.
             bft::Round_payloads filtered(static_cast<std::size_t>(n_));
             for (int j = 0; j < n_; ++j) {
-                if (section_phase[static_cast<std::size_t>(j)] == phase_index &&
-                    section_round[static_cast<std::size_t>(j)] == r - 1) {
+                if (buf_round_[static_cast<std::size_t>(j)] == r - 1) {
                     filtered[static_cast<std::size_t>(j)] =
-                        section_payloads[static_cast<std::size_t>(j)];
+                        buf_payload_[static_cast<std::size_t>(j)];
                 }
             }
             // Self-delivery: the engine does not echo broadcasts, but the
@@ -90,16 +128,19 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
         }
 
         if (r < ic_rounds_ && session_ && !session_->done()) {
-            common::Bytes section = session_->message_for_round(r);
-            last_sent_phase_ = phase_index;
-            last_sent_round_ = r;
-            out.reserve(4 + 1 + 1 + 4 + 4 + section.size());
+            if (last_sent_phase_ != phase_index || last_sent_round_ != r) {
+                // Mint exactly once per (phase, round); the frame's remaining
+                // pulses retransmit the cached section against loss.
+                last_sent_payload_ = session_->message_for_round(r);
+                last_sent_phase_ = phase_index;
+                last_sent_round_ = r;
+            }
+            out.reserve(4 + 1 + 1 + 4 + 4 + last_sent_payload_.size());
             common::put_u32(out, static_cast<std::uint32_t>(c));
             out.push_back(1);
             out.push_back(static_cast<std::uint8_t>(phase_index));
             common::put_u32(out, static_cast<std::uint32_t>(r));
-            common::put_bytes(out, section);
-            last_sent_payload_ = std::move(section);
+            common::put_bytes(out, last_sent_payload_);
             ctx.broadcast(std::move(out));
             return;
         }
@@ -114,10 +155,13 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
 void Ic_schedule_processor::corrupt(common::Rng& rng)
 {
     clock_.set_value(static_cast<int>(rng.below(static_cast<std::uint64_t>(clock_.period()))));
+    cache_.clear();
     session_.reset();
     last_sent_phase_ = -1;
     last_sent_round_ = -1;
     last_sent_payload_.clear();
+    last_slot_ = -1;
+    reset_section_buffer(-1);
     corrupt_state(rng);
 }
 

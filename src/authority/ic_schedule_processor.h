@@ -13,15 +13,27 @@
 //
 // Wire format per pulse: u32 clock | u8 has_section | [u8 phase | u32 round |
 // length-prefixed section payload]. A phase of `ic_rounds` send rounds
-// occupies ic_rounds+1 pulses (the extra slot delivers the final round), and
-// the clock period adds 2 pulses of wrap slack so a post-fault clock wrap
+// occupies ic_rounds+1 clock slots (the extra slot delivers the final round),
+// and the clock period adds 2 slots of wrap slack so a post-fault clock wrap
 // always starts a clean schedule.
+//
+// Under an adversarial Net_model (delta > 1) each clock slot stretches to a
+// frame of delta pulses (see Beacon_cache): the clock steps at frame
+// boundaries, a round's section is minted exactly once at its frame's
+// boundary and retransmitted on the frame's remaining pulses, and received
+// sections are buffered across pulses (newest round per sender, current
+// phase only) until the round's delivery boundary. The frame's first copy is
+// guaranteed to arrive before the next boundary, so reorder/jitter alone
+// never loses a section; retransmissions drive the per-edge-round residual
+// loss under drop probability p toward p^delta. All period arithmetic stays
+// in slot units — one play takes period * delta engine pulses.
 #ifndef GA_AUTHORITY_IC_SCHEDULE_PROCESSOR_H
 #define GA_AUTHORITY_IC_SCHEDULE_PROCESSOR_H
 
 #include <memory>
 
 #include "bft/ic_select.h"
+#include "clock/beacon_cache.h"
 #include "clock/clock_core.h"
 #include "sim/processor.h"
 
@@ -45,12 +57,14 @@ public:
     void corrupt(common::Rng& rng) final;
 
     [[nodiscard]] int clock() const { return clock_.value(); }
+    [[nodiscard]] int delta() const { return cache_.delta(); }
 
 protected:
     /// `clock_rng` seeds only the clock core; subclasses keep their own
-    /// generators so the base never perturbs their random streams.
+    /// generators so the base never perturbs their random streams. `delta`
+    /// must match the engine's Net_model delivery bound.
     Ic_schedule_processor(common::Processor_id id, int n, int f, int n_phases,
-                          bft::Ic_factory ic_factory, common::Rng clock_rng);
+                          bft::Ic_factory ic_factory, common::Rng clock_rng, int delta = 1);
 
     /// The value this processor proposes to phase `phase`'s IC activation.
     [[nodiscard]] virtual bft::Value phase_input(int phase, common::Pulse now) = 0;
@@ -75,17 +89,28 @@ protected:
     [[nodiscard]] int ic_rounds() const { return ic_rounds_; }
 
 private:
+    void reset_section_buffer(int phase);
+
     int n_;
     int f_;
     int n_phases_;
     bft::Ic_factory ic_factory_;
     int ic_rounds_;
     clock::Clock_core clock_;
+    clock::Beacon_cache cache_;
 
     std::unique_ptr<bft::Ic_session> session_;
     int last_sent_phase_ = -1;           ///< own broadcast echo (the Session
     common::Round last_sent_round_ = -1; ///< contract includes self-delivery)
     common::Bytes last_sent_payload_;
+    int last_slot_ = -1; ///< gates session creation to actual slot entry
+
+    // Cross-pulse section buffer: the newest round heard per sender within
+    // the current phase (late retransmit copies of an already delivered
+    // round lose to it and are ignored).
+    int buf_phase_ = -1;
+    std::vector<common::Round> buf_round_;
+    std::vector<common::Bytes> buf_payload_;
 };
 
 } // namespace ga::authority

@@ -20,7 +20,13 @@ void Clock_core::set_value(int value)
 
 int Clock_core::step(const std::vector<int>& received)
 {
-    if (received.empty()) return value_; // boot pulse: nothing was in transit
+    // Insufficient evidence: fewer values than the n-f-1 honest others that a
+    // clean pulse is guaranteed to deliver means the *network* is withholding
+    // messages (boot pulse, blackout window, heavy loss) — hold the clock
+    // rather than randomize, so symmetric outages freeze all honest clocks in
+    // place and lockstep resumes the pulse delivery heals. Byzantine senders
+    // can only add values, never push an honest receiver under the bound.
+    if (static_cast<int>(received.size()) < n_ - f_ - 1) return value_;
 
     std::vector<int> count(static_cast<std::size_t>(period_), 0);
     ++count[static_cast<std::size_t>(value_)];

@@ -38,9 +38,10 @@ public:
 
     /// Apply one pulse. `received` holds the clock values decoded from
     /// *distinct other* processors this pulse (invalid/missing ones omitted);
-    /// the processor's own value is counted internally. An empty vector (the
-    /// boot pulse, before any message is in transit) leaves the clock as is.
-    /// Returns the new value.
+    /// the processor's own value is counted internally. Fewer than n-f-1
+    /// values — under what a clean pulse guarantees from honest others — is
+    /// insufficient evidence (boot pulse, blackout, heavy loss) and leaves
+    /// the clock as is rather than randomizing. Returns the new value.
     int step(const std::vector<int>& received);
 
 private:

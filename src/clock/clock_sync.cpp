@@ -25,33 +25,31 @@ std::optional<int> decode_clock(const common::Bytes& payload, int period)
 }
 
 Clock_sync_processor::Clock_sync_processor(common::Processor_id id, int n, int f, int period,
-                                           common::Rng rng, int initial_value)
-    : Processor{id}, core_{n, f, period, rng, initial_value}
+                                           common::Rng rng, int initial_value, int delta)
+    : Processor{id}, core_{n, f, period, rng, initial_value}, cache_{id, n, period, delta}
 {
 }
 
 void Clock_sync_processor::on_pulse(sim::Pulse_context& ctx)
 {
-    // First message per sender wins; later ones in the same pulse are
-    // Byzantine duplicates.
-    std::vector<bool> seen(static_cast<std::size_t>(ctx.system_size()), false);
-    std::vector<int> received;
-    received.reserve(ctx.inbox().size());
+    // The cache keeps the freshest beacon per sender (bridging losses for up
+    // to delta frames, staleness-normalized); same-pulse Byzantine
+    // duplicates lose to the first copy. The quorum rule steps only at frame
+    // boundaries; the value is held — and rebroadcast — in between.
     for (const sim::Message& msg : ctx.inbox()) {
-        if (msg.from < 0 || msg.from >= ctx.system_size()) continue;
-        if (seen[static_cast<std::size_t>(msg.from)]) continue;
-        seen[static_cast<std::size_t>(msg.from)] = true;
         const auto value = decode_clock(msg.payload, core_.period());
-        if (value.has_value()) received.push_back(*value);
+        if (!value.has_value()) continue;
+        cache_.observe(msg.from, *value, msg.sent_at, ctx.pulse());
     }
 
-    core_.step(received);
+    if (cache_.is_boundary(ctx.pulse())) core_.step(cache_.collect(ctx.pulse()));
     ctx.broadcast(encode_clock(core_.value()));
 }
 
 void Clock_sync_processor::corrupt(common::Rng& rng)
 {
     core_.set_value(static_cast<int>(rng.below(static_cast<std::uint64_t>(core_.period()))));
+    cache_.clear();
 }
 
 } // namespace ga::clock

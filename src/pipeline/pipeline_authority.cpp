@@ -12,8 +12,8 @@ Pipeline_authority::Pipeline_authority(
     const std::set<common::Processor_id>& byzantine,
     authority::Punishment_factory make_punishment, common::Rng rng,
     authority::Byzantine_factory make_byzantine, authority::Ic_factory ic_factory,
-    std::map<common::Processor_id, Tamper> tampers)
-    : Replica_group_harness{std::move(spec), f, byzantine, rng},
+    std::map<common::Processor_id, Tamper> tampers, sim::Net_model net)
+    : Replica_group_harness{std::move(spec), f, byzantine, rng, std::move(net)},
       k_{k},
       ic_factory_{ic_factory ? std::move(ic_factory)
                              : bft::choose_ic(std::max(n_, 3 * f + 1), f)},
@@ -43,18 +43,20 @@ Pipeline_authority::Pipeline_authority(
                            "Pipeline_authority: honest slot needs a behavior");
             std::optional<Tamper> tamper;
             if (const auto it = tampers.find(id); it != tampers.end()) tamper = it->second;
-            engine_.install(std::make_unique<Pipeline_processor>(
-                                id, n_, f_, spec_, k_,
-                                std::move(behaviors[static_cast<std::size_t>(id)]),
-                                make_punishment(), rng.split(2000 + id), ic_factory_, tamper),
-                            /*byzantine=*/false);
+            engine_.install(
+                std::make_unique<Pipeline_processor>(
+                    id, n_, f_, spec_, k_, std::move(behaviors[static_cast<std::size_t>(id)]),
+                    make_punishment(), rng.split(2000 + id), ic_factory_, tamper, delta()),
+                /*byzantine=*/false);
         }
     }
 }
 
 int Pipeline_authority::pulses_per_batch() const
 {
-    return Pipeline_processor::clock_period_for(ic_rounds_);
+    // One batch spans one clock period in slot units; under an adversarial
+    // net every slot stretches to a delta-pulse frame.
+    return Pipeline_processor::clock_period_for(ic_rounds_) * delta();
 }
 
 common::Pulse Pipeline_authority::pulses_for_plays(int plays) const
@@ -67,9 +69,9 @@ common::Pulse Pipeline_authority::pulses_to_window_edge() const
 {
     // Same wrap-to-idle rule as the classic tier, over the batch period: the
     // reference replica's clock runs one 4-phase schedule per k-play batch.
-    const int period = pulses_per_batch();
+    const int period = Pipeline_processor::clock_period_for(ic_rounds_);
     const int value = processor(reference_slot()).clock();
-    return (period - value) % period;
+    return pulses_for_slots((period - value) % period);
 }
 
 const Pipeline_processor& Pipeline_authority::processor(common::Processor_id id) const

@@ -23,13 +23,17 @@ public:
     /// `ic_factory` auto-selects the substrate via bft::choose_ic(n, f).
     /// `tampers` makes the listed slots equivocate inside their sealed
     /// batches (test instrumentation for the batch-edge audit).
+    /// `net` installs an adversarial network model on the group's engine
+    /// (default: clean classic transport); the replicas' clock frames are
+    /// sized to its delta so the batched schedule tolerates timed delivery.
     Pipeline_authority(authority::Game_spec spec, int f, int k,
                        std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
                        const std::set<common::Processor_id>& byzantine,
                        authority::Punishment_factory make_punishment, common::Rng rng,
                        authority::Byzantine_factory make_byzantine = {},
                        authority::Ic_factory ic_factory = {},
-                       std::map<common::Processor_id, Tamper> tampers = {});
+                       std::map<common::Processor_id, Tamper> tampers = {},
+                       sim::Net_model net = {});
 
     /// Pulses for `plays` complete steady-state plays, rounded up to whole
     /// batches (a batch is the pipeline's scheduling quantum).

@@ -9,8 +9,8 @@ Pipeline_processor::Pipeline_processor(common::Processor_id id, int n, int f,
                                        std::unique_ptr<authority::Agent_behavior> behavior,
                                        std::unique_ptr<authority::Punishment_scheme> punishment,
                                        common::Rng rng, bft::Ic_factory ic_factory,
-                                       std::optional<Tamper> tamper)
-    : Ic_schedule_processor{id, n, f, /*n_phases=*/4, std::move(ic_factory), rng.split(1)},
+                                       std::optional<Tamper> tamper, int delta)
+    : Ic_schedule_processor{id, n, f, /*n_phases=*/4, std::move(ic_factory), rng.split(1), delta},
       spec_{spec},
       behavior_{std::move(behavior)},
       punishment_{std::move(punishment)},

@@ -51,7 +51,7 @@ public:
                        std::unique_ptr<authority::Agent_behavior> behavior,
                        std::unique_ptr<authority::Punishment_scheme> punishment,
                        common::Rng rng, bft::Ic_factory ic_factory,
-                       std::optional<Tamper> tamper = std::nullopt);
+                       std::optional<Tamper> tamper = std::nullopt, int delta = 1);
 
     [[nodiscard]] int batch_k() const { return k_; }
     [[nodiscard]] std::int64_t batches_completed() const { return batches_; }

@@ -107,6 +107,9 @@ Fabric::build_group(const Shard_plan& plan, int s,
 
     common::Rng shard_rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(s),
                                               static_cast<std::uint64_t>(plan.epoch()))};
+    sim::Net_model net = config_.net;
+    net.seed = common::derive_seed(net.seed, static_cast<std::uint64_t>(s),
+                                   static_cast<std::uint64_t>(plan.epoch()));
     if (pipelined()) {
         std::map<common::Processor_id, pipeline::Tamper> local_tampers;
         for (const auto& [g, tamper] : config_.tampers) {
@@ -115,11 +118,11 @@ Fabric::build_group(const Shard_plan& plan, int s,
         built.group = std::make_unique<pipeline::Pipeline_authority>(
             std::move(spec), config_.f, config_.batch_k, std::move(behaviors), local_byzantine,
             config_.punishment, std::move(shard_rng), config_.byzantine_factory,
-            config_.ic_factory, std::move(local_tampers));
+            config_.ic_factory, std::move(local_tampers), std::move(net));
     } else {
         built.group = std::make_unique<authority::Distributed_authority>(
             std::move(spec), config_.f, std::move(behaviors), local_byzantine, config_.punishment,
-            std::move(shard_rng), config_.byzantine_factory, config_.ic_factory);
+            std::move(shard_rng), config_.byzantine_factory, config_.ic_factory, std::move(net));
     }
     return built;
 }

@@ -84,6 +84,12 @@ struct Fabric_config {
     authority::Ic_factory ic_factory = {};    ///< default: bft::choose_ic per shard
     std::uint64_t seed = 0;  ///< fabric seed; shard s at epoch e uses derive_seed(seed, s, e)
     int threads = 1;                   ///< executor width (result-invariant)
+    /// Adversarial network model every shard's engine delivers through
+    /// (default: clean classic transport). The model's own seed is re-derived
+    /// per shard and epoch — derive_seed(net.seed, s, e) — so no two groups
+    /// (or rebuilds of one) share a fault schedule, and the whole elastic
+    /// run stays a pure function of (seed, map, policy, config, net).
+    sim::Net_model net;
     /// Plays agreed per BA activation batch: 1 = the classic per-play §3.3
     /// schedule (Distributed_authority), > 1 = pipelined shards amortizing
     /// agreement cost over k-play batches (Pipeline_authority).

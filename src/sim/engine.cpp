@@ -8,10 +8,11 @@
 
 namespace ga::sim {
 
-Engine::Engine(Graph graph, common::Rng rng, Engine_config config)
+Engine::Engine(Graph graph, common::Rng rng, Engine_config config, Net_model net)
     : graph_{std::move(graph)},
       rng_{rng},
       config_{config},
+      net_{std::move(net)},
       byzantine_(static_cast<std::size_t>(graph_.size()), false),
       disconnected_(static_cast<std::size_t>(graph_.size()), false),
       inboxes_(static_cast<std::size_t>(graph_.size())),
@@ -19,6 +20,26 @@ Engine::Engine(Graph graph, common::Rng rng, Engine_config config)
       outboxes_(static_cast<std::size_t>(graph_.size()))
 {
     common::ensure(config_.threads >= 1, "Engine: threads must be >= 1");
+    net_.validate(graph_.size());
+    net_active_ = !net_.is_clean();
+    if (net_active_) {
+        wheel_.assign(static_cast<std::size_t>(net_.delta),
+                      std::vector<std::vector<Message>>(static_cast<std::size_t>(graph_.size())));
+    }
+}
+
+void Engine::set_net_model(Net_model net)
+{
+    common::ensure(pulse_ == 0, "Engine::set_net_model: only callable before the first pulse");
+    net.validate(graph_.size());
+    net_ = std::move(net);
+    net_active_ = !net_.is_clean();
+    wheel_.clear();
+    stage_net_.clear();
+    if (net_active_) {
+        wheel_.assign(static_cast<std::size_t>(net_.delta),
+                      std::vector<std::vector<Message>>(static_cast<std::size_t>(graph_.size())));
+    }
 }
 
 void Engine::install(std::unique_ptr<Processor> processor, bool byzantine)
@@ -86,6 +107,7 @@ void Engine::step_processor(common::Processor_id id, std::vector<std::vector<Mes
     if (!any_disconnected_ && static_cast<int>(graph_.neighbors(id).size()) == size() - 1) {
         for (Message& msg : outbox) {
             if (msg.to < 0 || msg.to >= size() || msg.to == id) continue;
+            msg.sent_at = pulse_; // transport-stamped: senders cannot forge it
             stats.messages += 1;
             stats.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
             rows[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
@@ -105,9 +127,51 @@ void Engine::step_processor(common::Processor_id id, std::vector<std::vector<Mes
                            "honest processor sent to a non-neighbor");
             continue;
         }
+        msg.sent_at = pulse_;
         stats.messages += 1;
         stats.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
         rows[static_cast<std::size_t>(msg.to)].push_back(std::move(msg));
+    }
+}
+
+template <typename Route>
+void Engine::step_processor_net(common::Processor_id id, Traffic_stats& stats, Route route)
+{
+    const auto slot = static_cast<std::size_t>(id);
+    std::vector<Message>& outbox = outboxes_[slot];
+    outbox.clear();
+    Pulse_context ctx{pulse_, id, size(), &graph_.neighbors(id), &inboxes_[slot], &outbox};
+    processors_[slot]->on_pulse(ctx);
+
+    const bool sender_byzantine = byzantine_[slot];
+    const bool fully_connected =
+        !any_disconnected_ && static_cast<int>(graph_.neighbors(id).size()) == size() - 1;
+    int index = 0;
+    for (Message& msg : outbox) {
+        // The verdict stream is keyed by outbox position, which is identical
+        // across thread counts (the outbox is the processor's own output).
+        const int msg_index = index++;
+        if (fully_connected) {
+            if (msg.to < 0 || msg.to >= size() || msg.to == id) continue;
+        } else {
+            const bool target_valid = msg.to >= 0 && msg.to < size() && msg.to != id;
+            const bool edge_exists = target_valid && graph_.has_edge(id, msg.to);
+            if (!edge_exists || disconnected_[static_cast<std::size_t>(msg.to)]) {
+                common::ensure(sender_byzantine || !target_valid ||
+                                   disconnected_[static_cast<std::size_t>(msg.to)] || edge_exists,
+                               "honest processor sent to a non-neighbor");
+                continue;
+            }
+        }
+        msg.sent_at = pulse_;
+        stats.messages += 1;
+        stats.payload_bytes += static_cast<std::int64_t>(msg.payload.size());
+        const Net_verdict verdict = net_.verdict(pulse_, id, msg.to, msg_index);
+        if (verdict.dropped) {
+            stats.dropped += 1;
+            continue;
+        }
+        route(verdict.delay, msg);
     }
 }
 
@@ -121,9 +185,99 @@ void Engine::run_pulse_single()
     inboxes_.swap(next_inboxes_);
 }
 
+void Engine::prepare_net_inboxes()
+{
+    // The slot due now becomes the inboxes; its previous contents (the inbox
+    // consumed delta pulses ago) are discarded and the slot starts
+    // accumulating deliveries for pulse_ + delta. No slot conflict with this
+    // pulse's sends: delay delta maps right back here, *after* the swap.
+    std::vector<std::vector<Message>>& due =
+        wheel_[static_cast<std::size_t>(pulse_ % net_.delta)];
+    inboxes_.swap(due);
+    for (std::vector<Message>& row : due) row.clear();
+
+    if (net_.shuffle) {
+        for (common::Processor_id to = 0; to < size(); ++to) {
+            std::vector<Message>& inbox = inboxes_[static_cast<std::size_t>(to)];
+            if (inbox.size() < 2) continue;
+            common::Rng stream = net_.shuffle_stream(pulse_, to);
+            stream.shuffle(inbox);
+        }
+    }
+}
+
+void Engine::run_pulse_net_single()
+{
+    const auto route = [this](int delay, Message& msg) {
+        const common::Processor_id to = msg.to;
+        wheel_[static_cast<std::size_t>((pulse_ + delay) % net_.delta)]
+              [static_cast<std::size_t>(to)]
+                  .push_back(std::move(msg));
+    };
+    for (common::Processor_id id = 0; id < size(); ++id) {
+        if (disconnected_[static_cast<std::size_t>(id)]) continue;
+        step_processor_net(id, stats_, route);
+    }
+}
+
+void Engine::run_pulse_net_parallel()
+{
+    ensure_pool();
+    const std::size_t workers = slices_.size();
+
+    // Phase 1: workers step their sender slices into private (delay,
+    // recipient) staging rows.
+    pool_->parallel_for(workers, [this](std::size_t s) {
+        std::vector<std::vector<std::vector<Message>>>& rows = stage_net_[s];
+        for (auto& delay_rows : rows)
+            for (std::vector<Message>& row : delay_rows) row.clear();
+        Traffic_stats local;
+        const auto [begin, end] = slices_[s];
+        const auto route = [&rows](int delay, Message& msg) {
+            const common::Processor_id to = msg.to;
+            rows[static_cast<std::size_t>(delay - 1)][static_cast<std::size_t>(to)].push_back(
+                std::move(msg));
+        };
+        for (common::Processor_id id = begin; id < end; ++id) {
+            if (disconnected_[static_cast<std::size_t>(id)]) continue;
+            step_processor_net(id, local, route);
+        }
+        slice_stats_[s] = local;
+    });
+
+    // Phase 2: gather, partitioned by recipient. For each delay exactly one
+    // wheel slot is due, and concatenating slices in ascending order per
+    // (recipient, delay) appends exactly what the sequential loop would have:
+    // senders ascending, outbox order within a sender.
+    pool_->parallel_for(workers, [this](std::size_t s) {
+        const auto [begin, end] = slices_[s];
+        for (common::Processor_id to = begin; to < end; ++to) {
+            for (int delay = 1; delay <= net_.delta; ++delay) {
+                std::vector<Message>& dest =
+                    wheel_[static_cast<std::size_t>((pulse_ + delay) % net_.delta)]
+                          [static_cast<std::size_t>(to)];
+                for (std::size_t from_slice = 0; from_slice < stage_net_.size(); ++from_slice) {
+                    for (Message& msg : stage_net_[from_slice][static_cast<std::size_t>(delay - 1)]
+                                                  [static_cast<std::size_t>(to)])
+                        dest.push_back(std::move(msg));
+                }
+            }
+        }
+    });
+
+    for (const Traffic_stats& local : slice_stats_) {
+        stats_.messages += local.messages;
+        stats_.payload_bytes += local.payload_bytes;
+        stats_.dropped += local.dropped;
+    }
+}
+
 void Engine::ensure_pool()
 {
-    if (pool_ && pool_->threads() == config_.threads) return;
+    if (pool_ && pool_->threads() == config_.threads &&
+        (!net_active_ || !stage_net_.empty())) {
+        return;
+    }
     pool_ = std::make_unique<common::Executor>(config_.threads);
     const auto n = static_cast<std::size_t>(size());
     const auto workers = static_cast<std::size_t>(config_.threads);
@@ -133,6 +287,11 @@ void Engine::ensure_pool()
                              static_cast<int>((s + 1) * n / workers));
     }
     stage_.assign(workers, std::vector<std::vector<Message>>(n));
+    if (net_active_) {
+        stage_net_.assign(workers, std::vector<std::vector<std::vector<Message>>>(
+                                       static_cast<std::size_t>(net_.delta),
+                                       std::vector<std::vector<Message>>(n)));
+    }
     slice_stats_.assign(workers, Traffic_stats{});
 }
 
@@ -183,7 +342,14 @@ void Engine::run_pulse()
     common::ensure(static_cast<int>(processors_.size()) == graph_.size(),
                    "Engine::run_pulse: not all processors installed");
 
-    if (config_.threads > 1 && size() > 1) {
+    if (net_active_) {
+        prepare_net_inboxes();
+        if (config_.threads > 1 && size() > 1) {
+            run_pulse_net_parallel();
+        } else {
+            run_pulse_net_single();
+        }
+    } else if (config_.threads > 1 && size() > 1) {
         run_pulse_parallel();
     } else {
         run_pulse_single();
@@ -202,16 +368,27 @@ void Engine::inject_transient_fault()
     for (auto& processor : processors_) processor->corrupt(rng_);
     // In-flight messages become arbitrary: some dropped, some garbled. The
     // garble writes through Shared_payload::unique(), which clones the buffer
-    // iff other recipients still alias it (copy-on-write isolation).
-    for (auto& inbox : inboxes_) {
-        std::vector<Message> corrupted;
-        for (Message& msg : inbox) {
-            if (rng_.chance(0.5)) continue; // dropped
-            for (auto& byte : msg.payload.unique())
-                if (rng_.chance(0.5)) byte = static_cast<std::uint8_t>(rng_.below(256));
-            corrupted.push_back(std::move(msg));
+    // iff other recipients still alias it (copy-on-write isolation). Delivery
+    // *timing* is a network property, not processor state, so sent_at and the
+    // wheel-slot placement stay intact — age invariants survive the fault.
+    const auto garble = [this](std::vector<std::vector<Message>>& boxes) {
+        for (auto& box : boxes) {
+            std::vector<Message> corrupted;
+            for (Message& msg : box) {
+                if (rng_.chance(0.5)) continue; // dropped
+                for (auto& byte : msg.payload.unique())
+                    if (rng_.chance(0.5)) byte = static_cast<std::uint8_t>(rng_.below(256));
+                corrupted.push_back(std::move(msg));
+            }
+            box = std::move(corrupted);
         }
-        inbox = std::move(corrupted);
+    };
+    if (net_active_) {
+        // The wheel holds all in-flight traffic (inboxes_ are the already
+        // consumed rows awaiting recycling).
+        for (auto& slot : wheel_) garble(slot);
+    } else {
+        garble(inboxes_);
     }
 }
 
@@ -228,6 +405,7 @@ void Engine::disconnect(common::Processor_id id)
     disconnected_[static_cast<std::size_t>(id)] = true;
     any_disconnected_ = true;
     inboxes_[static_cast<std::size_t>(id)].clear();
+    for (auto& slot : wheel_) slot[static_cast<std::size_t>(id)].clear();
 }
 
 bool Engine::is_disconnected(common::Processor_id id) const

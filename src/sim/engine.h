@@ -16,6 +16,18 @@
 // rebuilds every inbox exactly as the single-thread loop would have, so an
 // N-thread run is bit-identical to the 1-thread run (same delivery order,
 // same stats, same verdicts downstream).
+//
+// An adversarial Net_model replaces the one-pulse delivery rule with timed
+// delivery: every validated message gets a pure-function verdict (drop, or a
+// delay d in [1, delta]) and is routed into a delta-slot delivery wheel; the
+// slot due at pulse p becomes the inboxes consumed at p. The transport stamps
+// Message::sent_at on every validated message, so no sender — Byzantine
+// included — can forge a timestamp, and receivers may trust that message age
+// is always < delta. The parallel path stages per (slice, delay, recipient)
+// and gathers per recipient in (delay, slice) order, reproducing the
+// sequential wheel order exactly: the determinism contract holds under loss,
+// reorder, and partitions. A clean model (the default) bypasses the wheel
+// entirely — the classic paths run unchanged.
 #ifndef GA_SIM_ENGINE_H
 #define GA_SIM_ENGINE_H
 
@@ -26,15 +38,19 @@
 
 #include "common/executor.h"
 #include "sim/graph.h"
+#include "sim/net_model.h"
 #include "sim/processor.h"
 
 namespace ga::sim {
 
-/// Message/byte accounting for the benchmark harness.
+/// Message/byte accounting for the benchmark harness. `messages` and
+/// `payload_bytes` count offered traffic (validated sends); `dropped` counts
+/// the subset the Net_model lost (always 0 under the clean model).
 struct Traffic_stats {
     std::int64_t pulses = 0;
     std::int64_t messages = 0;
     std::int64_t payload_bytes = 0;
+    std::int64_t dropped = 0;
 
     friend bool operator==(const Traffic_stats&, const Traffic_stats&) = default;
 };
@@ -47,8 +63,10 @@ struct Engine_config {
 
 class Engine {
 public:
-    /// The graph fixes both the system size and who can talk to whom.
-    explicit Engine(Graph graph, common::Rng rng = common::Rng{0}, Engine_config config = {});
+    /// The graph fixes both the system size and who can talk to whom; the net
+    /// model fixes how (and whether) each validated message is delivered.
+    explicit Engine(Graph graph, common::Rng rng = common::Rng{0}, Engine_config config = {},
+                    Net_model net = {});
 
     /// Jobs capture `this`, so the engine must stay put once built.
     Engine(const Engine&) = delete;
@@ -71,6 +89,11 @@ public:
     /// has no effect on results, only on wall-clock speed.
     void set_threads(int threads);
     [[nodiscard]] int threads() const { return config_.threads; }
+
+    /// Replace the net model. Only callable before the first pulse: the wheel
+    /// geometry and every message's fate are part of the run's identity.
+    void set_net_model(Net_model net);
+    [[nodiscard]] const Net_model& net() const { return net_; }
 
     /// Typed access to an installed processor (tests and result harvesting).
     [[nodiscard]] Processor& processor(common::Processor_id id);
@@ -124,13 +147,27 @@ private:
     void step_processor(common::Processor_id id, std::vector<std::vector<Message>>& rows,
                         Traffic_stats& stats);
 
+    /// Net-model variant: validate, stamp sent_at, ask the net for a verdict,
+    /// and hand surviving messages to `route(delay, msg)`. Defined in the .cpp
+    /// (all instantiations live there).
+    template <typename Route>
+    void step_processor_net(common::Processor_id id, Traffic_stats& stats, Route route);
+
     void run_pulse_single();
     void run_pulse_parallel();
+    /// Rotate the wheel: the slot due at the current pulse becomes the
+    /// inboxes, freeing the slot for pulse_ + delta; applies the optional
+    /// per-recipient shuffle.
+    void prepare_net_inboxes();
+    void run_pulse_net_single();
+    void run_pulse_net_parallel();
     void ensure_pool();
 
     Graph graph_;
     common::Rng rng_;
     Engine_config config_;
+    Net_model net_;
+    bool net_active_ = false; ///< !net_.is_clean(); selects the wheel paths
     std::vector<std::unique_ptr<Processor>> processors_;
     std::vector<bool> byzantine_;
     std::vector<bool> disconnected_;
@@ -138,6 +175,10 @@ private:
     std::vector<std::vector<Message>> inboxes_;      ///< indexed by recipient
     std::vector<std::vector<Message>> next_inboxes_; ///< double buffer (1-thread path)
     std::vector<std::vector<Message>> outboxes_;     ///< persistent, indexed by sender
+    /// Timed-delivery wheel (net paths only): wheel_[p % delta][recipient]
+    /// holds the messages due at pulse p. Slot rotation happens in
+    /// prepare_net_inboxes.
+    std::vector<std::vector<std::vector<Message>>> wheel_;
     common::Pulse pulse_ = 0;
     Traffic_stats stats_;
 
@@ -145,6 +186,8 @@ private:
     std::unique_ptr<common::Executor> pool_;
     std::vector<std::pair<int, int>> slices_; ///< contiguous [begin, end) id ranges
     std::vector<std::vector<std::vector<Message>>> stage_; ///< [slice][recipient]
+    /// Net staging: stage_net_[slice][delay - 1][recipient].
+    std::vector<std::vector<std::vector<std::vector<Message>>>> stage_net_;
     std::vector<Traffic_stats> slice_stats_;               ///< per-slice accumulators
 };
 

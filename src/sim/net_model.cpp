@@ -1,0 +1,95 @@
+#include "sim/net_model.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/ensure.h"
+
+namespace ga::sim {
+
+namespace {
+
+/// Ceiling on delta: the engine allocates a delta-slot delivery wheel, and no
+/// meaningful partial-synchrony scenario in this repository needs more.
+constexpr int max_delta = 64;
+
+/// Tag decorrelating the shuffle stream family from the verdict family (both
+/// chain off the same model seed).
+constexpr std::uint64_t shuffle_tag = 0x73687566666c65ULL; // "shuffle"
+
+bool holds(const std::vector<common::Processor_id>& ids, common::Processor_id id)
+{
+    return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+} // namespace
+
+bool Net_model::is_clean() const
+{
+    return delta == 1 && drop == 0.0 && !shuffle && windows.empty();
+}
+
+void Net_model::validate(int n) const
+{
+    if (delta < 1 || delta > max_delta) {
+        throw common::Contract_error{"Net_model: delta must be in [1, " +
+                                     std::to_string(max_delta) + "], got " +
+                                     std::to_string(delta)};
+    }
+    common::ensure(jitter >= 0.0 && jitter <= 1.0, "Net_model: jitter must be in [0, 1]");
+    common::ensure(drop >= 0.0 && drop < 1.0, "Net_model: drop must be in [0, 1)");
+    for (const Net_window& window : windows) {
+        common::ensure(window.begin >= 0 && window.end >= window.begin,
+                       "Net_model: window must satisfy 0 <= begin <= end");
+        for (const common::Processor_id id : window.isolated) {
+            if (id < 0 || id >= n) {
+                throw common::Contract_error{"Net_model: isolated processor " +
+                                             std::to_string(id) + " outside [0, " +
+                                             std::to_string(n) + ")"};
+            }
+        }
+    }
+}
+
+bool Net_model::cut(common::Pulse sent_at, common::Processor_id from,
+                    common::Processor_id to) const
+{
+    for (const Net_window& window : windows) {
+        if (sent_at < window.begin || sent_at >= window.end) continue;
+        if (window.isolated.empty()) return true; // full outage
+        if (holds(window.isolated, from) != holds(window.isolated, to)) return true;
+    }
+    return false;
+}
+
+Net_verdict Net_model::verdict(common::Pulse sent_at, common::Processor_id from,
+                               common::Processor_id to, int index) const
+{
+    if (cut(sent_at, from, to)) return {true, 1};
+
+    // One decorrelated stream per (pulse, edge, outbox index): the fate of a
+    // message never depends on which thread routed it or on how many messages
+    // any generator served before it.
+    const std::uint64_t edge = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+                               static_cast<std::uint32_t>(to);
+    common::Rng stream{common::derive_seed(
+        common::derive_seed(seed, static_cast<std::uint64_t>(sent_at), edge),
+        static_cast<std::uint64_t>(index))};
+
+    if (drop > 0.0 && stream.chance(drop)) return {true, 1};
+
+    int delay = 1;
+    if (delta > 1 && stream.chance(jitter)) {
+        delay = 2 + static_cast<int>(stream.below(static_cast<std::uint64_t>(delta - 1)));
+    }
+    return {false, delay};
+}
+
+common::Rng Net_model::shuffle_stream(common::Pulse pulse, common::Processor_id to) const
+{
+    return common::Rng{common::derive_seed(common::derive_seed(seed, shuffle_tag),
+                                           static_cast<std::uint64_t>(pulse),
+                                           static_cast<std::uint64_t>(static_cast<std::uint32_t>(to)))};
+}
+
+} // namespace ga::sim

@@ -26,6 +26,11 @@ struct Message {
     common::Processor_id from = -1;
     common::Processor_id to = -1;
     common::Shared_payload payload;
+    /// Pulse at which the sender queued this message. Under the classic
+    /// transport delivery happens at sent_at + 1; under an adversarial
+    /// Net_model at sent_at + d for some d in [1, delta], so a receiver's
+    /// message age is ctx.pulse() - sent_at - 1 in [0, delta - 1].
+    common::Pulse sent_at = 0;
 };
 
 /// Per-pulse interface handed to a processor: its inbox plus a send facility.
@@ -59,7 +64,7 @@ public:
     /// without copying); the Bytes overload wraps fresh bytes once.
     void send(common::Processor_id to, common::Shared_payload payload)
     {
-        outbox_->push_back(Message{self_, to, std::move(payload)});
+        outbox_->push_back(Message{self_, to, std::move(payload), pulse_});
     }
     void send(common::Processor_id to, common::Bytes payload)
     {
@@ -74,7 +79,7 @@ public:
     {
         auto to = neighbors_->begin();
         payload.fan_out(neighbors_->size(), [&](common::Shared_payload alias) {
-            outbox_->push_back(Message{self_, *to++, std::move(alias)});
+            outbox_->push_back(Message{self_, *to++, std::move(alias), pulse_});
         });
     }
     void broadcast(common::Bytes payload)

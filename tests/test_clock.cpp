@@ -61,6 +61,18 @@ TEST(ClockCore, InvalidReceivedValuesAreIgnored)
     EXPECT_LT(v, 8);
 }
 
+TEST(ClockCore, InsufficientEvidenceHoldsTheValue)
+{
+    // With fewer than n - f - 1 beacons the pulse carries no evidence (a
+    // network blackout, not a divergence): the clock freezes instead of
+    // randomizing, so a symmetric outage preserves lockstep.
+    Clock_core core{4, 1, 8, Rng{1}, 3};
+    EXPECT_EQ(core.step({5}), 3);
+    EXPECT_EQ(core.step({}), 3);
+    // Two beacons meet the n - f - 1 = 2 bar again.
+    EXPECT_EQ(core.step({3, 3}), 4);
+}
+
 TEST(ClockCore, SetValueNormalizesIntoRange)
 {
     Clock_core core{4, 1, 8, Rng{1}};
@@ -238,6 +250,219 @@ TEST(ClockConvergence, OnceConvergedStaysConverged)
             ASSERT_EQ(engine.processor_as<Clock_sync_processor>(id).clock(), expected);
         }
         previous = expected;
+    }
+}
+
+// --------------------------------------------------- Beacon_cache (frames)
+
+TEST(BeaconCache, FrameBoundariesArePositiveMultiplesOfDelta)
+{
+    const Beacon_cache cache{0, 4, 8, 4};
+    EXPECT_FALSE(cache.is_boundary(0)); // boot pulse never steps
+    EXPECT_FALSE(cache.is_boundary(3));
+    EXPECT_TRUE(cache.is_boundary(4));
+    EXPECT_FALSE(cache.is_boundary(6));
+    EXPECT_TRUE(cache.is_boundary(8));
+
+    const Beacon_cache classic{0, 4, 8, 1};
+    EXPECT_FALSE(classic.is_boundary(0));
+    EXPECT_TRUE(classic.is_boundary(1)); // delta = 1: every pulse a frame
+    EXPECT_TRUE(classic.is_boundary(2));
+}
+
+TEST(BeaconCache, CollectNormalizesStalenessInFrames)
+{
+    // Boundary entering frame 3 (now = 12, delta = 4): a frame-2 beacon is
+    // current (staleness 0), a frame-1 beacon bridges one missed frame and
+    // votes value + 1.
+    Beacon_cache cache{0, 4, 8, 4};
+    cache.observe(1, 5, /*sent_at=*/9, /*now=*/11); // frame 2, staleness 0
+    cache.observe(2, 5, /*sent_at=*/6, /*now=*/8);  // frame 1, staleness 1
+    EXPECT_EQ(cache.collect(12), (std::vector<int>{5, 6}));
+}
+
+TEST(BeaconCache, EntriesExpireAfterDeltaFrames)
+{
+    Beacon_cache cache{0, 4, 8, 2};
+    cache.observe(1, 3, /*sent_at=*/1, /*now=*/2); // frame 0
+    EXPECT_EQ(cache.collect(2), (std::vector<int>{3}));  // staleness 0
+    EXPECT_EQ(cache.collect(4), (std::vector<int>{4}));  // bridged, staleness 1
+    EXPECT_TRUE(cache.collect(6).empty());               // expired
+}
+
+TEST(BeaconCache, FreshestBeaconWinsAndSelfIsIgnored)
+{
+    Beacon_cache cache{0, 4, 8, 4};
+    cache.observe(1, 2, /*sent_at=*/4, /*now=*/6);
+    cache.observe(1, 7, /*sent_at=*/5, /*now=*/6); // fresher copy wins
+    cache.observe(1, 3, /*sent_at=*/5, /*now=*/7); // tie: first copy kept
+    cache.observe(0, 6, /*sent_at=*/5, /*now=*/6); // self: ignored
+    cache.observe(2, 99, /*sent_at=*/5, /*now=*/6); // out of range: ignored
+    EXPECT_EQ(cache.collect(8), (std::vector<int>{7}));
+    cache.clear();
+    EXPECT_TRUE(cache.collect(8).empty());
+}
+
+TEST(BeaconCache, DeliveryBeyondDeltaIsAContractViolationNamingTheEdge)
+{
+    Beacon_cache cache{2, 4, 8, 3};
+    // age = now - sent_at - 1 = 3 >= delta: the transport never does this,
+    // so it is a contract violation, not a protocol input.
+    try {
+        cache.observe(1, 4, /*sent_at=*/10, /*now=*/14);
+        FAIL() << "expected Contract_error";
+    } catch (const ga::common::Contract_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("1->2"), std::string::npos) << what;
+        EXPECT_NE(what.find("beyond delta"), std::string::npos) << what;
+    }
+    // Future timestamps (age < 0) are equally impossible.
+    EXPECT_THROW(cache.observe(1, 4, /*sent_at=*/14, /*now=*/14),
+                 ga::common::Contract_error);
+}
+
+// ------------------------------------------- recovery under adversarial nets
+
+/// Installs n - f Clock_sync_processors (delta-aware) and f babblers over an
+/// adversarial net; returns the engine for stepping.
+std::unique_ptr<ga::sim::Engine> frame_system(int n, int f, int period,
+                                              const ga::sim::Net_model& net, std::uint64_t seed)
+{
+    Rng rng{seed};
+    auto engine = std::make_unique<ga::sim::Engine>(ga::sim::complete_graph(n), rng.split(0),
+                                                    ga::sim::Engine_config{}, net);
+    for (Processor_id id = 0; id < n - f; ++id) {
+        engine->install(std::make_unique<Clock_sync_processor>(id, n, f, period, rng.split(id + 1),
+                                                               /*initial=*/0, net.delta));
+    }
+    for (Processor_id id = n - f; id < n; ++id) {
+        engine->install(std::make_unique<ga::sim::Random_babbler>(id, rng.split(100 + id), 8),
+                        /*byzantine=*/true);
+    }
+    return engine;
+}
+
+TEST(ClockFrames, LockstepUnderFullJitterAndReorder)
+{
+    // delta = 4, every message delayed into [2, 4] and inboxes shuffled: the
+    // frame design keeps honest clocks in exact lockstep — one tick per
+    // frame — because each frame's first beacon copy always lands before the
+    // next boundary.
+    const int n = 4;
+    const int f = 1;
+    const int period = 8;
+    ga::sim::Net_model net;
+    net.delta = 4;
+    net.jitter = 1.0;
+    net.shuffle = true;
+    net.seed = 3;
+    auto engine = frame_system(n, f, period, net, 19);
+
+    for (int t = 0; t < 12 * net.delta; ++t) {
+        engine->run_pulse();
+        // After processing pulse t the last boundary was floor(t / delta).
+        const int expected = static_cast<int>((engine->now() - 1) / net.delta % period);
+        for (Processor_id id = 0; id < n - f; ++id) {
+            ASSERT_EQ(engine->processor_as<Clock_sync_processor>(id).clock(), expected)
+                << "pulse " << t;
+        }
+    }
+}
+
+TEST(ClockFrames, DroppedBeaconsAreBridgedWithoutLosingLockstep)
+{
+    // 30% loss, prompt delivery: a frame's beacon dies on an edge only if
+    // all delta copies drop (~0.8%); the cache bridges those frames with
+    // staleness-normalized votes, so lockstep never breaks.
+    const int n = 4;
+    const int f = 1;
+    const int period = 8;
+    ga::sim::Net_model net;
+    net.delta = 4;
+    net.jitter = 0.0;
+    net.drop = 0.3;
+    net.seed = 5;
+    auto engine = frame_system(n, f, period, net, 23);
+
+    for (int t = 0; t < 20 * net.delta; ++t) {
+        engine->run_pulse();
+        const int expected = static_cast<int>((engine->now() - 1) / net.delta % period);
+        for (Processor_id id = 0; id < n - f; ++id) {
+            ASSERT_EQ(engine->processor_as<Clock_sync_processor>(id).clock(), expected)
+                << "pulse " << t;
+        }
+    }
+}
+
+TEST(ClockFrames, BlackoutFreezesClocksThenLockstepResumesOnHeal)
+{
+    // A full outage longer than delta frames starves every cache: the
+    // insufficient-evidence rule freezes all honest clocks symmetrically.
+    // The first post-heal boundary sees staleness-0 beacons again and
+    // lockstep resumes immediately — sync re-established from timed
+    // delivery, no randomization.
+    const int n = 4;
+    const int f = 1;
+    const int period = 8;
+    ga::sim::Net_model net;
+    net.delta = 2;
+    net.jitter = 0.0;
+    net.seed = 9;
+    // Outage spans pulses [10, 22): 6 frames >> delta.
+    net.windows.push_back({10, 22, {}});
+    auto engine = frame_system(n, f, period, net, 29);
+
+    engine->run(10); // converged lockstep before the outage
+    const int at_blackout = engine->processor_as<Clock_sync_processor>(0).clock();
+    for (Processor_id id = 0; id < n - f; ++id) {
+        ASSERT_EQ(engine->processor_as<Clock_sync_processor>(id).clock(), at_blackout);
+    }
+
+    // Deep in the outage (several boundaries past entry + bridge horizon)
+    // every clock holds the same frozen value.
+    engine->run(10);
+    for (Processor_id id = 0; id < n - f; ++id) {
+        const int held = engine->processor_as<Clock_sync_processor>(id).clock();
+        EXPECT_EQ(held, engine->processor_as<Clock_sync_processor>(0).clock());
+    }
+    const int frozen = engine->processor_as<Clock_sync_processor>(0).clock();
+
+    // Heal: within two frames the clocks step again, together.
+    engine->run(2 * net.delta + net.delta);
+    int resumed = -1;
+    for (Processor_id id = 0; id < n - f; ++id) {
+        const int c = engine->processor_as<Clock_sync_processor>(id).clock();
+        if (resumed < 0) resumed = c;
+        EXPECT_EQ(c, resumed) << "processor " << id;
+    }
+    EXPECT_NE(resumed, frozen);
+
+    // And closure holds again: one tick per frame from here on.
+    int previous = resumed;
+    for (int frame = 0; frame < 3 * period; ++frame) {
+        engine->run(net.delta);
+        const int expected = (previous + 1) % period;
+        for (Processor_id id = 0; id < n - f; ++id) {
+            ASSERT_EQ(engine->processor_as<Clock_sync_processor>(id).clock(), expected);
+        }
+        previous = expected;
+    }
+}
+
+TEST(ClockFrames, DeltaOneUnderCleanNetMatchesClassicBehavior)
+{
+    // The frame machinery degenerates exactly to the classic per-pulse clock
+    // when delta = 1: same lockstep cadence as the classic closure sweep.
+    const int n = 4;
+    const int f = 1;
+    const int period = 4;
+    auto framed = frame_system(n, f, period, {}, 17);
+    framed->run_pulse(); // boot
+    for (int t = 1; t <= 3 * period; ++t) {
+        framed->run_pulse();
+        for (Processor_id id = 0; id < n - f; ++id) {
+            ASSERT_EQ(framed->processor_as<Clock_sync_processor>(id).clock(), t % period);
+        }
     }
 }
 
