@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "crypto/commitment.h"
 #include "crypto/merkle.h"
@@ -139,7 +140,12 @@ BENCHMARK(BM_merkle_spot_audit)->Arg(16)->Arg(256)->Arg(1024);
 int main(int argc, char** argv)
 {
     print_tables();
-    benchmark::Initialize(&argc, argv);
+    std::vector<std::string> args = ga::bench::gbench_args(argc, argv);
+    std::vector<char*> argv2;
+    argv2.reserve(args.size());
+    for (std::string& a : args) argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

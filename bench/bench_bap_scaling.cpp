@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "authority/distributed_authority.h"
+#include "bench_json.h"
 #include "bft/driver.h"
 #include "bft/eig.h"
 #include "bft/phase_king.h"
@@ -180,7 +181,12 @@ BENCHMARK(BM_authority_play)
 int main(int argc, char** argv)
 {
     print_tables();
-    benchmark::Initialize(&argc, argv);
+    std::vector<std::string> args = ga::bench::gbench_args(argc, argv);
+    std::vector<char*> argv2;
+    argv2.reserve(args.size());
+    for (std::string& a : args) argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
     benchmark::RunSpecifiedBenchmarks();
     return 0;
 }

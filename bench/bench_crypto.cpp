@@ -2,6 +2,7 @@
 // §3.3 play spends (hashing, commitments, seed sampling, Merkle batches).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "crypto/commitment.h"
 #include "crypto/hmac.h"
@@ -100,4 +101,16 @@ BENCHMARK(BM_merkle_prove_verify)->Arg(256)->Arg(4096);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv)
+{
+    std::vector<std::string> args = ga::bench::gbench_args(argc, argv);
+    std::vector<char*> argv2;
+    argv2.reserve(args.size());
+    for (std::string& a : args) argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

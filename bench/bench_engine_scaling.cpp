@@ -36,6 +36,7 @@
 #include "authority/agent.h"
 #include "authority/distributed_authority.h"
 #include "authority/punishment.h"
+#include "bench_json.h"
 #include "bft/ic_select.h"
 #include "common/table.h"
 #include "sim/engine.h"
@@ -183,6 +184,7 @@ int main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     }
+    const std::string json_path = ga::bench::json_path(argc, argv);
     const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
     bool ok = true;
 
@@ -278,6 +280,14 @@ int main(int argc, char** argv)
                   << (floor_ok ? "PASS" : "FAIL") << "\n";
         if (!floor_ok) ok = false;
     }
+
+    ga::bench::Json_report report{"bench_engine_scaling"};
+    report.field("experiment", "E14");
+    report.field("smoke", smoke);
+    report.field("hardware_threads", static_cast<int>(hardware));
+    report.field("storm_speedup_n1024_t4", storm_speedup_1024_t4);
+    report.field("ok", ok);
+    if (!report.write(json_path)) return 1;
 
     if (!ok) return 1;
     std::cout << "OK\n";

@@ -24,6 +24,7 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "shard/fabric.h"
 
@@ -167,6 +168,7 @@ int main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     }
+    const std::string json_path = ga::bench::json_path(argc, argv);
 
     const int hot = smoke ? 12 : 32;
     const int windows = smoke ? 2 : 6;
@@ -227,6 +229,20 @@ int main(int argc, char** argv)
     std::cout << "  " << single.report.total_plays << " plays over " << (single.epoch + 1)
               << " epochs, " << single.report.total_fouls << " fouls, "
               << single.report.total_traffic.messages << " messages\n\n";
+
+    ga::bench::Json_report json_report{"bench_fabric_elastic"};
+    json_report.field("experiment", "E15");
+    json_report.field("smoke", smoke);
+    json_report.field("static_plays_per_sec", static_rate);
+    json_report.field("elastic_plays_per_sec", elastic_rate);
+    json_report.field("speedup", speedup);
+    json_report.field("epochs", elastic.epochs);
+    json_report.field("final_shards", elastic.final_shards);
+    json_report.field("rebalanced", rebalanced);
+    json_report.field("pause_ok", pause_ok);
+    json_report.field("scaling_ok", scaling_ok);
+    json_report.field("deterministic", deterministic);
+    if (!json_report.write(json_path)) return 1;
 
     if (!rebalanced || !pause_ok || !scaling_ok || !deterministic) return 1;
     std::cout << "OK\n";

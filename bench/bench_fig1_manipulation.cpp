@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "authority/local_authority.h"
+#include "bench_json.h"
 #include "common/table.h"
 #include "crypto/seed_commitment.h"
 #include "game/canonical.h"
@@ -83,16 +84,21 @@ Supervised_result run_supervised(int plays, bool manipulator)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_path = ga::bench::json_path(argc, argv);
     std::cout << "=== E1: Fig. 1 — matching pennies with a hidden manipulation strategy ===\n\n";
 
     const game::Matrix_game g = game::manipulated_matching_pennies();
     std::cout << "Fig. 1 payoff matrix (A,B):\n";
     common::Table matrix{{"A\\B", "Heads", "Tails", "Manipulate"}};
     const auto cell = [&](int a, int b) {
-        return "(" + common::fixed(g.payoff(0, {a, b}), 0) + "," +
-               common::fixed(g.payoff(1, {a, b}), 0) + ")";
+        std::string text = "(";
+        text.append(common::fixed(g.payoff(0, {a, b}), 0));
+        text.push_back(',');
+        text.append(common::fixed(g.payoff(1, {a, b}), 0));
+        text.push_back(')');
+        return text;
     };
     matrix.add_row({"Heads", cell(0, 0), cell(0, 1), cell(0, 2)});
     matrix.add_row({"Tails", cell(1, 0), cell(1, 1), cell(1, 2)});
@@ -131,5 +137,16 @@ int main()
     std::cout << "\nShape check: without the authority B sustains ~+4/play (A ~-4); with the\n"
                  "authority the seed audit flags the first deviation, B is disconnected, and\n"
                  "both long-run averages collapse to ~0 — the §5.4 PoM reduction.\n";
+
+    ga::bench::Json_report report{"bench_fig1_manipulation"};
+    report.field("experiment", "E1");
+    report.field("plays", plays);
+    report.field("unsupervised_a_payoff_per_play", a_unsup);
+    report.field("unsupervised_b_payoff_per_play", b_unsup);
+    report.field("supervised_honest_b_payoff_per_play", honest_run.b_payoff_per_play);
+    report.field("supervised_caught_b_payoff_per_play", caught_run.b_payoff_per_play);
+    report.field("caught_fouls", caught_run.fouls);
+    report.field("caught_b_active", caught_run.b_active);
+    if (!report.write(json_path)) return 1;
     return 0;
 }

@@ -1,0 +1,121 @@
+// Shared --json plumbing for the bench mains: `bench_x --json out.json`
+// writes the bench's config and headline numbers (plus, where the workload
+// carries one, a telemetry snapshot) as a machine-readable artifact next to
+// the human table, so CI can archive runs and diff them across commits.
+//
+// Header-only on purpose: the benches are single-file programs and the
+// helper is a thin veneer over telemetry::Json_writer (which already
+// guarantees byte-stable output).
+#ifndef GA_BENCH_BENCH_JSON_H
+#define GA_BENCH_BENCH_JSON_H
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace ga::bench {
+
+/// The path following a `--json` flag; empty when the flag is absent.
+inline std::string json_path(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+    }
+    return {};
+}
+
+/// Translates `--json <path>` into the Google-Benchmark output flags
+/// (--benchmark_out / --benchmark_out_format=json) so the gbench binaries
+/// accept the same artifact flag as the self-contained benches. Returns the
+/// full replacement argument vector (argv[0] included).
+inline std::vector<std::string> gbench_args(int argc, char** argv)
+{
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            args.emplace_back(std::string{"--benchmark_out="} + argv[i + 1]);
+            args.emplace_back("--benchmark_out_format=json");
+            ++i;
+        } else {
+            args.emplace_back(argv[i]);
+        }
+    }
+    return args;
+}
+
+/// Insertion-ordered key/value report rendered as one JSON object. Values
+/// are rendered eagerly, so a field can also be a pre-rendered JSON
+/// fragment (e.g. telemetry::to_json of a full Report).
+class Json_report {
+public:
+    explicit Json_report(std::string bench) { field("bench", std::move(bench)); }
+
+    void field(const std::string& key, const std::string& value)
+    {
+        telemetry::Json_writer w;
+        w.value(value);
+        entries_.emplace_back(key, w.take());
+    }
+    void field(const std::string& key, const char* value) { field(key, std::string{value}); }
+    void field(const std::string& key, std::int64_t value)
+    {
+        entries_.emplace_back(key, std::to_string(value));
+    }
+    void field(const std::string& key, int value)
+    {
+        field(key, static_cast<std::int64_t>(value));
+    }
+    void field(const std::string& key, double value)
+    {
+        telemetry::Json_writer w;
+        w.value(value);
+        entries_.emplace_back(key, w.take());
+    }
+    void field(const std::string& key, bool value)
+    {
+        entries_.emplace_back(key, value ? "true" : "false");
+    }
+
+    /// Attach a pre-rendered JSON value verbatim (object, array, ...).
+    void raw(const std::string& key, std::string json) { entries_.emplace_back(key, std::move(json)); }
+
+    [[nodiscard]] std::string str() const
+    {
+        std::string out = "{";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (i > 0) out.push_back(',');
+            out.push_back('"');
+            out += telemetry::json_escape(entries_[i].first);
+            out += "\":";
+            out += entries_[i].second;
+        }
+        out.push_back('}');
+        return out;
+    }
+
+    /// Write to `path` when non-empty; returns false (with a stderr note)
+    /// when the file cannot be opened, so the bench can exit non-zero.
+    bool write(const std::string& path) const
+    {
+        if (path.empty()) return true;
+        std::ofstream out{path};
+        if (!out) {
+            std::cerr << "cannot open --json path: " << path << "\n";
+            return false;
+        }
+        out << str() << "\n";
+        return static_cast<bool>(out);
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+} // namespace ga::bench
+
+#endif // GA_BENCH_BENCH_JSON_H

@@ -23,6 +23,7 @@
 #include <iostream>
 
 #include "authority/distributed_authority.h"
+#include "bench_json.h"
 #include "common/table.h"
 
 namespace {
@@ -132,6 +133,7 @@ int main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     }
+    const std::string json_path = ga::bench::json_path(argc, argv);
 
     const std::vector<int> deltas{1, 2, 4};
     const std::vector<double> drops{0.0, 0.01, 0.05};
@@ -184,6 +186,16 @@ int main(int argc, char** argv)
     std::cout << "Determinism (delta = 4, drop = 0.05, 1 thread vs 2 threads): "
               << (deterministic ? "bit-identical" : "DIVERGED") << " (" << single.trace.size()
               << " plays)\n\n";
+
+    ga::bench::Json_report report{"bench_net_adversary"};
+    report.field("experiment", "E16");
+    report.field("smoke", smoke);
+    report.field("classic_period", classic_period);
+    report.field("plays_per_cell", plays);
+    report.field("schedule_ok", schedule_ok);
+    report.field("convergence_ok", convergence_ok);
+    report.field("deterministic", deterministic);
+    if (!report.write(json_path)) return 1;
 
     if (!schedule_ok || !convergence_ok || !deterministic) return 1;
     std::cout << "OK\n";

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "shard/fabric.h"
 
@@ -152,6 +153,7 @@ int main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     }
+    const std::string json_path = ga::bench::json_path(argc, argv);
 
     const std::vector<int> batch_sizes{1, 4, 8, 16};
     const std::vector<std::pair<int, int>> systems =
@@ -205,6 +207,15 @@ int main(int argc, char** argv)
               << (deterministic ? "bit-identical" : "DIVERGED") << "\n";
     std::cout << "  " << single.report.total_plays << " plays, " << single.report.total_fouls
               << " fouls, " << single.report.total_traffic.messages << " messages\n\n";
+
+    ga::bench::Json_report report{"bench_play_pipeline"};
+    report.field("experiment", "E13");
+    report.field("smoke", smoke);
+    report.field("plays", plays);
+    report.field("speedup_k8_f1", speedup_k8_f1);
+    report.field("amortization_ok", amortization_ok);
+    report.field("deterministic", deterministic);
+    if (!report.write(json_path)) return 1;
 
     if (!deterministic || !amortization_ok) return 1;
     std::cout << "OK\n";

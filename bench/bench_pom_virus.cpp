@@ -8,13 +8,15 @@
 // reduces the ability of dishonest agents to manipulate".
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "metrics/pom.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace ga;
     using namespace ga::metrics;
+    const std::string json_path = ga::bench::json_path(argc, argv);
 
     std::cout << "=== E6: price of malice in the virus-inoculation game (grid, C=1, L=4) ===\n\n";
 
@@ -62,5 +64,14 @@ int main()
     std::cout << "\nShape check: the no-authority PoM column grows monotonically (each liar\n"
                  "grows some honest node's insecure component); the authority column stays at\n"
                  "or below ~1 (liars detected and disconnected; honest agents re-equilibrate).\n";
+
+    ga::bench::Json_report report{"bench_pom_virus"};
+    report.field("experiment", "E6");
+    report.field("agents", config.rows * config.cols);
+    report.field("max_byzantine", max_byzantine);
+    report.field("pom_no_authority_at_max",
+                 without[static_cast<std::size_t>(max_byzantine)].pom);
+    report.field("pom_authority_at_max", with[static_cast<std::size_t>(max_byzantine)].pom);
+    if (!report.write(json_path)) return 1;
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "authority/local_authority.h"
+#include "bench_json.h"
 #include "common/table.h"
 #include "game/canonical.h"
 
@@ -66,8 +67,9 @@ Scheme_outcome run(const std::string& name, std::unique_ptr<Punishment_scheme> s
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_path = ga::bench::json_path(argc, argv);
     std::cout << "=== E9: punishment-scheme ablation (Fig. 1 manipulator, 200 plays) ===\n\n";
     constexpr int plays = 200;
 
@@ -92,5 +94,22 @@ int main()
                  "making the cheater's total (game + fines) strictly worse than honesty when\n"
                  "the fine exceeds the per-play manipulation gain; reputation decay sits in\n"
                  "between. A complete Byzantine agent only ever stops via disconnection.\n";
+
+    ga::bench::Json_report report{"bench_punishment"};
+    report.field("experiment", "E9");
+    report.field("plays", plays);
+    for (const auto& o : outcomes) {
+        telemetry::Json_writer w;
+        w.begin_object();
+        w.field("fouls", static_cast<std::int64_t>(o.fouls));
+        w.field("excluded_after_play", static_cast<std::int64_t>(o.plays_until_stop));
+        w.field("honest_cost", o.honest_cost);
+        w.field("cheater_cost", o.cheater_cost);
+        w.field("fines_paid", o.fines_paid);
+        w.field("cheater_active", o.cheater_active);
+        w.end_object();
+        report.raw(o.scheme, w.take());
+    }
+    if (!report.write(json_path)) return 1;
     return 0;
 }

@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "authority/local_authority.h"
+#include "bench_json.h"
 #include "common/table.h"
 #include "game/analysis.h"
 #include "game/mac_game.h"
@@ -55,8 +56,9 @@ double supervised_throughput(int stations, int aggressors, int plays)
 
 } // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string json_path = ga::bench::json_path(argc, argv);
     std::cout << "=== E11 (extension): selfish MAC — no-backoff selfishness vs authority ===\n\n";
 
     const int stations = 4;
@@ -77,11 +79,19 @@ int main()
 
     std::cout << "\nSupervised channel (2000 slots; aggressors always transmit):\n";
     common::Table table{{"aggressor stations", "mean channel throughput", "note"}};
+    ga::bench::Json_report report{"bench_selfish_mac"};
+    report.field("experiment", "E11");
+    report.field("stations", stations);
+    report.field("elected_throughput", g.total_throughput(elected));
+    report.field("collapse_throughput", g.total_throughput(collapse));
     for (const int aggressors : {0, 1, 2}) {
         const double throughput = supervised_throughput(stations, aggressors, 2000);
         table.add_row({std::to_string(aggressors), common::fixed(throughput, 4),
                        aggressors == 0 ? "elected schedule holds"
                                        : "aggressors detected, disconnected (slot 1)"});
+        std::string key = "supervised_throughput_aggressors_";
+        key.append(std::to_string(aggressors));
+        report.field(key, throughput);
     }
     table.print(std::cout);
 
@@ -91,5 +101,7 @@ int main()
                  "they can depress the channel. (With aggressors expelled, the play is\n"
                  "suspended in this 4-station game — the remaining society re-elects in a\n"
                  "Governance era; see test_governance.)\n";
+
+    if (!report.write(json_path)) return 1;
     return 0;
 }

@@ -18,6 +18,7 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "shard/fabric.h"
 
@@ -136,6 +137,7 @@ int main(int argc, char** argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     }
+    const std::string json_path = ga::bench::json_path(argc, argv);
 
     const int agents = smoke ? 16 : 40;
     const std::vector<int> shard_counts = smoke ? std::vector<int>{1, 2, 4}
@@ -150,6 +152,8 @@ int main(int argc, char** argv)
 
     common::Table table{{"shards", "agents/shard", "pulses/play", "plays", "wall ms", "plays/sec",
                          "msgs/play", "speedup"}};
+    telemetry::Json_writer rows;
+    rows.begin_array();
     double baseline = 0.0;
     double ratio_at_max_shards = 0.0;
     for (const int shards : shard_counts) {
@@ -163,7 +167,15 @@ int main(int argc, char** argv)
                        std::to_string(t.pulses_per_play), std::to_string(t.plays),
                        common::fixed(t.seconds * 1e3, 1), common::fixed(per_sec, 1),
                        common::fixed(t.messages_per_play, 0), common::fixed(speedup, 2)});
+        rows.begin_object();
+        rows.field("shards", shards);
+        rows.field("threads", threads);
+        rows.field("plays", t.plays);
+        rows.field("plays_per_sec", per_sec);
+        rows.field("speedup", speedup);
+        rows.end_object();
     }
+    rows.end_array();
     table.print(std::cout);
 
     const bool scaling_ok = smoke || ratio_at_max_shards >= 4.0;
@@ -182,6 +194,17 @@ int main(int argc, char** argv)
               << (deterministic ? "bit-identical" : "DIVERGED") << "\n";
     std::cout << "  " << single.report.total_plays << " plays, " << single.report.total_fouls
               << " fouls, " << single.report.total_traffic.messages << " messages\n\n";
+
+    ga::bench::Json_report report{"bench_shard_fabric"};
+    report.field("experiment", "E12");
+    report.field("smoke", smoke);
+    report.field("agents", agents);
+    report.field("plays_per_shard", plays);
+    report.raw("rows", rows.take());
+    report.field("scaling_speedup", ratio_at_max_shards);
+    report.field("scaling_ok", scaling_ok);
+    report.field("deterministic", deterministic);
+    if (!report.write(json_path)) return 1;
 
     if (!deterministic || !scaling_ok) return 1;
     std::cout << "OK\n";

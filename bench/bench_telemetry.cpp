@@ -1,0 +1,206 @@
+// Experiment E17 — the telemetry layer's two contracts, self-enforced.
+//
+// A sharded fabric under a lossy partial-synchrony net (delta = 2, 1% drop)
+// runs the same workload three ways: no sinks, sinks attached, and sinks
+// attached at other executor widths. The layer promises:
+//
+//   - observer purity: the sink-on run produces exactly the verdicts,
+//     standings, traffic, and social cost of the sink-off run (telemetry
+//     values are pulse-time and replicated protocol state, never wall
+//     clock), and the telemetry JSON artifact is byte-identical across
+//     executor threads {1, 2, 4} and across repeated runs;
+//   - near-zero cost: with sinks attached the hot paths add five integer
+//     adds per pulse plus event appends at phase edges, so steady-state
+//     plays/sec loses at most 5% (full mode only; --smoke runs are too
+//     short to time).
+//
+// The process exits non-zero when either floor fails, so CI runs it as
+// `bench_telemetry --smoke --json artifact.json` and archives the artifact
+// (config, rates, floors, and the full telemetry report of the measured
+// run).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "bench_json.h"
+#include "common/table.h"
+#include "shard/fabric.h"
+
+namespace {
+
+using namespace ga;
+using namespace ga::shard;
+
+/// Two-action dominant-strategy game sized to its shard's population.
+class Dominant_game final : public game::Strategic_game {
+public:
+    explicit Dominant_game(int n) : n_{n} {}
+    int n_agents() const override { return n_; }
+    int n_actions(common::Agent_id) const override { return 2; }
+    double cost(common::Agent_id i, const game::Pure_profile& p) const override
+    {
+        return p[static_cast<std::size_t>(i)] == 1 ? 1.0 : 2.0;
+    }
+
+private:
+    int n_;
+};
+
+Fabric make_fabric(int agents, int shards, int threads, std::uint64_t seed, bool telemetry)
+{
+    Fabric_config config;
+    config.f = 1;
+    config.spec_factory = [](int, const std::vector<common::Agent_id>& members) {
+        authority::Game_spec spec;
+        spec.name = "dominant";
+        spec.game = std::make_shared<Dominant_game>(static_cast<int>(members.size()));
+        spec.equilibrium.assign(members.size(), {0.0, 1.0});
+        return spec;
+    };
+    config.punishment = [] { return std::make_unique<authority::Fine_scheme>(1.0, 1e9); };
+    config.seed = seed;
+    config.threads = threads;
+    config.telemetry = telemetry;
+    config.net.delta = 2;
+    config.net.jitter = 0.25;
+    config.net.drop = 0.01;
+    config.net.seed = 5;
+    std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors;
+    for (common::Agent_id g = 0; g < agents; ++g) {
+        if (g == 2 || g == agents - 3) {
+            behaviors.push_back(std::make_unique<authority::Fixed_action_behavior>(0));
+        } else {
+            behaviors.push_back(std::make_unique<authority::Honest_behavior>());
+        }
+    }
+    return Fabric{Shard_map{agents, shards}, std::move(behaviors), std::move(config)};
+}
+
+/// Everything a run can observe, with the telemetry report rendered to its
+/// canonical JSON bytes (the determinism unit the layer promises).
+struct Observed {
+    std::int64_t plays = 0;
+    std::int64_t fouls = 0;
+    std::int64_t messages = 0;
+    double social_cost = 0.0;
+    std::vector<std::vector<Authority_router::Agent_play>> histories;
+    std::string telemetry_json;
+};
+
+Observed observe(int agents, int shards, int threads, int plays, std::uint64_t seed,
+                 bool telemetry)
+{
+    Fabric fabric = make_fabric(agents, shards, threads, seed, telemetry);
+    fabric.run_pulses(1);
+    fabric.run_plays(plays);
+    const metrics::Fabric_metrics report = fabric.report();
+    Observed observed;
+    observed.plays = report.total_plays;
+    observed.fouls = report.total_fouls;
+    observed.messages = report.total_traffic.messages;
+    observed.social_cost = report.total_social_cost;
+    for (common::Agent_id g = 0; g < agents; ++g) {
+        observed.histories.push_back(fabric.router().plays_of(g));
+    }
+    observed.telemetry_json = telemetry::to_json(fabric.telemetry_report());
+    return observed;
+}
+
+/// Steady-state plays/sec with or without sinks (best of `repeats` passes).
+double measure_rate(int agents, int shards, int threads, int plays, int repeats, bool telemetry)
+{
+    double best = 0.0;
+    for (int pass = 0; pass < repeats; ++pass) {
+        Fabric fabric = make_fabric(agents, shards, threads, /*seed=*/2026, telemetry);
+        fabric.run_pulses(1);
+        fabric.run_plays(1); // warm-up: first play allocates
+        const std::int64_t before = fabric.report().total_plays;
+        const auto start = std::chrono::steady_clock::now();
+        fabric.run_plays(plays);
+        const auto stop = std::chrono::steady_clock::now();
+        const auto done = static_cast<double>(fabric.report().total_plays - before);
+        best = std::max(best, done / std::chrono::duration<double>(stop - start).count());
+    }
+    return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    }
+    const std::string json_path = ga::bench::json_path(argc, argv);
+
+    const int agents = smoke ? 12 : 24;
+    const int shards = 3;
+    const int plays = smoke ? 4 : 16;
+    const int repeats = smoke ? 1 : 3;
+    const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+    const int threads = std::min<int>(4, static_cast<int>(hardware));
+
+    std::cout << "=== E17: telemetry layer — observer purity and overhead ===\n\n"
+              << agents << " agents over " << shards << " shards (f = 1, " << threads
+              << " executor threads), lossy net delta = 2, drop = 1%;\n"
+              << "two fixed-action cheaters keep the foul/expulsion paths hot.\n\n";
+
+    // ---- Overhead: sink-on vs sink-off plays/sec on the same workload.
+    const double rate_off = measure_rate(agents, shards, threads, plays, repeats, false);
+    const double rate_on = measure_rate(agents, shards, threads, plays, repeats, true);
+    const double overhead = rate_off > 0.0 ? 1.0 - rate_on / rate_off : 0.0;
+    common::Table table{{"sink", "plays", "plays/sec"}};
+    table.add_row({"null", std::to_string(plays), common::fixed(rate_off, 1)});
+    table.add_row({"enabled", std::to_string(plays), common::fixed(rate_on, 1)});
+    table.print(std::cout);
+    const bool overhead_ok = smoke || overhead <= 0.05;
+    std::cout << "\nOverhead (1 - enabled/null): " << common::fixed(overhead * 100.0, 1)
+              << "% — floor <= 5%: " << (smoke ? "skipped (--smoke)" : (overhead_ok ? "PASS" : "FAIL"))
+              << "\n";
+
+    // ---- Observer purity: verdicts identical with sinks on vs off.
+    const int det_plays = smoke ? 3 : 6;
+    const Observed off = observe(agents, shards, 1, det_plays, /*seed=*/7, false);
+    const Observed on = observe(agents, shards, 1, det_plays, /*seed=*/7, true);
+    const bool pure = off.plays == on.plays && off.fouls == on.fouls &&
+                      off.messages == on.messages && off.social_cost == on.social_cost &&
+                      off.histories == on.histories;
+    std::cout << "Observer purity (sink on vs null, seed 7): verdicts + stats "
+              << (pure ? "identical" : "DIVERGED") << "\n";
+    // The null-sink run must export nothing: no shard snapshots, no metrics.
+    const bool off_empty = off.telemetry_json.find("\"shards\":[]") != std::string::npos &&
+                           off.telemetry_json.find("plays.completed") == std::string::npos;
+
+    // ---- Determinism: telemetry JSON byte-identical across widths + repeat.
+    bool deterministic = true;
+    for (const int pool : {1, 2, 4}) {
+        const Observed run = observe(agents, shards, pool, det_plays, /*seed=*/7, true);
+        deterministic = deterministic && run.telemetry_json == on.telemetry_json &&
+                        run.histories == on.histories;
+    }
+    std::cout << "Telemetry JSON (threads 1 vs 2 vs 4, repeated runs, seed 7): "
+              << (deterministic ? "byte-identical" : "DIVERGED") << " ("
+              << on.telemetry_json.size() << " bytes)\n\n";
+
+    ga::bench::Json_report report{"bench_telemetry"};
+    report.field("experiment", "E17");
+    report.field("smoke", smoke);
+    report.field("agents", agents);
+    report.field("shards", shards);
+    report.field("threads", threads);
+    report.field("plays_per_sec_null_sink", rate_off);
+    report.field("plays_per_sec_enabled_sink", rate_on);
+    report.field("overhead", overhead);
+    report.field("overhead_ok", overhead_ok);
+    report.field("pure", pure);
+    report.field("deterministic", deterministic);
+    report.raw("telemetry", on.telemetry_json);
+    if (!report.write(json_path)) return 1;
+
+    if (!overhead_ok || !pure || !deterministic || !off_empty) return 1;
+    std::cout << "OK\n";
+    return 0;
+}

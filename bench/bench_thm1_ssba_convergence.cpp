@@ -11,13 +11,17 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "metrics/convergence.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace ga;
     using namespace ga::metrics;
+    const std::string json_path = ga::bench::json_path(argc, argv);
+    ga::bench::Json_report report{"bench_thm1_ssba_convergence"};
+    report.field("experiment", "E2+E3");
 
     std::cout << "=== E2: Lemma 2 — SSBA clock convergence from arbitrary configurations ===\n\n";
     common::Table convergence{{"n", "f", "honest", "M", "trials", "converged", "mean pulses",
@@ -44,6 +48,11 @@ int main()
         common::Rng point_rng = rng.split(static_cast<std::uint64_t>(p.n * 10 + p.f));
         const Convergence_result result = measure_clock_convergence(config, point_rng);
         const double reference = std::pow(p.n, p.n - p.f);
+        std::string key = "mean_pulses_n";
+        key.append(std::to_string(p.n));
+        key.append("_f");
+        key.append(std::to_string(p.f));
+        report.field(key, result.pulses.mean());
         convergence.add_row({std::to_string(p.n), std::to_string(p.f),
                              std::to_string(p.n - p.f), std::to_string(p.period),
                              std::to_string(result.total_trials),
@@ -67,6 +76,11 @@ int main()
         config.windows = 25;
         common::Rng point_rng = rng.split(static_cast<std::uint64_t>(1000 + n));
         const Closure_result result = audit_ssba_closure(config, point_rng);
+        std::string key = "windows_correct_n";
+        key.append(std::to_string(n));
+        key.append("_f");
+        key.append(std::to_string(f));
+        report.field(key, result.windows_correct);
         closure.add_row({std::to_string(n), std::to_string(f), std::to_string(f + 3),
                          std::to_string(result.convergence_pulses),
                          std::to_string(result.windows_audited),
@@ -75,5 +89,6 @@ int main()
     closure.print(std::cout);
     std::cout << "\nShape check: after convergence, 100% of windows decide exactly once with\n"
                  "agreement and validity (termination/agreement/validity of BAP, §4.2).\n";
+    if (!report.write(json_path)) return 1;
     return 0;
 }

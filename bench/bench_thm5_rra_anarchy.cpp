@@ -5,13 +5,17 @@
 // spread Delta(k) must stay below 2n-1, for every equilibrium selector.
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/table.h"
 #include "metrics/anarchy.h"
 
-int main()
+int main(int argc, char** argv)
 {
     using namespace ga;
     using namespace ga::metrics;
+    const std::string json_path = ga::bench::json_path(argc, argv);
+    ga::bench::Json_report report{"bench_thm5_rra_anarchy"};
+    report.field("experiment", "E4+E5");
 
     std::cout << "=== E4: Theorem 5 — multi-round anarchy cost of supervised RRA ===\n";
 
@@ -47,7 +51,9 @@ int main()
                   << sweep.rule_name << " equilibria:\n";
         common::Table table{{"k", "mean R(k)", "worst R(k)", "bound 1+2b/k", "under bound",
                              "max Delta(k)", "Lemma6 cap 2n-1"}};
+        bool under_bound = true;
         for (const auto& point : series) {
+            under_bound = under_bound && point.max_ratio <= point.bound;
             table.add_row({std::to_string(point.k), common::fixed(point.mean_ratio, 4),
                            common::fixed(point.max_ratio, 4), common::fixed(point.bound, 4),
                            point.max_ratio <= point.bound ? "yes" : "NO",
@@ -55,9 +61,17 @@ int main()
                            std::to_string(2 * sweep.agents - 1)});
         }
         table.print(std::cout);
+        std::string key = "under_bound_n";
+        key.append(std::to_string(sweep.agents));
+        key.append("_b");
+        key.append(std::to_string(sweep.bins));
+        key.push_back('_');
+        key.append(sweep.rule_name);
+        report.field(key, under_bound);
     }
 
     std::cout << "\nShape check: every row sits under 1 + 2b/k; R(k) decays toward 1 as k grows\n"
                  "(Theorem 5: R = 1); Delta(k) never exceeds 2n-1 (Lemma 6).\n";
+    if (!report.write(json_path)) return 1;
     return 0;
 }

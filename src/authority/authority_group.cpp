@@ -81,6 +81,64 @@ void Replica_group_harness::enact_disconnections()
     for (common::Agent_id j = 0; j < n_; ++j) {
         if (2 * votes[static_cast<std::size_t>(j)] > honest && !engine_.is_disconnected(j)) {
             engine_.disconnect(j);
+            if (telemetry_ != nullptr) {
+                telemetry::Event e;
+                e.kind = telemetry::Event_kind::expulsion;
+                e.at = engine_.now() - 1; // the pulse whose vote expelled j
+                e.a = j;
+                e.note = "executive order";
+                telemetry_->event(std::move(e));
+            }
+        }
+    }
+}
+
+void Replica_group_harness::set_telemetry(telemetry::Telemetry_sink* sink)
+{
+    telemetry_ = sink;
+    tel_pulses_ = tel_messages_ = tel_bytes_ = tel_dropped_ = tel_delayed_ = nullptr;
+    Ic_schedule_processor* reference =
+        dynamic_cast<Ic_schedule_processor*>(&engine_.processor(reference_slot()));
+    if (reference != nullptr) reference->set_telemetry(sink);
+    if (sink == nullptr) return;
+    // Deltas start from the attach point, so a sink attached mid-run never
+    // re-counts traffic the previous sink (or nobody) already saw.
+    tel_last_ = engine_.stats();
+    tel_pulses_ = &sink->counter("net.pulses");
+    tel_messages_ = &sink->counter("net.messages");
+    tel_bytes_ = &sink->counter("net.payload_bytes");
+    tel_dropped_ = &sink->counter("net.dropped");
+    tel_delayed_ = &sink->counter("net.delayed");
+}
+
+void Replica_group_harness::sample_telemetry(common::Pulse executed)
+{
+    const sim::Traffic_stats& stats = engine_.stats();
+    *tel_pulses_ += stats.pulses - tel_last_.pulses;
+    *tel_messages_ += stats.messages - tel_last_.messages;
+    *tel_bytes_ += stats.payload_bytes - tel_last_.payload_bytes;
+    *tel_dropped_ += stats.dropped - tel_last_.dropped;
+    *tel_delayed_ += stats.delayed - tel_last_.delayed;
+    tel_last_ = stats;
+
+    // Burst/partition window edges: active over [begin, end), so the window
+    // opens with pulse `begin` and is last active at pulse `end - 1`.
+    for (std::size_t w = 0; w < engine_.net().windows.size(); ++w) {
+        const sim::Net_window& window = engine_.net().windows[w];
+        if (executed == window.begin && window.end > window.begin) {
+            telemetry::Event e;
+            e.kind = telemetry::Event_kind::net_window_open;
+            e.at = executed;
+            e.a = static_cast<std::int64_t>(w);
+            e.b = static_cast<std::int64_t>(window.isolated.size());
+            telemetry_->event(std::move(e));
+        }
+        if (executed == window.end - 1 && window.end > window.begin) {
+            telemetry::Event e;
+            e.kind = telemetry::Event_kind::net_window_close;
+            e.at = executed;
+            e.a = static_cast<std::int64_t>(w);
+            telemetry_->event(std::move(e));
         }
     }
 }
@@ -88,8 +146,10 @@ void Replica_group_harness::enact_disconnections()
 void Replica_group_harness::run_pulses(common::Pulse count)
 {
     for (common::Pulse i = 0; i < count; ++i) {
+        const common::Pulse executed = engine_.now();
         engine_.run_pulse();
         enact_disconnections();
+        if (telemetry_ != nullptr) sample_telemetry(executed);
     }
 }
 

@@ -16,6 +16,7 @@
 
 #include "authority/authority_processor.h"
 #include "sim/engine.h"
+#include "telemetry/telemetry.h"
 
 namespace ga::authority {
 
@@ -72,6 +73,12 @@ public:
 
     /// Wire accounting of the whole group (benchmark aggregation).
     [[nodiscard]] virtual const sim::Traffic_stats& traffic() const = 0;
+
+    /// Attach a telemetry sink observing this group (nullptr detaches). The
+    /// sink is an observer only — attaching one never changes the group's
+    /// verdicts, standings, or traffic. Default: ignored (uninstrumented
+    /// group).
+    virtual void set_telemetry(telemetry::Telemetry_sink* sink) { (void)sink; }
 };
 
 /// Engine-backed skeleton shared by both group harnesses: owns the engine
@@ -94,6 +101,12 @@ public:
     void run_pulses(common::Pulse count) override;
     void inject_transient_fault() override;
     void expel_agent(common::Agent_id id) override;
+
+    /// Wires the sink into the harness's per-pulse accounting (net counters,
+    /// net-fault window edges, expulsion events) and into the reference
+    /// replica's schedule hooks (IC spans, plays, clock holds). Requires the
+    /// subclass to have installed its processors (construction is complete).
+    void set_telemetry(telemetry::Telemetry_sink* sink) override;
 
     /// The group's network delivery bound (1 under the default clean model).
     [[nodiscard]] int delta() const { return engine_.net().delta; }
@@ -130,6 +143,19 @@ protected:
 
 private:
     void enact_disconnections();
+    /// Fold the pulse that just executed into the sink: engine stat deltas
+    /// into the cached counters, plus net-fault window edge events.
+    void sample_telemetry(common::Pulse executed);
+
+    // ---- Telemetry (observer-only). The counter references are stable map
+    // nodes cached once at attach time, so the per-pulse cost is five adds.
+    telemetry::Telemetry_sink* telemetry_ = nullptr;
+    sim::Traffic_stats tel_last_{};  ///< stats at the previous sample
+    std::int64_t* tel_pulses_ = nullptr;
+    std::int64_t* tel_messages_ = nullptr;
+    std::int64_t* tel_bytes_ = nullptr;
+    std::int64_t* tel_dropped_ = nullptr;
+    std::int64_t* tel_delayed_ = nullptr;
 };
 
 } // namespace ga::authority

@@ -95,13 +95,22 @@ std::vector<bool> Authority_processor::strict_majority_flags(const std::vector<b
     return flagged;
 }
 
-bft::Value Authority_processor::phase_input(int phase, common::Pulse)
+bft::Value Authority_processor::phase_input(int phase, common::Pulse now)
 {
     switch (static_cast<Phase>(phase)) {
     case Phase::outcome:
         return encode_profile(previous_);
 
     case Phase::commit: {
+        if (auto* tel = telemetry()) {
+            play_opened_at_ = now;
+            telemetry::Event e;
+            e.kind = telemetry::Event_kind::play_open;
+            e.window = static_cast<std::int64_t>(plays_.size());
+            e.at = now;
+            e.a = 1; // one play per window in the classic schedule
+            tel->event(std::move(e));
+        }
         const std::vector<bool> active = executive_.active_mask();
         if (!active[static_cast<std::size_t>(id())]) return {};
         Play_context ctx;
@@ -150,7 +159,8 @@ void Authority_processor::process_phase_result(int phase, common::Pulse now)
         break;
     }
 
-    case Phase::commit:
+    case Phase::commit: {
+        std::int64_t sealed = 0;
         for (common::Agent_id j = 0; j < n(); ++j) {
             Submission& sub = submissions_[static_cast<std::size_t>(j)];
             sub.commitment.reset();
@@ -160,9 +170,19 @@ void Authority_processor::process_phase_result(int phase, common::Pulse now)
                 crypto::Commitment commitment;
                 std::copy(value.begin(), value.end(), commitment.digest.begin());
                 sub.commitment = commitment;
+                ++sealed;
             }
         }
+        if (auto* tel = telemetry()) {
+            telemetry::Event e;
+            e.kind = telemetry::Event_kind::play_seal;
+            e.window = static_cast<std::int64_t>(plays_.size());
+            e.at = now;
+            e.a = sealed;
+            tel->event(std::move(e));
+        }
         break;
+    }
 
     case Phase::reveal:
         for (common::Agent_id j = 0; j < n(); ++j) {
@@ -194,6 +214,28 @@ void Authority_processor::process_phase_result(int phase, common::Pulse now)
                     if (v.agent == j && v.offence != Offence::none) offence = v.offence;
                 }
                 punishment_->punish(executive_, j, offence);
+                if (auto* tel = telemetry()) {
+                    telemetry::Event e;
+                    e.kind = telemetry::Event_kind::foul;
+                    e.window = static_cast<std::int64_t>(plays_.size());
+                    e.at = now;
+                    e.a = j;
+                    e.note = offence_name(offence);
+                    tel->event(std::move(e));
+                }
+            }
+        }
+        if (auto* tel = telemetry()) {
+            telemetry::Event e;
+            e.kind = telemetry::Event_kind::play_verdict;
+            e.window = static_cast<std::int64_t>(plays_.size());
+            e.at = now;
+            e.a = static_cast<std::int64_t>(record.punished.size());
+            tel->event(std::move(e));
+            tel->counter("plays.completed") += 1;
+            if (play_opened_at_ >= 0) {
+                tel->histogram("play.latency_pulses").record(now - play_opened_at_);
+                play_opened_at_ = -1;
             }
         }
 
@@ -247,6 +289,7 @@ void Authority_processor::corrupt_state(common::Rng& rng)
         sub.commitment.reset();
         sub.opening.reset();
     }
+    play_opened_at_ = -1;
 }
 
 } // namespace ga::authority

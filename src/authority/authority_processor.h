@@ -112,6 +112,7 @@ private:
     std::vector<Submission> submissions_;  ///< agreed commitments + openings
     std::vector<Verdict> my_verdicts_;     ///< local audit of the agreed data
     std::vector<Play_record> plays_;
+    common::Pulse play_opened_at_ = -1;    ///< telemetry: commit-phase open pulse
 };
 
 } // namespace ga::authority

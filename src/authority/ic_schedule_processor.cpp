@@ -71,7 +71,25 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
 
     // ---- Clock: quorum step at frame boundaries, held in between.
     const bool boundary = cache_.is_boundary(ctx.pulse());
-    if (boundary) clock_.step(cache_.collect(ctx.pulse()));
+    if (boundary) {
+        const int before_step = clock_.value();
+        clock_.step(cache_.collect(ctx.pulse()));
+        if (telemetry_ != nullptr) {
+            // An unchanged value at a boundary is a hold (insufficient beacon
+            // evidence); journal streak edges, count every held boundary.
+            const bool held = clock_.value() == before_step;
+            if (held) telemetry_->counter("clock.held_boundaries") += 1;
+            if (held != tel_holding_) {
+                telemetry::Event e;
+                e.kind = held ? telemetry::Event_kind::clock_hold
+                              : telemetry::Event_kind::clock_resume;
+                e.at = ctx.pulse();
+                e.a = clock_.value();
+                telemetry_->event(std::move(e));
+                tel_holding_ = held;
+            }
+        }
+    }
     const int c = clock_.value();
     const int len = phase_length_for(ic_rounds_);
     const int slot = c - 1;
@@ -106,6 +124,15 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
             session_ = ic_factory_(n_, f_, id(), phase_input(phase_index, ctx.pulse()));
             last_sent_phase_ = -1; // force a fresh round-0 mint below
             last_sent_round_ = -1;
+            if (telemetry_ != nullptr) {
+                ic_started_at_ = ctx.pulse();
+                telemetry_->counter("ic.activations") += 1;
+                telemetry::Event e;
+                e.kind = telemetry::Event_kind::ic_start;
+                e.at = ctx.pulse();
+                e.a = phase_index;
+                telemetry_->event(std::move(e));
+            }
         } else if (boundary && r >= 1 && session_ && !session_->done()) {
             // Deliver round r-1 from the buffer. A boundary repeated under a
             // held clock merges late arrivals into the same round — the
@@ -124,7 +151,21 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
                 filtered[static_cast<std::size_t>(id())] = last_sent_payload_;
             }
             session_->deliver_round(r - 1, filtered);
-            if (session_->done()) process_phase_result(phase_index, ctx.pulse());
+            if (session_->done()) {
+                if (telemetry_ != nullptr) {
+                    if (ic_started_at_ >= 0) {
+                        telemetry_->histogram("ic.activation_pulses")
+                            .record(ctx.pulse() - ic_started_at_);
+                    }
+                    telemetry::Event e;
+                    e.kind = telemetry::Event_kind::ic_finish;
+                    e.at = ctx.pulse();
+                    e.a = phase_index;
+                    telemetry_->event(std::move(e));
+                    ic_started_at_ = -1;
+                }
+                process_phase_result(phase_index, ctx.pulse());
+            }
         }
 
         if (r < ic_rounds_ && session_ && !session_->done()) {
@@ -162,6 +203,7 @@ void Ic_schedule_processor::corrupt(common::Rng& rng)
     last_sent_payload_.clear();
     last_slot_ = -1;
     reset_section_buffer(-1);
+    ic_started_at_ = -1; // the in-flight activation died with the fault
     corrupt_state(rng);
 }
 

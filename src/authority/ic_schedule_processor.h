@@ -36,6 +36,7 @@
 #include "clock/beacon_cache.h"
 #include "clock/clock_core.h"
 #include "sim/processor.h"
+#include "telemetry/telemetry.h"
 
 namespace ga::authority {
 
@@ -58,6 +59,12 @@ public:
 
     [[nodiscard]] int clock() const { return clock_.value(); }
     [[nodiscard]] int delta() const { return cache_.delta(); }
+
+    /// Attach a telemetry sink (nullptr detaches). Only one replica per group
+    /// — the harness's reference slot — carries a sink, so the replicated
+    /// schedule is journaled exactly once and never perturbed: all hook sites
+    /// reduce to a pointer test when detached.
+    void set_telemetry(telemetry::Telemetry_sink* sink) { telemetry_ = sink; }
 
 protected:
     /// `clock_rng` seeds only the clock core; subclasses keep their own
@@ -88,6 +95,9 @@ protected:
     [[nodiscard]] int n_phases() const { return n_phases_; }
     [[nodiscard]] int ic_rounds() const { return ic_rounds_; }
 
+    /// The attached sink, or nullptr (subclass hook sites guard on it).
+    [[nodiscard]] telemetry::Telemetry_sink* telemetry() const { return telemetry_; }
+
 private:
     void reset_section_buffer(int phase);
 
@@ -111,6 +121,11 @@ private:
     int buf_phase_ = -1;
     std::vector<common::Round> buf_round_;
     std::vector<common::Bytes> buf_payload_;
+
+    // ---- Telemetry (observer-only; no effect on the schedule).
+    telemetry::Telemetry_sink* telemetry_ = nullptr;
+    common::Pulse ic_started_at_ = -1; ///< pulse the in-flight activation started
+    bool tel_holding_ = false;         ///< inside a clock-hold streak
 };
 
 } // namespace ga::authority

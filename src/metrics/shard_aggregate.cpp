@@ -35,6 +35,9 @@ Fabric_metrics aggregate_shards(std::vector<Shard_sample> samples)
         out.total_traffic.pulses += sample.traffic.pulses;
         out.total_traffic.messages += sample.traffic.messages;
         out.total_traffic.payload_bytes += sample.traffic.payload_bytes;
+        out.total_traffic.dropped += sample.traffic.dropped;
+        out.total_traffic.delayed += sample.traffic.delayed;
+        telemetry::merge_into(out.telemetry, sample.telemetry);
         out.total_fouls += sample.fouls;
         out.total_disconnected += sample.disconnected;
         out.total_social_cost += sample.social_cost;

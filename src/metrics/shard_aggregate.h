@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "telemetry/telemetry.h"
 
 namespace ga::metrics {
 
@@ -40,6 +41,10 @@ struct Shard_sample {
     /// plays x the shard game's optimum social cost; nullopt when the game is
     /// too large to enumerate (the ratio is then omitted from the report).
     std::optional<double> optimal_cost;
+    /// The group's telemetry snapshot at harvest time (empty when the fabric
+    /// runs without sinks). Unique per (epoch, shard) like the rest of the
+    /// sample, so aggregation merges without double counting.
+    telemetry::Snapshot telemetry;
 
     friend bool operator==(const Shard_sample&, const Shard_sample&) = default;
 };
@@ -63,6 +68,9 @@ struct Fabric_metrics {
     std::optional<double> price_of_anarchy;
     std::int64_t min_shard_plays = 0;  ///< load-balance floor across shards
     std::int64_t max_shard_plays = 0;  ///< load-balance ceiling across shards
+    /// Every sample's telemetry merged in (epoch, shard) order (counters sum,
+    /// histograms merge, journals concatenate); empty without sinks.
+    telemetry::Snapshot telemetry;
     std::vector<Shard_sample> per_shard;
 
     friend bool operator==(const Fabric_metrics&, const Fabric_metrics&) = default;

@@ -36,13 +36,22 @@ Pipeline_processor::Pipeline_processor(common::Processor_id id, int n, int f,
     roots_.resize(static_cast<std::size_t>(this->n()));
 }
 
-bft::Value Pipeline_processor::phase_input(int phase, common::Pulse)
+bft::Value Pipeline_processor::phase_input(int phase, common::Pulse now)
 {
     switch (static_cast<Phase>(phase)) {
     case Phase::outcome:
         return authority::Authority_processor::encode_profile(previous_);
 
     case Phase::commit: {
+        if (auto* tel = telemetry()) {
+            batch_opened_at_ = now;
+            telemetry::Event e;
+            e.kind = telemetry::Event_kind::play_open;
+            e.window = batches_;
+            e.at = now;
+            e.a = k_; // k plays open per batch window
+            tel->event(std::move(e));
+        }
         const std::vector<bool> active = executive_.active_mask();
         if (!active[static_cast<std::size_t>(id())]) return {};
         batcher_.build(*behavior_, previous_, static_cast<int>(plays_.size()), rng_);
@@ -75,9 +84,9 @@ void Pipeline_processor::process_phase_result(int phase, common::Pulse now)
 {
     switch (static_cast<Phase>(phase)) {
     case Phase::outcome: process_outcome_result(); break;
-    case Phase::commit: process_commit_result(); break;
+    case Phase::commit: process_commit_result(now); break;
     case Phase::reveal: process_reveal_result(now); break;
-    case Phase::foul: process_foul_result(); break;
+    case Phase::foul: process_foul_result(now); break;
     }
 }
 
@@ -89,11 +98,23 @@ void Pipeline_processor::process_outcome_result()
                     .value_or(first_play_profile(spec_));
 }
 
-void Pipeline_processor::process_commit_result()
+void Pipeline_processor::process_commit_result(common::Pulse now)
 {
     for (common::Agent_id a = 0; a < n(); ++a) {
         roots_[static_cast<std::size_t>(a)] =
             decode_batch_root(agreed()[static_cast<std::size_t>(a)], k_);
+    }
+    if (auto* tel = telemetry()) {
+        std::int64_t sealed = 0;
+        for (const auto& root : roots_) {
+            if (root.has_value()) ++sealed;
+        }
+        telemetry::Event e;
+        e.kind = telemetry::Event_kind::play_seal;
+        e.window = batches_;
+        e.at = now;
+        e.a = sealed;
+        tel->event(std::move(e));
     }
     // Every honest replica derives the same reference trajectory from the
     // agreed previous outcome — the audit standard of this batch.
@@ -173,9 +194,10 @@ void Pipeline_processor::process_reveal_result(common::Pulse now)
         previous_ = outcome;
         plays_.push_back(std::move(record));
     }
+    published_this_batch_ = true;
 }
 
-void Pipeline_processor::process_foul_result()
+void Pipeline_processor::process_foul_result(common::Pulse now)
 {
     // N' = agents flagged by a strict majority of the agreed bitmasks.
     const std::vector<bool> flagged =
@@ -192,7 +214,36 @@ void Pipeline_processor::process_foul_result()
                 if (v.agent == a && v.offence != authority::Offence::none) offence = v.offence;
             }
             punishment_->punish(executive_, a, offence);
+            if (auto* tel = telemetry()) {
+                telemetry::Event e;
+                e.kind = telemetry::Event_kind::foul;
+                e.window = batches_;
+                e.at = now;
+                e.a = a;
+                e.note = authority::offence_name(offence);
+                tel->event(std::move(e));
+            }
         }
+    }
+    if (auto* tel = telemetry()) {
+        telemetry::Event e;
+        e.kind = telemetry::Event_kind::play_verdict;
+        e.window = batches_;
+        e.at = now;
+        e.a = static_cast<std::int64_t>(punished.size());
+        tel->event(std::move(e));
+        tel->counter("batches.completed") += 1;
+        if (published_this_batch_ && batch_opened_at_ >= 0) {
+            // Verdicts land at the batch edge, so every play of the window
+            // shares the open-to-verdict latency — the §5.3 detection delay
+            // made visible in the same histogram the classic tier fills.
+            telemetry::Histogram& latency = tel->histogram("play.latency_pulses");
+            for (int j = 0; j < k_; ++j) latency.record(now - batch_opened_at_);
+            tel->counter("plays.completed") += k_;
+            tel->histogram("batch.window_pulses").record(now - batch_opened_at_);
+        }
+        batch_opened_at_ = -1;
+        published_this_batch_ = false;
     }
     // The batch edge is where verdicts land: attribute the foul set to the
     // window's last published play (the §5.3 delayed-detection semantics).
@@ -222,6 +273,8 @@ void Pipeline_processor::corrupt_state(common::Rng& rng)
     reveals_.clear();
     cascade_.clear();
     my_verdicts_.clear();
+    batch_opened_at_ = -1;
+    published_this_batch_ = false;
 }
 
 } // namespace ga::pipeline

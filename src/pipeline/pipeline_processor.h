@@ -68,9 +68,9 @@ private:
     enum class Phase : int { outcome = 0, commit = 1, reveal = 2, foul = 3 };
 
     void process_outcome_result();
-    void process_commit_result();
+    void process_commit_result(common::Pulse now);
     void process_reveal_result(common::Pulse now);
-    void process_foul_result();
+    void process_foul_result(common::Pulse now);
 
     authority::Game_spec spec_;
     std::unique_ptr<authority::Agent_behavior> behavior_;
@@ -88,6 +88,8 @@ private:
     std::vector<authority::Verdict> my_verdicts_;     ///< local batch-edge audit
     std::vector<authority::Play_record> plays_;
     std::int64_t batches_ = 0;
+    common::Pulse batch_opened_at_ = -1; ///< telemetry: commit-phase open pulse
+    bool published_this_batch_ = false;  ///< telemetry: reveal published k plays
 };
 
 } // namespace ga::pipeline

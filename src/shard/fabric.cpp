@@ -140,6 +140,17 @@ void Fabric::build_all(
         shards_.push_back(std::move(built.group));
         optimum_costs_[static_cast<std::size_t>(s)] = built.optimum;
     }
+    if (config_.telemetry) {
+        fabric_sink_ = std::make_unique<telemetry::Telemetry_sink>(
+            telemetry::Telemetry_sink::Scope{-1, plan_.epoch()});
+        shard_sinks_.clear();
+        for (int s = 0; s < plan_.map().n_shards(); ++s) {
+            shard_sinks_.push_back(std::make_unique<telemetry::Telemetry_sink>(
+                telemetry::Telemetry_sink::Scope{s, plan_.epoch()}));
+            shards_[static_cast<std::size_t>(s)]->set_telemetry(
+                shard_sinks_.back().get());
+        }
+    }
     rebuild_router();
 }
 
@@ -203,6 +214,15 @@ bool Fabric::maybe_rebalance()
     }
     const Rebalance_plan proposal = rebalancer_->propose(plan_, std::move(loads));
     if (proposal.empty()) return false;
+    if (fabric_sink_ != nullptr) {
+        // Journaled before the floor check, so proposals the 3f+1 floor
+        // rejects below remain visible as proposed-but-not-applied.
+        telemetry::Event e;
+        e.kind = telemetry::Event_kind::rebalance_proposed;
+        e.a = static_cast<std::int64_t>(proposal.migrations.size());
+        e.b = static_cast<std::int64_t>(proposal.splits.size() + proposal.merges.size());
+        fabric_sink_->event(std::move(e));
+    }
     // Transform with the structural floor only: a *malformed* plan (stale
     // shard ids, duplicate movers, ...) is a policy bug and propagates. A
     // well-formed plan whose resulting groups would dip under this fabric's
@@ -272,21 +292,39 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
         if (keep[static_cast<std::size_t>(s)]) continue;
         report.max_quiesce_pulses =
             std::max(report.max_quiesce_pulses, quiesce[static_cast<std::size_t>(s)]);
+        if (fabric_sink_ != nullptr) {
+            fabric_sink_->histogram("rebalance.quiesce_pulses")
+                .record(quiesce[static_cast<std::size_t>(s)]);
+        }
         retire_group(s);
         ++report.retired;
     }
 
-    // ---- Swap the topology: adopt carried groups under their new ids.
+    // ---- Swap the topology: adopt carried groups under their new ids. A
+    // carried group keeps its sink — relabeled to its new (shard, epoch)
+    // scope — so its registries stay continuous across the transition while
+    // events before and after the edge carry the tags they happened under.
+    std::vector<std::unique_ptr<telemetry::Telemetry_sink>> next_sinks(
+        config_.telemetry ? next_groups.size() : 0);
     for (std::size_t s = 0; s < next_groups.size(); ++s) {
         if (carried[s] >= 0) {
             next_groups[s] = std::move(shards_[static_cast<std::size_t>(carried[s])]);
             next_optima[s] = optimum_costs_[static_cast<std::size_t>(carried[s])];
+            if (config_.telemetry) {
+                next_sinks[s] = std::move(shard_sinks_[static_cast<std::size_t>(carried[s])]);
+                next_sinks[s]->set_scope({static_cast<int>(s), next.epoch()});
+            }
             ++report.carried;
+        } else if (config_.telemetry) {
+            next_sinks[s] = std::make_unique<telemetry::Telemetry_sink>(
+                telemetry::Telemetry_sink::Scope{static_cast<int>(s), next.epoch()});
+            next_groups[s]->set_telemetry(next_sinks[s].get());
         }
     }
     plan_ = std::move(next);
     shards_ = std::move(next_groups);
     optimum_costs_ = std::move(next_optima);
+    shard_sinks_ = std::move(next_sinks);
 
     // ---- Finish the rebuilt shards against the now-folded ledger:
     // expulsion is permanent, so re-expel members disconnected in any
@@ -304,6 +342,16 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
         shards_[static_cast<std::size_t>(s)]->run_pulses(1);
     }
     rebuild_router();
+
+    if (fabric_sink_ != nullptr) {
+        fabric_sink_->set_scope({-1, plan_.epoch()});
+        telemetry::Event e;
+        e.kind = telemetry::Event_kind::rebalance_applied;
+        e.a = static_cast<std::int64_t>(report.moves.size());
+        e.b = report.rebuilt;
+        fabric_sink_->event(std::move(e));
+        fabric_sink_->counter("rebalance.applied") += 1;
+    }
 
     last_rebalance_ = report;
     return report;
@@ -385,6 +433,10 @@ metrics::Shard_sample Fabric::harvest(int s) const
             ledgers_[static_cast<std::size_t>(members[static_cast<std::size_t>(local)])].expelled;
         if (group.is_agent_disconnected(local) && !carried_expulsion) ++sample.disconnected;
     }
+    if (static_cast<std::size_t>(s) < shard_sinks_.size() &&
+        shard_sinks_[static_cast<std::size_t>(s)] != nullptr) {
+        sample.telemetry = shard_sinks_[static_cast<std::size_t>(s)]->snapshot();
+    }
     return sample;
 }
 
@@ -393,7 +445,34 @@ metrics::Fabric_metrics Fabric::report() const
     std::vector<metrics::Shard_sample> samples = retired_samples_;
     samples.reserve(samples.size() + static_cast<std::size_t>(n_shards()));
     for (int s = 0; s < n_shards(); ++s) samples.push_back(harvest(s));
-    return metrics::aggregate_shards(std::move(samples));
+    metrics::Fabric_metrics out = metrics::aggregate_shards(std::move(samples));
+    if (fabric_sink_ != nullptr) {
+        telemetry::merge_into(out.telemetry, fabric_sink_->snapshot());
+    }
+    return out;
+}
+
+telemetry::Report Fabric::telemetry_report() const
+{
+    telemetry::Report report;
+    if (fabric_sink_ != nullptr) report.fabric = fabric_sink_->snapshot();
+    for (const metrics::Shard_sample& sample : retired_samples_) {
+        if (!sample.telemetry.empty()) {
+            report.shards.push_back({sample.shard, sample.epoch, sample.telemetry});
+        }
+    }
+    for (int s = 0; s < n_shards(); ++s) {
+        if (static_cast<std::size_t>(s) < shard_sinks_.size() &&
+            shard_sinks_[static_cast<std::size_t>(s)] != nullptr) {
+            report.shards.push_back(
+                {s, plan_.epoch(), shard_sinks_[static_cast<std::size_t>(s)]->snapshot()});
+        }
+    }
+    std::stable_sort(report.shards.begin(), report.shards.end(),
+                     [](const telemetry::Scoped_snapshot& a, const telemetry::Scoped_snapshot& b) {
+                         return std::pair{a.epoch, a.shard} < std::pair{b.epoch, b.shard};
+                     });
+    return report;
 }
 
 } // namespace ga::shard

@@ -53,6 +53,7 @@
 #include "pipeline/pipeline_authority.h"
 #include "shard/authority_router.h"
 #include "shard/rebalancer.h"
+#include "telemetry/export.h"
 
 namespace ga::shard {
 
@@ -103,6 +104,12 @@ struct Fabric_config {
     /// Consulted by maybe_rebalance(); null = the topology never changes on
     /// its own (apply_rebalance still works on an elastic fabric).
     Rebalance_policy rebalance;
+    /// Observability: give every group its own telemetry sink (scoped to its
+    /// (shard, epoch)) plus one fabric-scope sink for epoch transitions.
+    /// Sinks are pure observers, so a run with telemetry on is bit-identical
+    /// — same verdicts, standings, traffic, and rebalances — to the same run
+    /// with it off; only telemetry_report() gains content.
+    bool telemetry = false;
 };
 
 /// What one epoch transition did (returned by apply_rebalance and kept for
@@ -200,8 +207,21 @@ public:
 
     /// Fabric-level aggregation: every retired group's final harvest plus
     /// every live shard's current harvest — totals sum across epochs without
-    /// loss or double counting.
+    /// loss or double counting. With telemetry enabled the report's merged
+    /// snapshot additionally folds in the fabric-scope sink.
     [[nodiscard]] metrics::Fabric_metrics report() const;
+
+    // ---- Observability (config.telemetry).
+
+    [[nodiscard]] bool telemetry_enabled() const { return config_.telemetry; }
+
+    /// The whole run's telemetry: the fabric-scope sink plus one scoped
+    /// snapshot per group lifetime — retired groups' final snapshots and live
+    /// groups' current ones — in (epoch, shard) order. Deterministic: the
+    /// same (seed, map, policy, config, net) produces byte-identical
+    /// to_json(telemetry_report()) on any thread count. Empty when telemetry
+    /// is disabled.
+    [[nodiscard]] telemetry::Report telemetry_report() const;
 
 private:
     /// Per-global-agent state carried across epoch transitions.
@@ -246,6 +266,13 @@ private:
     std::unique_ptr<Authority_router> router_;
     common::Executor executor_;
     std::optional<Rebalancer> rebalancer_;
+
+    /// Per-group sinks, parallel to shards_ (empty when telemetry is off).
+    /// Each is written only by its group — from the group's stepping job
+    /// while the executor runs, never by the fabric thread concurrently — so
+    /// the single-writer contract holds on any thread count.
+    std::vector<std::unique_ptr<telemetry::Telemetry_sink>> shard_sinks_;
+    std::unique_ptr<telemetry::Telemetry_sink> fabric_sink_; ///< epoch transitions
 
     std::vector<Agent_ledger> ledgers_;                ///< one per global agent
     std::vector<metrics::Shard_sample> retired_samples_;

@@ -171,6 +171,7 @@ void Engine::step_processor_net(common::Processor_id id, Traffic_stats& stats, R
             stats.dropped += 1;
             continue;
         }
+        if (verdict.delay > 1) stats.delayed += 1;
         route(verdict.delay, msg);
     }
 }
@@ -269,6 +270,7 @@ void Engine::run_pulse_net_parallel()
         stats_.messages += local.messages;
         stats_.payload_bytes += local.payload_bytes;
         stats_.dropped += local.dropped;
+        stats_.delayed += local.delayed;
     }
 }
 
@@ -412,6 +414,17 @@ bool Engine::is_disconnected(common::Processor_id id) const
 {
     common::ensure(id >= 0 && id < size(), "is_disconnected: id out of range");
     return disconnected_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t Engine::in_flight() const
+{
+    std::int64_t total = 0;
+    for (const auto& slot : wheel_) {
+        for (const std::vector<Message>& row : slot) {
+            total += static_cast<std::int64_t>(row.size());
+        }
+    }
+    return total;
 }
 
 } // namespace ga::sim

@@ -45,12 +45,14 @@ namespace ga::sim {
 
 /// Message/byte accounting for the benchmark harness. `messages` and
 /// `payload_bytes` count offered traffic (validated sends); `dropped` counts
-/// the subset the Net_model lost (always 0 under the clean model).
+/// the subset the Net_model lost and `delayed` the subset it deferred past
+/// the one-pulse rule (delay > 1) — both always 0 under the clean model.
 struct Traffic_stats {
     std::int64_t pulses = 0;
     std::int64_t messages = 0;
     std::int64_t payload_bytes = 0;
     std::int64_t dropped = 0;
+    std::int64_t delayed = 0;
 
     friend bool operator==(const Traffic_stats&, const Traffic_stats&) = default;
 };
@@ -84,6 +86,10 @@ public:
     [[nodiscard]] int byzantine_count() const;
     [[nodiscard]] common::Pulse now() const { return pulse_; }
     [[nodiscard]] const Traffic_stats& stats() const { return stats_; }
+
+    /// Messages sitting in the timed-delivery wheel waiting for a future
+    /// pulse (0 under the clean model, which delivers everything next pulse).
+    [[nodiscard]] std::int64_t in_flight() const;
 
     /// Resize the worker pool (>= 1). Callable between pulses at any time;
     /// has no effect on results, only on wall-clock speed.

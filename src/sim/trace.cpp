@@ -18,10 +18,16 @@ void Trace::sample(const Engine& engine)
     entry.pulse = engine.now() - 1; // the pulse that just executed
     entry.messages = now.messages - last_.messages;
     entry.payload_bytes = now.payload_bytes - last_.payload_bytes;
+    entry.dropped = now.dropped - last_.dropped;
+    entry.delayed = now.delayed - last_.delayed;
+    entry.deferred = engine.in_flight();
     last_ = now;
 
     entries_.push_back(entry);
-    if (entries_.size() > capacity_) entries_.pop_front();
+    if (entries_.size() > capacity_) {
+        entries_.pop_front();
+        ++dropped_oldest_;
+    }
 }
 
 const Pulse_trace& Trace::at(std::size_t index) const
@@ -50,9 +56,13 @@ double Trace::mean_messages() const
 
 void Trace::print(std::ostream& out) const
 {
-    out << "pulse  messages  bytes\n";
+    if (dropped_oldest_ > 0) {
+        out << "(" << dropped_oldest_ << " older pulse(s) evicted by the capacity bound)\n";
+    }
+    out << "pulse  messages  bytes  dropped  delayed  deferred\n";
     for (const Pulse_trace& entry : entries_) {
-        out << entry.pulse << "  " << entry.messages << "  " << entry.payload_bytes << '\n';
+        out << entry.pulse << "  " << entry.messages << "  " << entry.payload_bytes << "  "
+            << entry.dropped << "  " << entry.delayed << "  " << entry.deferred << '\n';
     }
 }
 

@@ -12,11 +12,15 @@
 
 namespace ga::sim {
 
-/// Traffic summary of one pulse.
+/// Traffic summary of one pulse. The fault columns are per-pulse deltas of
+/// the engine's Net_model accounting (all 0 under the clean model).
 struct Pulse_trace {
     common::Pulse pulse = 0;
     std::int64_t messages = 0;      ///< messages delivered into this pulse
     std::int64_t payload_bytes = 0; ///< their total payload size
+    std::int64_t dropped = 0;       ///< messages the Net_model lost this pulse
+    std::int64_t delayed = 0;       ///< messages deferred past the next pulse
+    std::int64_t deferred = 0;      ///< delivery-wheel backlog after this pulse
 };
 
 /// Records per-pulse traffic deltas; keeps the most recent `capacity` pulses.
@@ -32,19 +36,25 @@ public:
     [[nodiscard]] const Pulse_trace& at(std::size_t index) const;
     [[nodiscard]] const std::deque<Pulse_trace>& entries() const { return entries_; }
 
+    /// Entries evicted by the capacity bound since construction — a non-zero
+    /// value means the window no longer starts at the first sampled pulse.
+    [[nodiscard]] std::int64_t dropped_oldest() const { return dropped_oldest_; }
+
     /// Busiest recorded pulse by message count (tie: earliest).
     [[nodiscard]] Pulse_trace busiest() const;
 
     /// Mean messages per recorded pulse.
     [[nodiscard]] double mean_messages() const;
 
-    /// Tabular dump (pulse, messages, bytes).
+    /// Tabular dump (pulse, messages, bytes, net faults); notes how many
+    /// older rows the capacity bound evicted.
     void print(std::ostream& out) const;
 
 private:
     std::size_t capacity_;
     std::deque<Pulse_trace> entries_;
     Traffic_stats last_{};
+    std::int64_t dropped_oldest_ = 0;
 };
 
 } // namespace ga::sim

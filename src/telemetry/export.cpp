@@ -1,0 +1,203 @@
+#include "telemetry/export.h"
+
+#include <iomanip>
+
+#include "telemetry/json.h"
+
+namespace ga::telemetry {
+namespace {
+
+void write_histogram(Json_writer& w, const Histogram& h)
+{
+    w.begin_object();
+    w.field("count", h.count());
+    w.field("sum", h.sum());
+    w.field("min", h.min());
+    w.field("max", h.max());
+    w.field("p50", h.p50());
+    w.field("p99", h.p99());
+    // Sparse bucket list keeps the blob small and still byte-exact.
+    w.key("buckets");
+    w.begin_array();
+    for (int b = 0; b < Histogram::k_buckets; ++b) {
+        if (h.bucket(b) == 0) continue;
+        w.begin_object();
+        w.field("floor", Histogram::bucket_floor(b));
+        w.field("n", h.bucket(b));
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+}
+
+void write_event(Json_writer& w, const Event& e)
+{
+    w.begin_object();
+    w.field("kind", event_kind_name(e.kind));
+    w.field("shard", e.shard);
+    w.field("epoch", e.epoch);
+    w.field("window", e.window);
+    w.field("at", e.at);
+    w.field("a", e.a);
+    w.field("b", e.b);
+    if (!e.note.empty()) w.field("note", e.note);
+    w.end_object();
+}
+
+void write_snapshot(Json_writer& w, const Snapshot& s)
+{
+    w.begin_object();
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : s.counters) w.field(name, value);
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, value] : s.gauges) w.field(name, value);
+    w.end_object();
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : s.histograms) {
+        w.key(name);
+        write_histogram(w, h);
+    }
+    w.end_object();
+    w.key("journal");
+    w.begin_array();
+    for (const Event& e : s.journal) write_event(w, e);
+    w.end_array();
+    w.field("journal_dropped_oldest", s.journal_dropped_oldest);
+    w.end_object();
+}
+
+void csv_snapshot_rows(std::string& out, const std::string& scope, const Snapshot& s)
+{
+    const auto row = [&out, &scope](const char* kind, const std::string& name) -> std::string& {
+        out.append(kind);
+        out.push_back(',');
+        out.append(scope);
+        out.push_back(',');
+        out.append(name);
+        return out;
+    };
+    for (const auto& [name, value] : s.counters) {
+        row("counter", name).append(",,,,,,,").append(std::to_string(value)).push_back('\n');
+    }
+    for (const auto& [name, value] : s.gauges) {
+        row("gauge", name).append(",,,,,,,").append(format_double(value)).push_back('\n');
+    }
+    for (const auto& [name, h] : s.histograms) {
+        row("histogram", name);
+        for (const std::int64_t v : {h.count(), h.sum(), h.min(), h.max(), h.p50(), h.p99()}) {
+            out.push_back(',');
+            out.append(std::to_string(v));
+        }
+        out.append(",\n");
+    }
+}
+
+std::string scope_label(int shard, int epoch)
+{
+    if (shard < 0) return "fabric";
+    std::string label = "s";
+    label.append(std::to_string(shard));
+    label.push_back('e');
+    label.append(std::to_string(epoch));
+    return label;
+}
+
+void print_snapshot(std::ostream& os, const std::string& scope, const Snapshot& s)
+{
+    for (const auto& [name, value] : s.counters) {
+        os << "  " << std::left << std::setw(10) << scope << std::setw(28) << name << std::right
+           << std::setw(12) << value << "\n";
+    }
+    for (const auto& [name, value] : s.gauges) {
+        os << "  " << std::left << std::setw(10) << scope << std::setw(28) << name << std::right
+           << std::setw(12) << format_double(value) << "\n";
+    }
+    for (const auto& [name, h] : s.histograms) {
+        os << "  " << std::left << std::setw(10) << scope << std::setw(28) << name << std::right
+           << std::setw(12) << h.count() << "  p50=" << h.p50() << " p99=" << h.p99()
+           << " max=" << h.max() << "\n";
+    }
+}
+
+} // namespace
+
+Snapshot Report::merged() const
+{
+    Snapshot out = fabric;
+    for (const Scoped_snapshot& s : shards) merge_into(out, s.telemetry);
+    return out;
+}
+
+std::string to_json(const Snapshot& snapshot)
+{
+    Json_writer w;
+    write_snapshot(w, snapshot);
+    return w.take();
+}
+
+std::string to_json(const Report& report)
+{
+    Json_writer w;
+    w.begin_object();
+    w.key("fabric");
+    write_snapshot(w, report.fabric);
+    w.key("shards");
+    w.begin_array();
+    for (const Scoped_snapshot& s : report.shards) {
+        w.begin_object();
+        w.field("shard", s.shard);
+        w.field("epoch", s.epoch);
+        w.key("telemetry");
+        write_snapshot(w, s.telemetry);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.take();
+}
+
+std::string to_csv(const Report& report)
+{
+    std::string out = "kind,scope,name,count,sum,min,max,p50,p99,value\n";
+    csv_snapshot_rows(out, "fabric", report.fabric);
+    for (const Scoped_snapshot& s : report.shards) {
+        csv_snapshot_rows(out, scope_label(s.shard, s.epoch), s.telemetry);
+    }
+    return out;
+}
+
+void print(std::ostream& os, const Report& report, std::size_t journal_tail)
+{
+    os << "telemetry report — " << report.shards.size() << " shard snapshot(s)\n";
+    os << "  scope     metric                             value\n";
+    print_snapshot(os, "fabric", report.fabric);
+    for (const Scoped_snapshot& s : report.shards) {
+        print_snapshot(os, scope_label(s.shard, s.epoch), s.telemetry);
+    }
+
+    // Tail of the merged journal, fabric first then (epoch, shard) order —
+    // the order Report carries them in.
+    std::vector<const Event*> events;
+    for (const Event& e : report.fabric.journal) events.push_back(&e);
+    for (const Scoped_snapshot& s : report.shards) {
+        for (const Event& e : s.telemetry.journal) events.push_back(&e);
+    }
+    const std::size_t begin = events.size() > journal_tail ? events.size() - journal_tail : 0;
+    if (begin > 0 || !events.empty()) {
+        os << "  events (" << events.size() << " total, last " << (events.size() - begin)
+           << "):\n";
+    }
+    for (std::size_t i = begin; i < events.size(); ++i) {
+        const Event& e = *events[i];
+        os << "    [" << scope_label(e.shard, e.epoch) << " w" << e.window << " @" << e.at << "] "
+           << event_kind_name(e.kind) << " a=" << e.a << " b=" << e.b;
+        if (!e.note.empty()) os << " (" << e.note << ")";
+        os << "\n";
+    }
+}
+
+} // namespace ga::telemetry

@@ -1,0 +1,50 @@
+// Exporters over telemetry snapshots: JSON (machine-readable, byte-stable),
+// CSV series (one row per histogram / counter for spreadsheet trend lines),
+// and a human print(). All three iterate ordered maps only, so their output
+// is deterministic whenever the snapshots are.
+#ifndef GA_TELEMETRY_EXPORT_H
+#define GA_TELEMETRY_EXPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace ga::telemetry {
+
+/// One (shard, epoch) snapshot as harvested from a live or retired group.
+struct Scoped_snapshot {
+    int shard = -1;
+    int epoch = 0;
+    Snapshot telemetry;
+
+    friend bool operator==(const Scoped_snapshot&, const Scoped_snapshot&) = default;
+};
+
+/// A whole fabric run's telemetry: the fabric-scope sink plus every
+/// per-(epoch, shard) group snapshot in (epoch, shard) order.
+struct Report {
+    Snapshot fabric;
+    std::vector<Scoped_snapshot> shards;
+
+    /// Every shard snapshot and the fabric snapshot folded together.
+    [[nodiscard]] Snapshot merged() const;
+
+    friend bool operator==(const Report&, const Report&) = default;
+};
+
+/// Byte-stable JSON for one snapshot / a whole report.
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+[[nodiscard]] std::string to_json(const Report& report);
+
+/// CSV series: header row then one row per metric —
+/// kind,scope,name,count,sum,min,max,p50,p99,value.
+[[nodiscard]] std::string to_csv(const Report& report);
+
+/// Human-readable summary (counters, histogram quantiles, recent events).
+void print(std::ostream& os, const Report& report, std::size_t journal_tail = 12);
+
+} // namespace ga::telemetry
+
+#endif // GA_TELEMETRY_EXPORT_H

@@ -1,0 +1,111 @@
+#include "telemetry/json.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+namespace ga::telemetry {
+
+std::string json_escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static constexpr char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+                out += hex[static_cast<unsigned char>(c) & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string format_double(double number)
+{
+    if (!std::isfinite(number)) return "0"; // JSON has no inf/nan
+    std::array<char, 64> buf{};
+    const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), number);
+    if (ec != std::errc{}) return "0";
+    return {buf.data(), end};
+}
+
+void Json_writer::separate()
+{
+    if (need_comma_) out_ += ',';
+    need_comma_ = false;
+}
+
+void Json_writer::begin_object()
+{
+    separate();
+    out_ += '{';
+}
+
+void Json_writer::end_object()
+{
+    out_ += '}';
+    need_comma_ = true;
+}
+
+void Json_writer::begin_array()
+{
+    separate();
+    out_ += '[';
+}
+
+void Json_writer::end_array()
+{
+    out_ += ']';
+    need_comma_ = true;
+}
+
+void Json_writer::key(std::string_view name)
+{
+    separate();
+    out_ += '"';
+    out_ += json_escape(name);
+    out_ += "\":";
+}
+
+void Json_writer::value(std::string_view text)
+{
+    separate();
+    out_ += '"';
+    out_ += json_escape(text);
+    out_ += '"';
+    need_comma_ = true;
+}
+
+void Json_writer::value(std::int64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+    need_comma_ = true;
+}
+
+void Json_writer::value(double number)
+{
+    separate();
+    out_ += format_double(number);
+    need_comma_ = true;
+}
+
+void Json_writer::value(bool flag)
+{
+    separate();
+    out_ += flag ? "true" : "false";
+    need_comma_ = true;
+}
+
+} // namespace ga::telemetry

@@ -1,0 +1,62 @@
+// Minimal deterministic JSON emitter. The exporters (and the bench --json
+// blobs) need byte-stable output — same snapshot, same bytes, on every
+// platform — so doubles go through std::to_chars shortest round-trip form
+// and object keys are emitted in the order callers provide them (snapshot
+// maps are ordered).
+#ifndef GA_TELEMETRY_JSON_H
+#define GA_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ga::telemetry {
+
+/// Streaming writer: open/close objects and arrays, emit keyed or bare
+/// values. Commas and quoting are handled; callers are responsible for
+/// balanced open/close calls.
+class Json_writer {
+public:
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /// Start `"key":` then an object/array/value.
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char* text) { value(std::string_view{text}); }
+    void value(std::int64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void value(double number);
+    void value(bool flag);
+
+    /// Shorthand: key + value.
+    template <typename T> void field(std::string_view name, T&& v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    [[nodiscard]] const std::string& str() const { return out_; }
+    [[nodiscard]] std::string take() { return std::move(out_); }
+
+private:
+    void separate();
+
+    std::string out_;
+    bool need_comma_ = false;
+};
+
+/// JSON string escaping (quotes, backslash, control chars) without the
+/// surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Shortest round-trip decimal for a double (std::to_chars), so emitted
+/// numbers are byte-stable across runs and platforms.
+[[nodiscard]] std::string format_double(double number);
+
+} // namespace ga::telemetry
+
+#endif // GA_TELEMETRY_JSON_H

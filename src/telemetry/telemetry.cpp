@@ -1,0 +1,131 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ga::telemetry {
+
+int Histogram::bucket_of(Tick value)
+{
+    if (value < k_linear) return static_cast<int>(std::max<Tick>(value, 0));
+    // Range i covers [k_linear << i, k_linear << (i + 1)).
+    const auto magnitude = static_cast<std::uint64_t>(value / k_linear);
+    const int range = std::bit_width(magnitude) - 1;
+    return k_linear + std::min(range, k_ranges - 1);
+}
+
+Tick Histogram::bucket_floor(int b)
+{
+    if (b < k_linear) return std::max(b, 0);
+    return static_cast<Tick>(k_linear) << std::min(b - k_linear, k_ranges - 1);
+}
+
+void Histogram::record(Tick value)
+{
+    buckets_[static_cast<std::size_t>(bucket_of(value))] += 1;
+    if (count_ == 0 || value < min_) min_ = value;
+    if (count_ == 0 || value > max_) max_ = value;
+    count_ += 1;
+    sum_ += value;
+}
+
+double Histogram::mean() const
+{
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::bucket(int b) const
+{
+    return b >= 0 && b < k_buckets ? buckets_[static_cast<std::size_t>(b)] : 0;
+}
+
+Tick Histogram::quantile(double q) const
+{
+    if (count_ == 0) return 0;
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const auto rank =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(clamped * static_cast<double>(count_))));
+    std::int64_t seen = 0;
+    for (int b = 0; b < k_buckets; ++b) {
+        seen += buckets_[static_cast<std::size_t>(b)];
+        if (seen >= rank) return bucket_floor(b);
+    }
+    return bucket_floor(k_buckets - 1);
+}
+
+void Histogram::merge(const Histogram& other)
+{
+    if (other.count_ == 0) return;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    for (int b = 0; b < k_buckets; ++b) {
+        buckets_[static_cast<std::size_t>(b)] += other.buckets_[static_cast<std::size_t>(b)];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+const char* event_kind_name(Event_kind kind)
+{
+    switch (kind) {
+    case Event_kind::play_open: return "play_open";
+    case Event_kind::play_seal: return "play_seal";
+    case Event_kind::play_verdict: return "play_verdict";
+    case Event_kind::ic_start: return "ic_start";
+    case Event_kind::ic_finish: return "ic_finish";
+    case Event_kind::foul: return "foul";
+    case Event_kind::expulsion: return "expulsion";
+    case Event_kind::rebalance_proposed: return "rebalance_proposed";
+    case Event_kind::rebalance_applied: return "rebalance_applied";
+    case Event_kind::net_window_open: return "net_window_open";
+    case Event_kind::net_window_close: return "net_window_close";
+    case Event_kind::clock_hold: return "clock_hold";
+    case Event_kind::clock_resume: return "clock_resume";
+    }
+    return "unknown";
+}
+
+void merge_into(Snapshot& into, const Snapshot& from)
+{
+    for (const auto& [name, value] : from.counters) into.counters[name] += value;
+    for (const auto& [name, value] : from.gauges) into.gauges[name] += value;
+    for (const auto& [name, histogram] : from.histograms) into.histograms[name].merge(histogram);
+    into.journal.insert(into.journal.end(), from.journal.begin(), from.journal.end());
+    into.journal_dropped_oldest += from.journal_dropped_oldest;
+}
+
+Telemetry_sink::Telemetry_sink() : Telemetry_sink(Scope{}) {}
+
+Telemetry_sink::Telemetry_sink(Scope scope, std::size_t journal_capacity)
+    : scope_{scope}, journal_capacity_{std::max<std::size_t>(journal_capacity, 1)}
+{
+}
+
+std::int64_t& Telemetry_sink::counter(std::string_view name)
+{
+    return snap_.counters[std::string{name}];
+}
+
+double& Telemetry_sink::gauge(std::string_view name)
+{
+    return snap_.gauges[std::string{name}];
+}
+
+Histogram& Telemetry_sink::histogram(std::string_view name)
+{
+    return snap_.histograms[std::string{name}];
+}
+
+void Telemetry_sink::event(Event e)
+{
+    e.shard = scope_.shard;
+    e.epoch = scope_.epoch;
+    if (snap_.journal.size() >= journal_capacity_) {
+        snap_.journal.pop_front();
+        snap_.journal_dropped_oldest += 1;
+    }
+    snap_.journal.push_back(std::move(e));
+}
+
+} // namespace ga::telemetry

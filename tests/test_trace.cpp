@@ -98,6 +98,68 @@ TEST(Trace, PrintsTable)
     EXPECT_NE(out.str().find("2"), std::string::npos);
 }
 
+TEST(Trace, NetFaultColumnsStayZeroUnderCleanModel)
+{
+    Engine engine{complete_graph(3)};
+    for (Processor_id id = 0; id < 3; ++id) engine.install(std::make_unique<Chatty>(id));
+    Trace trace;
+    for (int t = 0; t < 4; ++t) {
+        engine.run_pulse();
+        trace.sample(engine);
+    }
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ(trace.at(i).dropped, 0);
+        EXPECT_EQ(trace.at(i).delayed, 0);
+        EXPECT_EQ(trace.at(i).deferred, 0);
+    }
+}
+
+TEST(Trace, RecordsNetFaultDeltasUnderLossyModel)
+{
+    Net_model net;
+    net.delta = 3;
+    net.jitter = 0.5;
+    net.drop = 0.3;
+    net.seed = 11;
+    Engine engine{complete_graph(4), Rng{7}, {}, net};
+    for (Processor_id id = 0; id < 4; ++id) engine.install(std::make_unique<Chatty>(id));
+    Trace trace;
+    std::int64_t dropped = 0;
+    std::int64_t delayed = 0;
+    for (int t = 0; t < 32; ++t) {
+        engine.run_pulse();
+        trace.sample(engine);
+        dropped += trace.at(trace.size() - 1).dropped;
+        delayed += trace.at(trace.size() - 1).delayed;
+        EXPECT_GE(trace.at(trace.size() - 1).deferred, 0);
+    }
+    // Per-pulse deltas sum back to the engine's cumulative accounting.
+    EXPECT_EQ(dropped, engine.stats().dropped);
+    EXPECT_EQ(delayed, engine.stats().delayed);
+    EXPECT_GT(dropped, 0);
+    EXPECT_GT(delayed, 0);
+}
+
+TEST(Trace, CountsEvictedRowsInsteadOfSilentWraparound)
+{
+    Engine engine{complete_graph(2)};
+    engine.install(std::make_unique<Chatty>(0));
+    engine.install(std::make_unique<Chatty>(1));
+    Trace trace{3};
+    EXPECT_EQ(trace.dropped_oldest(), 0);
+    for (int t = 0; t < 10; ++t) {
+        engine.run_pulse();
+        trace.sample(engine);
+    }
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.dropped_oldest(), 7);
+    std::ostringstream out;
+    trace.print(out);
+    EXPECT_NE(out.str().find("7 older pulse"), std::string::npos);
+    EXPECT_NE(out.str().find("dropped"), std::string::npos);
+    EXPECT_NE(out.str().find("deferred"), std::string::npos);
+}
+
 TEST(Trace, EmptyTraceGuards)
 {
     Trace trace;
