@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "crypto/commitment.h"
 #include "crypto/merkle.h"
@@ -147,5 +148,6 @@ int main(int argc, char** argv)
     int argc2 = static_cast<int>(argv2.size());
     benchmark::Initialize(&argc2, argv2.data());
     benchmark::RunSpecifiedBenchmarks();
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "authority/distributed_authority.h"
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "bft/driver.h"
 #include "bft/eig.h"
 #include "bft/phase_king.h"
@@ -188,5 +189,6 @@ int main(int argc, char** argv)
     int argc2 = static_cast<int>(argv2.size());
     benchmark::Initialize(&argc2, argv2.data());
     benchmark::RunSpecifiedBenchmarks();
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/rng.h"
 #include "crypto/commitment.h"
 #include "crypto/hmac.h"
@@ -111,6 +112,7 @@ int main(int argc, char** argv)
     benchmark::Initialize(&argc2, argv2.data());
     if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
     benchmark::RunSpecifiedBenchmarks();
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     benchmark::Shutdown();
     return 0;
 }

@@ -37,6 +37,7 @@
 #include "authority/distributed_authority.h"
 #include "authority/punishment.h"
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "bft/ic_select.h"
 #include "common/table.h"
 #include "sim/engine.h"
@@ -288,6 +289,7 @@ int main(int argc, char** argv)
     report.field("storm_speedup_n1024_t4", storm_speedup_1024_t4);
     report.field("ok", ok);
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
 
     if (!ok) return 1;
     std::cout << "OK\n";

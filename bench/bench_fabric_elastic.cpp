@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "shard/fabric.h"
 
@@ -243,6 +244,7 @@ int main(int argc, char** argv)
     json_report.field("scaling_ok", scaling_ok);
     json_report.field("deterministic", deterministic);
     if (!json_report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
 
     if (!rebalanced || !pause_ok || !scaling_ok || !deterministic) return 1;
     std::cout << "OK\n";

@@ -13,6 +13,7 @@
 
 #include "authority/local_authority.h"
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "crypto/seed_commitment.h"
 #include "game/canonical.h"
@@ -148,5 +149,6 @@ int main(int argc, char** argv)
     report.field("caught_fouls", caught_run.fouls);
     report.field("caught_b_active", caught_run.b_active);
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

@@ -29,10 +29,24 @@ inline std::string json_path(int argc, char** argv)
     return {};
 }
 
+/// The path following a `--trace` flag; empty when the flag is absent.
+/// Every bench main honors it by writing a Perfetto-loadable Chrome
+/// trace-event JSON there — its own fabric's causal spans where the bench
+/// runs a traced fabric, the canonical bench_trace.h workload otherwise.
+inline std::string trace_path(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) return argv[i + 1];
+    }
+    return {};
+}
+
 /// Translates `--json <path>` into the Google-Benchmark output flags
 /// (--benchmark_out / --benchmark_out_format=json) so the gbench binaries
-/// accept the same artifact flag as the self-contained benches. Returns the
-/// full replacement argument vector (argv[0] included).
+/// accept the same artifact flag as the self-contained benches, and strips
+/// `--trace <path>` (handled by the main itself via trace_path — the gbench
+/// flag parser rejects flags it does not know). Returns the full replacement
+/// argument vector (argv[0] included).
 inline std::vector<std::string> gbench_args(int argc, char** argv)
 {
     std::vector<std::string> args;
@@ -40,6 +54,8 @@ inline std::vector<std::string> gbench_args(int argc, char** argv)
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             args.emplace_back(std::string{"--benchmark_out="} + argv[i + 1]);
             args.emplace_back("--benchmark_out_format=json");
+            ++i;
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             ++i;
         } else {
             args.emplace_back(argv[i]);

@@ -24,6 +24,7 @@
 
 #include "authority/distributed_authority.h"
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 
 namespace {
@@ -196,6 +197,7 @@ int main(int argc, char** argv)
     report.field("convergence_ok", convergence_ok);
     report.field("deterministic", deterministic);
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
 
     if (!schedule_ok || !convergence_ok || !deterministic) return 1;
     std::cout << "OK\n";

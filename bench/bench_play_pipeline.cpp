@@ -22,6 +22,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "shard/fabric.h"
 
@@ -216,6 +217,7 @@ int main(int argc, char** argv)
     report.field("amortization_ok", amortization_ok);
     report.field("deterministic", deterministic);
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
 
     if (!deterministic || !amortization_ok) return 1;
     std::cout << "OK\n";

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "metrics/pom.h"
 
@@ -73,5 +74,6 @@ int main(int argc, char** argv)
                  without[static_cast<std::size_t>(max_byzantine)].pom);
     report.field("pom_authority_at_max", with[static_cast<std::size_t>(max_byzantine)].pom);
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "authority/local_authority.h"
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "game/canonical.h"
 
@@ -111,5 +112,6 @@ int main(int argc, char** argv)
         report.raw(o.scheme, w.take());
     }
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

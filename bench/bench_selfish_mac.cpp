@@ -5,6 +5,7 @@
 
 #include "authority/local_authority.h"
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "game/analysis.h"
 #include "game/mac_game.h"
@@ -103,5 +104,6 @@ int main(int argc, char** argv)
                  "Governance era; see test_governance.)\n";
 
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

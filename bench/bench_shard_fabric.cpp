@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "shard/fabric.h"
 
@@ -205,6 +206,7 @@ int main(int argc, char** argv)
     report.field("scaling_ok", scaling_ok);
     report.field("deterministic", deterministic);
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
 
     if (!deterministic || !scaling_ok) return 1;
     std::cout << "OK\n";

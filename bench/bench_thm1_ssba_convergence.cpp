@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "metrics/convergence.h"
 
@@ -90,5 +91,6 @@ int main(int argc, char** argv)
     std::cout << "\nShape check: after convergence, 100% of windows decide exactly once with\n"
                  "agreement and validity (termination/agreement/validity of BAP, §4.2).\n";
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_json.h"
+#include "bench_trace.h"
 #include "common/table.h"
 #include "metrics/anarchy.h"
 
@@ -73,5 +74,6 @@ int main(int argc, char** argv)
     std::cout << "\nShape check: every row sits under 1 + 2b/k; R(k) decays toward 1 as k grows\n"
                  "(Theorem 5: R = 1); Delta(k) never exceeds 2n-1 (Lemma 6).\n";
     if (!report.write(json_path)) return 1;
+    if (!ga::bench::dump_fabric_trace(ga::bench::trace_path(argc, argv))) return 1;
     return 0;
 }

@@ -88,6 +88,9 @@ void Replica_group_harness::enact_disconnections()
                 e.a = j;
                 e.note = "executive order";
                 telemetry_->event(std::move(e));
+                // Close the evidence chain: the newest verdict against j is
+                // what this expulsion enacted.
+                telemetry_->mark_expelled(j, engine_.now() - 1);
             }
         }
     }
@@ -100,6 +103,10 @@ void Replica_group_harness::set_telemetry(telemetry::Telemetry_sink* sink)
     Ic_schedule_processor* reference =
         dynamic_cast<Ic_schedule_processor*>(&engine_.processor(reference_slot()));
     if (reference != nullptr) reference->set_telemetry(sink);
+    // The engine shares the sink's tracer (net-window spans, transient-fault
+    // markers land on the same track as the schedule's spans). Both writers
+    // run on the coordinating thread, ordered by the worker-pool barrier.
+    engine_.set_tracer(sink != nullptr ? sink->tracer() : nullptr);
     if (sink == nullptr) return;
     // Deltas start from the attach point, so a sink attached mid-run never
     // re-counts traffic the previous sink (or nobody) already saw.

@@ -74,6 +74,11 @@ public:
     /// Wire accounting of the whole group (benchmark aggregation).
     [[nodiscard]] virtual const sim::Traffic_stats& traffic() const = 0;
 
+    /// The group's engine pulse clock (0 for a group with no engine). The
+    /// fabric reads it to stamp quiesce spans on the tracer of the shard it
+    /// is pausing.
+    [[nodiscard]] virtual common::Pulse now() const { return 0; }
+
     /// Attach a telemetry sink observing this group (nullptr detaches). The
     /// sink is an observer only — attaching one never changes the group's
     /// verdicts, standings, or traffic. Default: ignored (uninstrumented
@@ -97,6 +102,7 @@ public:
     [[nodiscard]] std::vector<common::Agent_id> disconnected_agents() const override;
     [[nodiscard]] bool is_agent_disconnected(common::Agent_id id) const override;
     [[nodiscard]] const sim::Traffic_stats& traffic() const override { return engine_.stats(); }
+    [[nodiscard]] common::Pulse now() const override { return engine_.now(); }
 
     void run_pulses(common::Pulse count) override;
     void inject_transient_fault() override;

@@ -111,6 +111,13 @@ bft::Value Authority_processor::phase_input(int phase, common::Pulse now)
             e.a = 1; // one play per window in the classic schedule
             tel->event(std::move(e));
         }
+        if (auto* tr = tracer()) {
+            // The window span opens here — before the commit activation's ic
+            // span begins — so the commit/reveal/foul activations all nest
+            // under it.
+            current_window_span_ = tr->begin_span("play_window", now, /*parent=*/0,
+                                                  static_cast<std::int64_t>(plays_.size()), 1);
+        }
         const std::vector<bool> active = executive_.active_mask();
         if (!active[static_cast<std::size_t>(id())]) return {};
         Play_context ctx;
@@ -155,7 +162,11 @@ void Authority_processor::process_phase_result(int phase, common::Pulse now)
     case Phase::outcome: {
         // Majority view wins; with no majority (fresh boot or post-fault
         // divergence) fall back to the deterministic first-play profile.
-        previous_ = majority_profile(agreed(), spec_).value_or(first_play_profile(spec_));
+        const std::optional<game::Pure_profile> majority = majority_profile(agreed(), spec_);
+        if (auto* tel = telemetry(); tel != nullptr && !majority.has_value()) {
+            tel->counter("outcome.divergence") += 1;
+        }
+        previous_ = majority.value_or(first_play_profile(spec_));
         break;
     }
 
@@ -222,6 +233,41 @@ void Authority_processor::process_phase_result(int phase, common::Pulse now)
                     e.a = j;
                     e.note = offence_name(offence);
                     tel->event(std::move(e));
+                    tel->counter("fouls.flagged") += 1;
+
+                    // Evidence chain: committed action (proven under the
+                    // agreed commitment), revealed action (decoded from the
+                    // agreed opening, verified or not), and the audit
+                    // standard's expectation — previous_ still holds the
+                    // standard here, it only advances to this play's outcome
+                    // below.
+                    telemetry::Evidence ev;
+                    ev.window = static_cast<std::int64_t>(plays_.size());
+                    ev.at = now;
+                    ev.agent = j;
+                    ev.offence = offence_name(offence);
+                    const Submission& sub = submissions_[static_cast<std::size_t>(j)];
+                    if (sub.opening.has_value()) {
+                        const auto action =
+                            Judicial_service::decode_action(sub.opening->payload);
+                        if (action.has_value()) {
+                            ev.revealed = *action;
+                            if (sub.commitment.has_value() &&
+                                crypto::verify(*sub.commitment, *sub.opening)) {
+                                ev.committed = *action;
+                            }
+                        }
+                    }
+                    ev.expected = game::best_response(*spec_.game, j, previous_);
+                    for (std::size_t i = 0; i < agreed().size(); ++i) {
+                        const bft::Value& mask = agreed()[i];
+                        if (mask.size() == static_cast<std::size_t>(n()) &&
+                            mask[static_cast<std::size_t>(j)] == 1) {
+                            ev.flagged_by.push_back(static_cast<int>(i));
+                        }
+                    }
+                    ev.ic_activation = ic_activation_seq();
+                    tel->add_evidence(std::move(ev));
                 }
             }
         }
@@ -235,9 +281,18 @@ void Authority_processor::process_phase_result(int phase, common::Pulse now)
             tel->counter("plays.completed") += 1;
             if (play_opened_at_ >= 0) {
                 tel->histogram("play.latency_pulses").record(now - play_opened_at_);
-                play_opened_at_ = -1;
             }
         }
+        if (auto* tr = tracer()) {
+            // One play per window in this schedule: the play span covers the
+            // commit-open → verdict interval, then the window closes.
+            tr->add_span("play", play_opened_at_ >= 0 ? play_opened_at_ : now, now,
+                         current_window_span_, static_cast<std::int64_t>(plays_.size()),
+                         static_cast<std::int64_t>(record.punished.size()));
+            tr->end_span(current_window_span_, now);
+            current_window_span_ = 0;
+        }
+        play_opened_at_ = -1;
 
         // Outcome: agreed revealed actions, prescription-substituted where
         // unusable — mirrors Local_authority so the tiers stay comparable.

@@ -124,6 +124,15 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
             session_ = ic_factory_(n_, f_, id(), phase_input(phase_index, ctx.pulse()));
             last_sent_phase_ = -1; // force a fresh round-0 mint below
             last_sent_round_ = -1;
+            ic_activation_seq_ += 1;
+            if (tracer_ != nullptr) {
+                // Nested under the subclass's window span when one is open
+                // (phase_input above may have just opened it); the outcome
+                // phase of the next window runs before that window opens, so
+                // its activation is a track-root span.
+                ic_span_ = tracer_->begin_span("ic", ctx.pulse(), current_window_span_,
+                                               phase_index, ic_activation_seq_);
+            }
             if (telemetry_ != nullptr) {
                 ic_started_at_ = ctx.pulse();
                 telemetry_->counter("ic.activations") += 1;
@@ -152,6 +161,10 @@ void Ic_schedule_processor::on_pulse(sim::Pulse_context& ctx)
             }
             session_->deliver_round(r - 1, filtered);
             if (session_->done()) {
+                if (tracer_ != nullptr) {
+                    tracer_->end_span(ic_span_, ctx.pulse());
+                    ic_span_ = 0;
+                }
                 if (telemetry_ != nullptr) {
                     if (ic_started_at_ >= 0) {
                         telemetry_->histogram("ic.activation_pulses")
@@ -204,6 +217,8 @@ void Ic_schedule_processor::corrupt(common::Rng& rng)
     last_slot_ = -1;
     reset_section_buffer(-1);
     ic_started_at_ = -1; // the in-flight activation died with the fault
+    ic_span_ = 0;        // its span stays open; the exporter clamps it
+    current_window_span_ = 0;
     corrupt_state(rng);
 }
 

@@ -63,8 +63,13 @@ public:
     /// Attach a telemetry sink (nullptr detaches). Only one replica per group
     /// — the harness's reference slot — carries a sink, so the replicated
     /// schedule is journaled exactly once and never perturbed: all hook sites
-    /// reduce to a pointer test when detached.
-    void set_telemetry(telemetry::Telemetry_sink* sink) { telemetry_ = sink; }
+    /// reduce to a pointer test when detached. The sink's tracer (when
+    /// enabled) is cached alongside so span hooks are the same pointer test.
+    void set_telemetry(telemetry::Telemetry_sink* sink)
+    {
+        telemetry_ = sink;
+        tracer_ = sink != nullptr ? sink->tracer() : nullptr;
+    }
 
 protected:
     /// `clock_rng` seeds only the clock core; subclasses keep their own
@@ -98,6 +103,20 @@ protected:
     /// The attached sink, or nullptr (subclass hook sites guard on it).
     [[nodiscard]] telemetry::Telemetry_sink* telemetry() const { return telemetry_; }
 
+    /// The attached span recorder, or nullptr.
+    [[nodiscard]] telemetry::Tracer* tracer() const { return tracer_; }
+
+    /// Ordinal of the most recently started IC activation (1-based, counted
+    /// whether or not telemetry is attached — pure local bookkeeping).
+    /// Evidence chains cite it to tie a verdict to the activation that
+    /// agreed on it.
+    [[nodiscard]] std::int64_t ic_activation_seq() const { return ic_activation_seq_; }
+
+    /// Open span id of the subclass's current play/batch window (0 = none).
+    /// Subclasses set it when a window opens so the base's IC spans nest
+    /// under it; the base resets it on transient faults.
+    std::int64_t current_window_span_ = 0;
+
 private:
     void reset_section_buffer(int phase);
 
@@ -124,8 +143,11 @@ private:
 
     // ---- Telemetry (observer-only; no effect on the schedule).
     telemetry::Telemetry_sink* telemetry_ = nullptr;
+    telemetry::Tracer* tracer_ = nullptr;
     common::Pulse ic_started_at_ = -1; ///< pulse the in-flight activation started
     bool tel_holding_ = false;         ///< inside a clock-hold streak
+    std::int64_t ic_span_ = 0;         ///< open span of the in-flight activation
+    std::int64_t ic_activation_seq_ = 0;
 };
 
 } // namespace ga::authority

@@ -52,6 +52,12 @@ bft::Value Pipeline_processor::phase_input(int phase, common::Pulse now)
             e.a = k_; // k plays open per batch window
             tel->event(std::move(e));
         }
+        if (auto* tr = tracer()) {
+            // The batch-window span opens before the commit activation's ic
+            // span begins, so commit/reveal/foul all nest under it.
+            current_window_span_ =
+                tr->begin_span("batch_window", now, /*parent=*/0, batches_, k_);
+        }
         const std::vector<bool> active = executive_.active_mask();
         if (!active[static_cast<std::size_t>(id())]) return {};
         batcher_.build(*behavior_, previous_, static_cast<int>(plays_.size()), rng_);
@@ -71,6 +77,11 @@ bft::Value Pipeline_processor::phase_input(int phase, common::Pulse now)
         }
         my_verdicts_ =
             audit_batch(spec_, cascade_, reveals_, has_root, executive_.active_mask());
+        if (auto* tr = tracer()) {
+            // The audit is synchronous within the pulse: a zero-length marker
+            // under the window span, before the foul activation's ic span.
+            tr->add_span("batch_audit", now, now, current_window_span_, batches_, k_);
+        }
         common::Bytes mask;
         for (const authority::Verdict& v : my_verdicts_)
             mask.push_back(v.offence != authority::Offence::none ? 1 : 0);
@@ -94,8 +105,12 @@ void Pipeline_processor::process_outcome_result()
 {
     // Majority view wins (the same strict-majority rule as the classic
     // tier); with no majority fall back to the first-play profile.
-    previous_ = authority::Authority_processor::majority_profile(agreed(), spec_)
-                    .value_or(first_play_profile(spec_));
+    const std::optional<game::Pure_profile> majority =
+        authority::Authority_processor::majority_profile(agreed(), spec_);
+    if (auto* tel = telemetry(); tel != nullptr && !majority.has_value()) {
+        tel->counter("outcome.divergence") += 1;
+    }
+    previous_ = majority.value_or(first_play_profile(spec_));
 }
 
 void Pipeline_processor::process_commit_result(common::Pulse now)
@@ -222,8 +237,62 @@ void Pipeline_processor::process_foul_result(common::Pulse now)
                 e.a = a;
                 e.note = authority::offence_name(offence);
                 tel->event(std::move(e));
+                tel->counter("fouls.flagged") += 1;
+
+                // Evidence chain: locate the first play of the window where
+                // the agent's agreed reveal deviates from the cascade
+                // standard (reveals_/cascade_ are still populated here — they
+                // clear at the bottom of this function). A verified reveal's
+                // action is Merkle-proven under the agreed root, so committed
+                // == revealed for it; an unverifiable/missing vector proves
+                // nothing and both stay -1.
+                telemetry::Evidence ev;
+                ev.window = batches_;
+                ev.at = now;
+                ev.agent = a;
+                ev.offence = authority::offence_name(offence);
+                if (static_cast<int>(reveals_.size()) == k_ &&
+                    static_cast<int>(cascade_.size()) == k_ + 1) {
+                    for (int j = 0; j < k_; ++j) {
+                        const Reveal_slot& slot =
+                            reveals_[static_cast<std::size_t>(j)][static_cast<std::size_t>(a)];
+                        const int expected = game::best_response(
+                            *spec_.game, a, cascade_[static_cast<std::size_t>(j)]);
+                        const bool verified = slot.status == Reveal_slot::Status::verified;
+                        if (!verified || slot.action != expected) {
+                            ev.expected = expected;
+                            if (verified) {
+                                ev.committed = slot.action;
+                                ev.revealed = slot.action;
+                            }
+                            break;
+                        }
+                    }
+                }
+                for (std::size_t i = 0; i < agreed().size(); ++i) {
+                    const bft::Value& mask = agreed()[i];
+                    if (mask.size() == static_cast<std::size_t>(n()) &&
+                        mask[static_cast<std::size_t>(a)] == 1) {
+                        ev.flagged_by.push_back(static_cast<int>(i));
+                    }
+                }
+                ev.ic_activation = ic_activation_seq();
+                tel->add_evidence(std::move(ev));
             }
         }
+    }
+    if (auto* tr = tracer()) {
+        // k retroactive play spans (the batch edge attributes them all at
+        // once), then the window closes.
+        if (published_this_batch_ && batch_opened_at_ >= 0) {
+            const auto first = static_cast<std::int64_t>(plays_.size()) - k_;
+            for (int j = 0; j < k_; ++j) {
+                tr->add_span("play", batch_opened_at_, now, current_window_span_, first + j,
+                             0);
+            }
+        }
+        tr->end_span(current_window_span_, now);
+        current_window_span_ = 0;
     }
     if (auto* tel = telemetry()) {
         telemetry::Event e;

@@ -1,6 +1,7 @@
 #include "shard/fabric.h"
 
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <utility>
 
@@ -56,6 +57,8 @@ Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behav
     common::ensure(config_.behavior_factory == nullptr && config_.rebalance == nullptr,
                    "Fabric: a static fabric cannot rebuild shards — use the elastic "
                    "constructor (behavior factory) for rebalancing");
+    if (config_.trace || config_.watchdog.has_value()) config_.telemetry = true;
+    if (config_.watchdog.has_value()) watchdog_.emplace(*config_.watchdog);
     build_all(Authority_router::partition_behaviors(plan_.map(), std::move(behaviors)));
 }
 
@@ -65,6 +68,8 @@ Fabric::Fabric(Shard_map initial, Fabric_config config)
     validate_config();
     common::ensure(config_.behavior_factory != nullptr,
                    "Fabric: elastic construction requires a behavior factory");
+    if (config_.trace || config_.watchdog.has_value()) config_.telemetry = true;
+    if (config_.watchdog.has_value()) watchdog_.emplace(*config_.watchdog);
     std::vector<std::vector<std::unique_ptr<authority::Agent_behavior>>> per_shard;
     per_shard.reserve(static_cast<std::size_t>(plan_.map().n_shards()));
     for (int s = 0; s < plan_.map().n_shards(); ++s) {
@@ -143,10 +148,17 @@ void Fabric::build_all(
     if (config_.telemetry) {
         fabric_sink_ = std::make_unique<telemetry::Telemetry_sink>(
             telemetry::Telemetry_sink::Scope{-1, plan_.epoch()});
+        if (config_.trace) {
+            fabric_sink_->enable_tracer();
+            fabric_run_span_ = fabric_sink_->tracer()->begin_span("fabric_run", 0);
+        }
         shard_sinks_.clear();
         for (int s = 0; s < plan_.map().n_shards(); ++s) {
             shard_sinks_.push_back(std::make_unique<telemetry::Telemetry_sink>(
                 telemetry::Telemetry_sink::Scope{s, plan_.epoch()}));
+            // The tracer must exist before set_telemetry: groups cache the
+            // sink's tracer pointer at attach time.
+            if (config_.trace) shard_sinks_.back()->enable_tracer();
             shards_[static_cast<std::size_t>(s)]->set_telemetry(
                 shard_sinks_.back().get());
         }
@@ -179,6 +191,7 @@ void Fabric::run_pulses(common::Pulse count)
         jobs.push_back([&shard, count] { shard->run_pulses(count); });
     }
     executor_.run_all(jobs);
+    poll_watchdog();
 }
 
 void Fabric::run_plays(int plays)
@@ -189,6 +202,7 @@ void Fabric::run_plays(int plays)
         jobs.push_back([&shard, plays] { shard->run_plays(plays); });
     }
     executor_.run_all(jobs);
+    poll_watchdog();
 }
 
 void Fabric::inject_transient_fault()
@@ -277,11 +291,13 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
     // across the pool; each group's pulse count is its own, so the schedule
     // is result-invariant).
     std::vector<common::Pulse> quiesce(static_cast<std::size_t>(old_count), 0);
+    std::vector<common::Pulse> quiesce_from(static_cast<std::size_t>(old_count), 0);
     std::vector<std::function<void()>> jobs;
     for (int s = 0; s < old_count; ++s) {
         if (keep[static_cast<std::size_t>(s)]) continue;
         const common::Pulse pulses = shards_[static_cast<std::size_t>(s)]->pulses_to_window_edge();
         quiesce[static_cast<std::size_t>(s)] = pulses;
+        quiesce_from[static_cast<std::size_t>(s)] = shards_[static_cast<std::size_t>(s)]->now();
         authority::Authority_group* group = shards_[static_cast<std::size_t>(s)].get();
         jobs.push_back([group, pulses] { group->run_pulses(pulses); });
     }
@@ -290,11 +306,29 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
     // ---- Retire: fold each quiesced group into the carried ledger.
     for (int s = 0; s < old_count; ++s) {
         if (keep[static_cast<std::size_t>(s)]) continue;
-        report.max_quiesce_pulses =
-            std::max(report.max_quiesce_pulses, quiesce[static_cast<std::size_t>(s)]);
+        const common::Pulse pulses = quiesce[static_cast<std::size_t>(s)];
+        report.max_quiesce_pulses = std::max(report.max_quiesce_pulses, pulses);
         if (fabric_sink_ != nullptr) {
-            fabric_sink_->histogram("rebalance.quiesce_pulses")
-                .record(quiesce[static_cast<std::size_t>(s)]);
+            fabric_sink_->histogram("rebalance.quiesce_pulses").record(pulses);
+            if (auto* tr = fabric_sink_->tracer()) {
+                // Fabric-track ticks are the paused group's engine pulses —
+                // each quiesce span lives on the clock of the shard it paused.
+                tr->add_span("rebalance_quiesce", quiesce_from[static_cast<std::size_t>(s)],
+                             quiesce_from[static_cast<std::size_t>(s)] + pulses,
+                             fabric_run_span_, s, pulses);
+            }
+        }
+        if (watchdog_.has_value()) {
+            // Last look at the retiring sink (its final interval would
+            // otherwise go unobserved), then the elastic contract itself:
+            // a quiesce must fit one play window.
+            if (static_cast<std::size_t>(s) < shard_sinks_.size() &&
+                shard_sinks_[static_cast<std::size_t>(s)] != nullptr) {
+                watchdog_->observe(*shard_sinks_[static_cast<std::size_t>(s)]);
+            }
+            watchdog_->observe_quiesce(
+                s, plan_.epoch(), pulses,
+                shards_[static_cast<std::size_t>(s)]->pulses_for_plays(1));
         }
         retire_group(s);
         ++report.retired;
@@ -312,12 +346,19 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
             next_optima[s] = optimum_costs_[static_cast<std::size_t>(carried[s])];
             if (config_.telemetry) {
                 next_sinks[s] = std::move(shard_sinks_[static_cast<std::size_t>(carried[s])]);
+                const telemetry::Telemetry_sink::Scope old = next_sinks[s]->scope();
                 next_sinks[s]->set_scope({static_cast<int>(s), next.epoch()});
+                if (watchdog_.has_value()) {
+                    watchdog_->adopt_scope(old.shard, old.epoch, static_cast<int>(s),
+                                           next.epoch());
+                }
             }
             ++report.carried;
         } else if (config_.telemetry) {
             next_sinks[s] = std::make_unique<telemetry::Telemetry_sink>(
                 telemetry::Telemetry_sink::Scope{static_cast<int>(s), next.epoch()});
+            // Tracer before attach: the group caches the pointer then.
+            if (config_.trace) next_sinks[s]->enable_tracer();
             next_groups[s]->set_telemetry(next_sinks[s].get());
         }
     }
@@ -352,6 +393,7 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
         fabric_sink_->event(std::move(e));
         fabric_sink_->counter("rebalance.applied") += 1;
     }
+    poll_watchdog();
 
     last_rebalance_ = report;
     return report;
@@ -373,6 +415,21 @@ void Fabric::retire_group(int s)
         ledger.carried = authority::merge_standings(
             ledger.carried, standings[static_cast<std::size_t>(local)]);
         if (group.is_agent_disconnected(local)) ledger.expelled = true;
+    }
+    if (static_cast<std::size_t>(s) < shard_sinks_.size() &&
+        shard_sinks_[static_cast<std::size_t>(s)] != nullptr) {
+        const telemetry::Telemetry_sink& sink = *shard_sinks_[static_cast<std::size_t>(s)];
+        if (sink.tracer() != nullptr && !sink.tracer()->empty()) {
+            retired_spans_.push_back(
+                {sink.scope().shard, sink.scope().epoch, sink.tracer()->spans()});
+        }
+        for (telemetry::Evidence ev : sink.evidence()) {
+            // Local slot ids are stable across carries and merge relabels, so
+            // the retiring membership list maps each slot to its global id.
+            const common::Agent_id global = members[static_cast<std::size_t>(ev.agent)];
+            ev.agent = global;
+            ledgers_[static_cast<std::size_t>(global)].evidence.push_back(std::move(ev));
+        }
     }
     shards_[static_cast<std::size_t>(s)].reset();
 }
@@ -472,7 +529,69 @@ telemetry::Report Fabric::telemetry_report() const
                      [](const telemetry::Scoped_snapshot& a, const telemetry::Scoped_snapshot& b) {
                          return std::pair{a.epoch, a.shard} < std::pair{b.epoch, b.shard};
                      });
+    for (common::Agent_id g = 0; g < n_agents(); ++g) {
+        std::vector<telemetry::Evidence> chains = provenance(g);
+        report.provenance.insert(report.provenance.end(),
+                                 std::make_move_iterator(chains.begin()),
+                                 std::make_move_iterator(chains.end()));
+    }
+    if (watchdog_.has_value()) report.alerts = watchdog_->alerts();
     return report;
+}
+
+std::vector<telemetry::Evidence> Fabric::provenance(common::Agent_id global) const
+{
+    common::ensure(global >= 0 && global < n_agents(), "Fabric::provenance: id out of range");
+    std::vector<telemetry::Evidence> chains = ledgers_[static_cast<std::size_t>(global)].evidence;
+    const int s = plan_.map().shard_of(global);
+    if (static_cast<std::size_t>(s) < shard_sinks_.size() &&
+        shard_sinks_[static_cast<std::size_t>(s)] != nullptr) {
+        const common::Agent_id local = plan_.map().local_of(global);
+        for (telemetry::Evidence ev : shard_sinks_[static_cast<std::size_t>(s)]->evidence()) {
+            if (ev.agent != local) continue;
+            ev.agent = global;
+            chains.push_back(std::move(ev));
+        }
+    }
+    return chains;
+}
+
+telemetry::Trace_report Fabric::trace_report() const
+{
+    telemetry::Trace_report report;
+    if (fabric_sink_ != nullptr && fabric_sink_->tracer() != nullptr) {
+        report.fabric = fabric_sink_->tracer()->spans();
+    }
+    report.shards = retired_spans_;
+    for (int s = 0; s < n_shards(); ++s) {
+        if (static_cast<std::size_t>(s) >= shard_sinks_.size() ||
+            shard_sinks_[static_cast<std::size_t>(s)] == nullptr) {
+            continue;
+        }
+        const telemetry::Tracer* tracer = shard_sinks_[static_cast<std::size_t>(s)]->tracer();
+        if (tracer == nullptr || tracer->empty()) continue;
+        report.shards.push_back({s, plan_.epoch(), tracer->spans()});
+    }
+    std::stable_sort(report.shards.begin(), report.shards.end(),
+                     [](const telemetry::Scoped_spans& a, const telemetry::Scoped_spans& b) {
+                         return std::pair{a.epoch, a.shard} < std::pair{b.epoch, b.shard};
+                     });
+    return report;
+}
+
+const std::vector<telemetry::Alert>& Fabric::watchdog_alerts() const
+{
+    static const std::vector<telemetry::Alert> k_no_alerts;
+    return watchdog_.has_value() ? watchdog_->alerts() : k_no_alerts;
+}
+
+void Fabric::poll_watchdog()
+{
+    if (!watchdog_.has_value()) return;
+    if (fabric_sink_ != nullptr) watchdog_->observe(*fabric_sink_);
+    for (const auto& sink : shard_sinks_) {
+        if (sink != nullptr) watchdog_->observe(*sink);
+    }
 }
 
 } // namespace ga::shard

@@ -54,6 +54,8 @@
 #include "shard/authority_router.h"
 #include "shard/rebalancer.h"
 #include "telemetry/export.h"
+#include "telemetry/trace_export.h"
+#include "telemetry/watchdog.h"
 
 namespace ga::shard {
 
@@ -110,6 +112,15 @@ struct Fabric_config {
     /// — same verdicts, standings, traffic, and rebalances — to the same run
     /// with it off; only telemetry_report() gains content.
     bool telemetry = false;
+    /// Causal tracing: give every sink a span recorder so trace_report()
+    /// carries the full causal nesting of the run (fabric run → window →
+    /// play → IC round → audit → quiesce), exportable to Chrome trace JSON.
+    /// Implies telemetry. Same purity contract: spans never perturb the run.
+    bool trace = false;
+    /// Online watchdog evaluated at play-window edges (after run_pulses /
+    /// run_plays / epoch transitions). Implies telemetry. Alerts are a pure
+    /// function of (seed, map, policy, config, net) like everything else.
+    std::optional<telemetry::Watchdog_config> watchdog;
 };
 
 /// What one epoch transition did (returned by apply_rebalance and kept for
@@ -220,8 +231,28 @@ public:
     /// groups' current ones — in (epoch, shard) order. Deterministic: the
     /// same (seed, map, policy, config, net) produces byte-identical
     /// to_json(telemetry_report()) on any thread count. Empty when telemetry
-    /// is disabled.
+    /// is disabled. With tracing/watchdog on, the report additionally
+    /// carries the run's verdict provenance (every agent, globalized ids)
+    /// and the watchdog's alerts.
     [[nodiscard]] telemetry::Report telemetry_report() const;
+
+    // ---- Forensics (config.trace / config.watchdog).
+
+    /// Why was this agent punished: every evidence chain recorded against
+    /// `global`, across its whole migration history — retired epochs from
+    /// the carried ledger first (in retirement order), then the agent's
+    /// current shard — with agent ids globalized. Non-empty for every agent
+    /// a group ever flagged while telemetry was on; entries whose expulsion
+    /// the executive enacted carry expelled/expelled_at.
+    [[nodiscard]] std::vector<telemetry::Evidence> provenance(common::Agent_id global) const;
+
+    /// The whole run's span tracks: the fabric-scope track plus one per
+    /// group lifetime (retired tracks first), in (epoch, shard) order —
+    /// ready for telemetry::to_chrome_trace. Empty unless config.trace.
+    [[nodiscard]] telemetry::Trace_report trace_report() const;
+
+    /// Alerts the watchdog has raised so far (empty without config.watchdog).
+    [[nodiscard]] const std::vector<telemetry::Alert>& watchdog_alerts() const;
 
 private:
     /// Per-global-agent state carried across epoch transitions.
@@ -229,6 +260,8 @@ private:
         std::vector<Authority_router::Agent_play> history;
         authority::Standing carried{};
         bool expelled = false;
+        /// Evidence chains from retired groups, agent ids globalized.
+        std::vector<telemetry::Evidence> evidence;
     };
 
     void validate_config() const;
@@ -258,6 +291,10 @@ private:
     /// transform runs exactly once per transition).
     Rebalance_report apply_next_plan(Shard_plan next);
     void rebuild_router();
+    /// Run the watchdog over the fabric sink and every live shard sink in
+    /// shard order (no-op without config.watchdog). Called at window edges:
+    /// after run_pulses/run_plays and at the end of an epoch transition.
+    void poll_watchdog();
 
     Shard_plan plan_;
     Fabric_config config_;
@@ -276,7 +313,10 @@ private:
 
     std::vector<Agent_ledger> ledgers_;                ///< one per global agent
     std::vector<metrics::Shard_sample> retired_samples_;
+    std::vector<telemetry::Scoped_spans> retired_spans_; ///< retired groups' span tracks
     std::optional<Rebalance_report> last_rebalance_;
+    std::optional<telemetry::Watchdog> watchdog_;
+    std::int64_t fabric_run_span_ = 0; ///< root span of the fabric track (trace on)
 };
 
 } // namespace ga::shard

@@ -41,6 +41,10 @@
 #include "sim/net_model.h"
 #include "sim/processor.h"
 
+namespace ga::telemetry {
+class Tracer;
+}
+
 namespace ga::sim {
 
 /// Message/byte accounting for the benchmark harness. `messages` and
@@ -101,6 +105,13 @@ public:
     void set_net_model(Net_model net);
     [[nodiscard]] const Net_model& net() const { return net_; }
 
+    /// Attach a span recorder (nullptr detaches). The engine then traces its
+    /// own fault-model activity — net burst/partition windows as spans,
+    /// transient faults as zero-length markers — onto the caller's track.
+    /// Observation only: a traced run is bit-identical to an untraced one.
+    void set_tracer(telemetry::Tracer* tracer);
+    [[nodiscard]] telemetry::Tracer* tracer() const { return tracer_; }
+
     /// Typed access to an installed processor (tests and result harvesting).
     [[nodiscard]] Processor& processor(common::Processor_id id);
     [[nodiscard]] const Processor& processor(common::Processor_id id) const;
@@ -159,6 +170,10 @@ private:
     template <typename Route>
     void step_processor_net(common::Processor_id id, Traffic_stats& stats, Route route);
 
+    /// Open/close net-window spans as `pulse_` crosses window bounds (no-op
+    /// without a tracer or without windows).
+    void trace_net_windows();
+
     void run_pulse_single();
     void run_pulse_parallel();
     /// Rotate the wheel: the slot due at the current pulse becomes the
@@ -187,6 +202,8 @@ private:
     std::vector<std::vector<std::vector<Message>>> wheel_;
     common::Pulse pulse_ = 0;
     Traffic_stats stats_;
+    telemetry::Tracer* tracer_ = nullptr;
+    std::vector<std::int64_t> net_window_spans_; ///< open span id per net window (0 = none)
 
     // ---- Worker-pool state (built lazily on the first parallel pulse).
     std::unique_ptr<common::Executor> pool_;

@@ -12,6 +12,7 @@ void write_histogram(Json_writer& w, const Histogram& h)
     w.begin_object();
     w.field("count", h.count());
     w.field("sum", h.sum());
+    w.field("wsum", h.weighted_sum());
     w.field("min", h.min());
     w.field("max", h.max());
     w.field("p50", h.p50());
@@ -41,6 +42,42 @@ void write_event(Json_writer& w, const Event& e)
     w.field("a", e.a);
     w.field("b", e.b);
     if (!e.note.empty()) w.field("note", e.note);
+    w.end_object();
+}
+
+void write_evidence(Json_writer& w, const Evidence& e)
+{
+    w.begin_object();
+    w.field("agent", e.agent);
+    w.field("shard", e.shard);
+    w.field("epoch", e.epoch);
+    w.field("window", e.window);
+    w.field("at", e.at);
+    w.field("offence", e.offence);
+    w.field("committed", e.committed);
+    w.field("revealed", e.revealed);
+    w.field("expected", e.expected);
+    w.key("flagged_by");
+    w.begin_array();
+    for (const int replica : e.flagged_by) w.value(replica);
+    w.end_array();
+    w.field("ic_activation", e.ic_activation);
+    w.field("expelled", e.expelled);
+    w.field("expelled_at", e.expelled_at);
+    w.end_object();
+}
+
+void write_alert(Json_writer& w, const Alert& a)
+{
+    w.begin_object();
+    w.field("kind", alert_kind_name(a.kind));
+    w.field("shard", a.shard);
+    w.field("epoch", a.epoch);
+    w.field("window", a.window);
+    w.field("at", a.at);
+    w.field("value", a.value);
+    w.field("limit", a.limit);
+    if (!a.detail.empty()) w.field("detail", a.detail);
     w.end_object();
 }
 
@@ -81,14 +118,15 @@ void csv_snapshot_rows(std::string& out, const std::string& scope, const Snapsho
         return out;
     };
     for (const auto& [name, value] : s.counters) {
-        row("counter", name).append(",,,,,,,").append(std::to_string(value)).push_back('\n');
+        row("counter", name).append(",,,,,,,,").append(std::to_string(value)).push_back('\n');
     }
     for (const auto& [name, value] : s.gauges) {
-        row("gauge", name).append(",,,,,,,").append(format_double(value)).push_back('\n');
+        row("gauge", name).append(",,,,,,,,").append(format_double(value)).push_back('\n');
     }
     for (const auto& [name, h] : s.histograms) {
         row("histogram", name);
-        for (const std::int64_t v : {h.count(), h.sum(), h.min(), h.max(), h.p50(), h.p99()}) {
+        for (const std::int64_t v :
+             {h.count(), h.sum(), h.weighted_sum(), h.min(), h.max(), h.p50(), h.p99()}) {
             out.push_back(',');
             out.append(std::to_string(v));
         }
@@ -156,13 +194,21 @@ std::string to_json(const Report& report)
         w.end_object();
     }
     w.end_array();
+    w.key("provenance");
+    w.begin_array();
+    for (const Evidence& e : report.provenance) write_evidence(w, e);
+    w.end_array();
+    w.key("alerts");
+    w.begin_array();
+    for (const Alert& a : report.alerts) write_alert(w, a);
+    w.end_array();
     w.end_object();
     return w.take();
 }
 
 std::string to_csv(const Report& report)
 {
-    std::string out = "kind,scope,name,count,sum,min,max,p50,p99,value\n";
+    std::string out = "kind,scope,name,count,sum,wsum,min,max,p50,p99,value\n";
     csv_snapshot_rows(out, "fabric", report.fabric);
     for (const Scoped_snapshot& s : report.shards) {
         csv_snapshot_rows(out, scope_label(s.shard, s.epoch), s.telemetry);
@@ -197,6 +243,25 @@ void print(std::ostream& os, const Report& report, std::size_t journal_tail)
            << event_kind_name(e.kind) << " a=" << e.a << " b=" << e.b;
         if (!e.note.empty()) os << " (" << e.note << ")";
         os << "\n";
+    }
+
+    if (!report.provenance.empty()) {
+        os << "  provenance (" << report.provenance.size() << " verdict(s)):\n";
+        for (const Evidence& e : report.provenance) {
+            os << "    agent " << e.agent << " [" << scope_label(e.shard, e.epoch) << " w"
+               << e.window << " @" << e.at << "] " << e.offence << " committed=" << e.committed
+               << " revealed=" << e.revealed << " expected=" << e.expected << " flagged_by="
+               << e.flagged_by.size() << (e.expelled ? " EXPELLED" : "") << "\n";
+        }
+    }
+    if (!report.alerts.empty()) {
+        os << "  alerts (" << report.alerts.size() << "):\n";
+        for (const Alert& a : report.alerts) {
+            os << "    " << alert_kind_name(a.kind) << " [" << scope_label(a.shard, a.epoch)
+               << "] value=" << a.value << " limit=" << a.limit;
+            if (!a.detail.empty()) os << " (" << a.detail << ")";
+            os << "\n";
+        }
     }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "telemetry/telemetry.h"
+#include "telemetry/watchdog.h"
 
 namespace ga::telemetry {
 
@@ -23,10 +24,14 @@ struct Scoped_snapshot {
 };
 
 /// A whole fabric run's telemetry: the fabric-scope sink plus every
-/// per-(epoch, shard) group snapshot in (epoch, shard) order.
+/// per-(epoch, shard) group snapshot in (epoch, shard) order, the verdict
+/// provenance chains (globalized agent ids, sorted by (agent, epoch, shard,
+/// window)), and any watchdog alerts in evaluation order.
 struct Report {
     Snapshot fabric;
     std::vector<Scoped_snapshot> shards;
+    std::vector<Evidence> provenance;
+    std::vector<Alert> alerts;
 
     /// Every shard snapshot and the fabric snapshot folded together.
     [[nodiscard]] Snapshot merged() const;
@@ -39,7 +44,7 @@ struct Report {
 [[nodiscard]] std::string to_json(const Report& report);
 
 /// CSV series: header row then one row per metric —
-/// kind,scope,name,count,sum,min,max,p50,p99,value.
+/// kind,scope,name,count,sum,wsum,min,max,p50,p99,value.
 [[nodiscard]] std::string to_csv(const Report& report);
 
 /// Human-readable summary (counters, histogram quantiles, recent events).

@@ -1,0 +1,62 @@
+// Minimal JSON reader — the inverse of json.h's writer, just enough for
+// tools (ga_inspect) to load the blobs this repo's own exporters emit and
+// for tests to round-trip them. Recursive descent over the full value
+// grammar (objects, arrays, strings with escapes, numbers, literals); no
+// external dependencies, no streaming — a telemetry snapshot is small.
+#ifndef GA_TELEMETRY_JSON_PARSE_H
+#define GA_TELEMETRY_JSON_PARSE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ga::telemetry {
+
+/// One parsed JSON value. Objects keep insertion order out of scope — they
+/// are std::map, which matches the writer (exporters emit from ordered maps
+/// anyway). Numbers keep both views: `number` always holds the double,
+/// `integer` holds the exact value when the text was integral.
+struct Json_value {
+    enum class Kind : std::uint8_t { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::int64_t integer = 0;
+    bool integral = false; ///< the source text was an integer literal
+    std::string string;
+    std::vector<Json_value> array;
+    std::map<std::string, Json_value> object;
+
+    [[nodiscard]] bool is_null() const { return kind == Kind::null; }
+    [[nodiscard]] bool is_object() const { return kind == Kind::object; }
+    [[nodiscard]] bool is_array() const { return kind == Kind::array; }
+
+    /// Object member by key; a shared null value when absent or not an
+    /// object — lookups chain without null checks.
+    [[nodiscard]] const Json_value& at(std::string_view key) const;
+
+    /// Convenience readers with defaults (null/missing → the default).
+    [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const;
+    [[nodiscard]] double as_double(double fallback = 0.0) const;
+    [[nodiscard]] const std::string& as_string() const { return string; }
+};
+
+/// Parse result: `ok` false leaves `value` null and fills `error` with a
+/// message carrying the byte offset.
+struct Json_parse_result {
+    bool ok = false;
+    Json_value value;
+    std::string error;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+[[nodiscard]] Json_parse_result parse_json(std::string_view text);
+
+} // namespace ga::telemetry
+
+#endif // GA_TELEMETRY_JSON_PARSE_H

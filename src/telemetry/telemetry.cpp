@@ -40,6 +40,15 @@ std::int64_t Histogram::bucket(int b) const
     return b >= 0 && b < k_buckets ? buckets_[static_cast<std::size_t>(b)] : 0;
 }
 
+Tick Histogram::weighted_sum() const
+{
+    Tick total = 0;
+    for (int b = 0; b < k_buckets; ++b) {
+        total += bucket_floor(b) * buckets_[static_cast<std::size_t>(b)];
+    }
+    return total;
+}
+
 Tick Histogram::quantile(double q) const
 {
     if (count_ == 0) return 0;
@@ -66,24 +75,36 @@ void Histogram::merge(const Histogram& other)
     sum_ += other.sum_;
 }
 
+namespace {
+
+// One name per enumerator, positionally. The array size is pinned to
+// k_event_kind_count (itself pinned to the last enumerator), so growing the
+// enum without naming the new kind is a compile error here, not an "unknown"
+// leaking into exported traces.
+constexpr std::array<const char*, k_event_kind_count> k_event_kind_names = {
+    "play_open",          // Event_kind::play_open
+    "play_seal",          // Event_kind::play_seal
+    "play_verdict",       // Event_kind::play_verdict
+    "ic_start",           // Event_kind::ic_start
+    "ic_finish",          // Event_kind::ic_finish
+    "foul",               // Event_kind::foul
+    "expulsion",          // Event_kind::expulsion
+    "rebalance_proposed", // Event_kind::rebalance_proposed
+    "rebalance_applied",  // Event_kind::rebalance_applied
+    "net_window_open",    // Event_kind::net_window_open
+    "net_window_close",   // Event_kind::net_window_close
+    "clock_hold",         // Event_kind::clock_hold
+    "clock_resume",       // Event_kind::clock_resume
+};
+static_assert(k_event_kind_names.size() == static_cast<std::size_t>(k_event_kind_count));
+static_assert(k_event_kind_names.back() != nullptr);
+
+} // namespace
+
 const char* event_kind_name(Event_kind kind)
 {
-    switch (kind) {
-    case Event_kind::play_open: return "play_open";
-    case Event_kind::play_seal: return "play_seal";
-    case Event_kind::play_verdict: return "play_verdict";
-    case Event_kind::ic_start: return "ic_start";
-    case Event_kind::ic_finish: return "ic_finish";
-    case Event_kind::foul: return "foul";
-    case Event_kind::expulsion: return "expulsion";
-    case Event_kind::rebalance_proposed: return "rebalance_proposed";
-    case Event_kind::rebalance_applied: return "rebalance_applied";
-    case Event_kind::net_window_open: return "net_window_open";
-    case Event_kind::net_window_close: return "net_window_close";
-    case Event_kind::clock_hold: return "clock_hold";
-    case Event_kind::clock_resume: return "clock_resume";
-    }
-    return "unknown";
+    const auto index = static_cast<std::size_t>(kind);
+    return index < k_event_kind_names.size() ? k_event_kind_names[index] : "unknown";
 }
 
 void merge_into(Snapshot& into, const Snapshot& from)
@@ -126,6 +147,29 @@ void Telemetry_sink::event(Event e)
         snap_.journal_dropped_oldest += 1;
     }
     snap_.journal.push_back(std::move(e));
+}
+
+void Telemetry_sink::enable_tracer()
+{
+    if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>(scope_.shard, scope_.epoch);
+}
+
+void Telemetry_sink::add_evidence(Evidence e)
+{
+    e.shard = scope_.shard;
+    e.epoch = scope_.epoch;
+    evidence_.push_back(std::move(e));
+}
+
+void Telemetry_sink::mark_expelled(int agent, Tick at)
+{
+    for (auto it = evidence_.rbegin(); it != evidence_.rend(); ++it) {
+        if (it->agent == agent) {
+            it->expelled = true;
+            it->expelled_at = at;
+            return;
+        }
+    }
 }
 
 } // namespace ga::telemetry

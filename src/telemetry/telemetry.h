@@ -31,8 +31,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "telemetry/tracer.h"
 
 namespace ga::telemetry {
 
@@ -65,6 +69,14 @@ public:
     [[nodiscard]] Tick max() const { return count_ > 0 ? max_ : 0; }
     [[nodiscard]] double mean() const;
     [[nodiscard]] std::int64_t bucket(int b) const;
+
+    /// Count-weighted sum of bucket floors: sum over buckets of
+    /// bucket_floor(b) * bucket(b). Equals sum() exactly while every sample
+    /// is under k_linear (one exact bucket per value) and lower-bounds it
+    /// within 2x beyond — so exported quantiles can be sanity-checked
+    /// downstream (wsum <= sum < 2 * wsum + count) without re-deriving the
+    /// bucket layout.
+    [[nodiscard]] Tick weighted_sum() const;
 
     /// The value at quantile `q` in [0, 1]: the floor of the bucket holding
     /// the rank-ceil(q * count) sample. Exact for values under k_linear —
@@ -106,6 +118,12 @@ enum class Event_kind : std::uint8_t {
     clock_resume        ///< clock stepped again after a hold; a = new value
 };
 
+/// Number of Event_kind enumerators. The static_assert pins it to the last
+/// enumerator, and event_kind_name's table is sized by it — adding a kind
+/// without updating both (and the name table) fails to compile, so a new
+/// kind can never ship unnamed.
+inline constexpr int k_event_kind_count = static_cast<int>(Event_kind::clock_resume) + 1;
+
 /// Spelled-out kind (stable wire names for exporters).
 [[nodiscard]] const char* event_kind_name(Event_kind kind);
 
@@ -124,6 +142,34 @@ struct Event {
     std::string note;
 
     friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// One verdict's evidence chain: everything an operator needs to answer
+/// "why was this agent punished" without replaying the run. Recorded by the
+/// authority tiers at the foul phase (pure replicated state, so the chain is
+/// identical at every honest replica) and folded into the fabric's carried
+/// ledger at epoch edges so it survives migration/split/merge.
+///
+/// `agent` is the local replica slot while the record sits in a group's
+/// sink; the fabric globalizes it when folding or serving provenance
+/// queries. Actions are -1 where nothing decodable existed (e.g. a missing
+/// commitment has no committed action).
+struct Evidence {
+    int shard = -1;               ///< stamped from the sink scope
+    int epoch = 0;
+    std::int64_t window = -1;     ///< play index (classic) / batch index (pipelined)
+    Tick at = -1;                 ///< pulse the verdict landed
+    int agent = -1;               ///< local slot in-group; global id once folded
+    std::string offence;          ///< authority::offence_name of the local audit
+    int committed = -1;           ///< action proven under the agreed commitment
+    int revealed = -1;            ///< action decoded from the agreed opening
+    int expected = -1;            ///< the audit standard's best response
+    std::vector<int> flagged_by;  ///< replica slots whose agreed masks flagged the agent
+    std::int64_t ic_activation = 0; ///< ordinal of the agreeing IC activation
+    bool expelled = false;        ///< the executive later cut the agent off
+    Tick expelled_at = -1;        ///< pulse of the expulsion (-1 while connected)
+
+    friend bool operator==(const Evidence&, const Evidence&) = default;
 };
 
 /// Everything one sink recorded: registries plus the journal. Ordered maps
@@ -177,8 +223,13 @@ public:
     [[nodiscard]] const Scope& scope() const { return scope_; }
 
     /// Re-scope (elastic fabric: an adopted group's shard id / epoch moves at
-    /// an epoch edge). Already journaled events keep their original tags.
-    void set_scope(Scope scope) { scope_ = scope; }
+    /// an epoch edge). Already journaled events, spans, and evidence keep
+    /// their original tags.
+    void set_scope(Scope scope)
+    {
+        scope_ = scope;
+        if (tracer_ != nullptr) tracer_->set_scope(scope.shard, scope.epoch);
+    }
 
     /// Registered-on-first-use accessors. The references are stable for the
     /// sink's lifetime (map nodes never move), so hot paths look a name up
@@ -193,10 +244,35 @@ public:
 
     [[nodiscard]] const Snapshot& snapshot() const { return snap_; }
 
+    // ---- Causal tracing (tracer.h). Spans live beside the snapshot — they
+    // are per-track trace data, not mergeable registry state — and follow
+    // the sink's scope.
+
+    /// Allocate the span recorder (idempotent). Hook sites test tracer() for
+    /// null exactly like the sink pointer itself, so an un-enabled sink
+    /// carries zero tracing cost.
+    void enable_tracer();
+    [[nodiscard]] Tracer* tracer() const { return tracer_.get(); }
+
+    // ---- Verdict provenance. Evidence rides beside the snapshot for the
+    // same reason as spans: the fabric folds it into the per-agent carried
+    // ledger at epoch edges rather than merging it per scope.
+
+    /// Record one verdict's evidence chain (scope stamped like events).
+    void add_evidence(Evidence e);
+
+    /// Mark the newest evidence entry for `agent` expelled (the executive's
+    /// disconnection order lands after the verdict that caused it).
+    void mark_expelled(int agent, Tick at);
+
+    [[nodiscard]] const std::vector<Evidence>& evidence() const { return evidence_; }
+
 private:
     Scope scope_;
     std::size_t journal_capacity_;
     Snapshot snap_;
+    std::unique_ptr<Tracer> tracer_;
+    std::vector<Evidence> evidence_;
 };
 
 } // namespace ga::telemetry

@@ -1,0 +1,150 @@
+#include "telemetry/trace_export.h"
+
+#include <algorithm>
+
+#include "telemetry/json.h"
+
+namespace ga::telemetry {
+namespace {
+
+// Track coordinates in the Chrome trace: one "process" per shard (fabric
+// scope = pid 1), one "thread" per epoch. tid is 1-based because Perfetto
+// hides tid 0 rows in some views.
+int pid_of(int shard) { return shard < 0 ? 1 : shard + 2; }
+int tid_of(int epoch) { return epoch + 1; }
+
+void write_metadata(Json_writer& w, const char* what, int pid, int tid, const std::string& name)
+{
+    w.begin_object();
+    w.field("name", what);
+    w.field("ph", "M");
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.key("args");
+    w.begin_object();
+    w.field("name", name);
+    w.end_object();
+    w.end_object();
+}
+
+Tick track_last_tick(const std::vector<Span>& spans)
+{
+    Tick last = 0;
+    for (const Span& s : spans) {
+        last = std::max({last, s.begin, s.end});
+    }
+    return last;
+}
+
+void write_span_pair(Json_writer& w, const Span& span, int pid, int tid, Tick clamp,
+                     std::int64_t unique_id)
+{
+    const Tick end = span.end >= 0 ? span.end : std::max(clamp, span.begin);
+    w.begin_object();
+    w.field("name", span.name);
+    w.field("cat", "span");
+    w.field("ph", "b");
+    w.field("id", unique_id);
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.field("ts", span.begin);
+    w.key("args");
+    w.begin_object();
+    w.field("parent", span.parent);
+    w.field("a", span.a);
+    w.field("b", span.b);
+    if (!span.note.empty()) w.field("note", span.note);
+    if (span.end < 0) w.field("clamped", true);
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.field("name", span.name);
+    w.field("cat", "span");
+    w.field("ph", "e");
+    w.field("id", unique_id);
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.field("ts", end);
+    w.end_object();
+}
+
+void write_instant(Json_writer& w, const Event& e, int pid, int tid)
+{
+    w.begin_object();
+    w.field("name", event_kind_name(e.kind));
+    w.field("cat", "event");
+    w.field("ph", "i");
+    w.field("s", "t"); // thread-scoped instant
+    w.field("pid", pid);
+    w.field("tid", tid);
+    w.field("ts", e.at >= 0 ? e.at : 0);
+    w.key("args");
+    w.begin_object();
+    w.field("window", e.window);
+    w.field("a", e.a);
+    w.field("b", e.b);
+    if (!e.note.empty()) w.field("note", e.note);
+    w.end_object();
+    w.end_object();
+}
+
+void write_track(Json_writer& w, const std::vector<Span>& spans, int shard, int epoch,
+                 std::int64_t& next_id)
+{
+    const int pid = pid_of(shard);
+    const int tid = tid_of(epoch);
+    const Tick clamp = track_last_tick(spans);
+    for (const Span& span : spans) {
+        write_span_pair(w, span, pid, tid, clamp, next_id++);
+    }
+}
+
+} // namespace
+
+std::string to_chrome_trace(const Trace_report& trace, const Report* telemetry)
+{
+    Json_writer w;
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+
+    // Metadata first: name the fabric process and every shard process/epoch
+    // row that carries spans or (when a report rides along) journal events.
+    write_metadata(w, "process_name", pid_of(-1), 0, "fabric");
+    write_metadata(w, "thread_name", pid_of(-1), tid_of(0), "fabric run");
+    for (const Scoped_spans& track : trace.shards) {
+        std::string shard_name = "shard ";
+        shard_name.append(std::to_string(track.shard));
+        write_metadata(w, "process_name", pid_of(track.shard), 0, shard_name);
+        std::string epoch_name = "epoch ";
+        epoch_name.append(std::to_string(track.epoch));
+        write_metadata(w, "thread_name", pid_of(track.shard), tid_of(track.epoch), epoch_name);
+    }
+
+    // Async span pairs. Exporter-assigned ids are unique across the whole
+    // trace so same-named spans on one track never collapse into each other.
+    std::int64_t next_id = 1;
+    write_track(w, trace.fabric, -1, 0, next_id);
+    for (const Scoped_spans& track : trace.shards) {
+        write_track(w, track.spans, track.shard, track.epoch, next_id);
+    }
+
+    // Journaled events as instants on the matching tracks, fabric first then
+    // the Report's own (epoch, shard) order.
+    if (telemetry != nullptr) {
+        for (const Event& e : telemetry->fabric.journal) {
+            write_instant(w, e, pid_of(e.shard), tid_of(e.epoch));
+        }
+        for (const Scoped_snapshot& s : telemetry->shards) {
+            for (const Event& e : s.telemetry.journal) {
+                write_instant(w, e, pid_of(e.shard), tid_of(e.epoch));
+            }
+        }
+    }
+
+    w.end_array();
+    w.end_object();
+    return w.take();
+}
+
+} // namespace ga::telemetry

@@ -1,0 +1,50 @@
+// Chrome trace-event JSON over recorded spans (Perfetto / chrome://tracing).
+//
+// Each (shard, epoch) track becomes one process/thread pair — pid = shard
+// (fabric scope gets pid 1, shard s gets pid s + 2), tid = epoch + 1 — so
+// the UI groups a run by shard with one timeline row per epoch, and an
+// elastic run reads as rows appearing/disappearing across epochs. Spans are
+// emitted as async begin/end pairs ("b"/"e"), which render nested intervals
+// correctly even when the pipelined tier holds k play spans open at once;
+// journaled events ride along as instants ("i") when a telemetry Report is
+// supplied. Timestamps are engine pulses verbatim (1 "us" = 1 pulse), so the
+// export is byte-stable whenever the run is deterministic.
+#ifndef GA_TELEMETRY_TRACE_EXPORT_H
+#define GA_TELEMETRY_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "telemetry/export.h"
+#include "telemetry/tracer.h"
+
+namespace ga::telemetry {
+
+/// One (shard, epoch) span track as harvested from a live or retired group.
+struct Scoped_spans {
+    int shard = -1;
+    int epoch = 0;
+    std::vector<Span> spans;
+
+    friend bool operator==(const Scoped_spans&, const Scoped_spans&) = default;
+};
+
+/// A whole fabric run's trace: the fabric-scope track plus every
+/// per-(epoch, shard) group track in (epoch, shard) order.
+struct Trace_report {
+    std::vector<Span> fabric;
+    std::vector<Scoped_spans> shards;
+
+    friend bool operator==(const Trace_report&, const Trace_report&) = default;
+};
+
+/// Byte-stable Chrome trace-event JSON ({"traceEvents":[...]}). When
+/// `telemetry` is non-null its journals are folded in as instant events on
+/// the matching tracks. Still-open spans (end -1, e.g. a window cut short by
+/// a transient fault) are clamped to the latest tick on their track.
+[[nodiscard]] std::string to_chrome_trace(const Trace_report& trace,
+                                          const Report* telemetry = nullptr);
+
+} // namespace ga::telemetry
+
+#endif // GA_TELEMETRY_TRACE_EXPORT_H

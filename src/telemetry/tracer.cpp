@@ -1,0 +1,38 @@
+#include "telemetry/tracer.h"
+
+namespace ga::telemetry {
+
+std::int64_t Tracer::begin_span(std::string_view name, Tick at, std::int64_t parent,
+                                std::int64_t a, std::int64_t b, std::string note)
+{
+    Span span;
+    span.id = static_cast<std::int64_t>(spans_.size()) + 1;
+    span.parent = parent;
+    span.name = std::string{name};
+    span.shard = shard_;
+    span.epoch = epoch_;
+    span.begin = at;
+    span.a = a;
+    span.b = b;
+    span.note = std::move(note);
+    spans_.push_back(std::move(span));
+    return spans_.back().id;
+}
+
+void Tracer::end_span(std::int64_t id, Tick at)
+{
+    if (id <= 0 || id > static_cast<std::int64_t>(spans_.size())) return;
+    Span& span = spans_[static_cast<std::size_t>(id - 1)];
+    if (span.end >= 0) return;
+    span.end = at < span.begin ? span.begin : at;
+}
+
+std::int64_t Tracer::add_span(std::string_view name, Tick begin, Tick end, std::int64_t parent,
+                              std::int64_t a, std::int64_t b, std::string note)
+{
+    const std::int64_t id = begin_span(name, begin, parent, a, b, std::move(note));
+    end_span(id, end);
+    return id;
+}
+
+} // namespace ga::telemetry

@@ -1,0 +1,140 @@
+#include "telemetry/watchdog.h"
+
+#include <algorithm>
+
+namespace ga::telemetry {
+
+namespace {
+
+constexpr std::array<const char*, k_alert_kind_count> k_alert_kind_names = {
+    "replica_divergence", // Alert_kind::replica_divergence
+    "clock_hold_streak",  // Alert_kind::clock_hold_streak
+    "foul_rate_spike",    // Alert_kind::foul_rate_spike
+    "journal_eviction",   // Alert_kind::journal_eviction
+    "quiesce_bound",      // Alert_kind::quiesce_bound
+};
+static_assert(k_alert_kind_names.size() == static_cast<std::size_t>(k_alert_kind_count));
+
+} // namespace
+
+const char* alert_kind_name(Alert_kind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    return index < k_alert_kind_names.size() ? k_alert_kind_names[index] : "unknown";
+}
+
+std::int64_t Watchdog::counter_of(const Snapshot& snap, const char* name)
+{
+    const auto it = snap.counters.find(name);
+    return it != snap.counters.end() ? it->second : 0;
+}
+
+void Watchdog::observe(const Telemetry_sink& sink)
+{
+    const Snapshot& snap = sink.snapshot();
+    const int shard = sink.scope().shard;
+    const int epoch = sink.scope().epoch;
+    Cursor& cursor = cursors_[{shard, epoch}];
+    const auto alert = [&](Alert_kind kind, std::int64_t value, std::int64_t limit,
+                           Tick at, std::int64_t window, std::string detail) {
+        Alert a;
+        a.kind = kind;
+        a.shard = shard;
+        a.epoch = epoch;
+        a.window = window;
+        a.at = at;
+        a.value = value;
+        a.limit = limit;
+        a.detail = std::move(detail);
+        alerts_.push_back(std::move(a));
+    };
+
+    // ---- Replica divergence: the outcome phase failed to find a strict
+    // majority. A healthy group never increments the counter.
+    const std::int64_t divergence = counter_of(snap, "outcome.divergence");
+    const std::int64_t divergence_delta = divergence - cursor.divergence;
+    cursor.divergence = divergence;
+    if (divergence_delta > config_.max_divergence) {
+        alert(Alert_kind::replica_divergence, divergence_delta, config_.max_divergence, -1, -1,
+              "no strict-majority previous outcome");
+    }
+
+    // ---- Clock-hold streaks, from the journal's hold/resume edges. The
+    // cursor position is absolute (evictions included), so an evicted prefix
+    // is skipped, never re-read.
+    std::int64_t index = snap.journal_dropped_oldest;
+    if (cursor.journal_seen < index) cursor.journal_seen = index;
+    for (const Event& e : snap.journal) {
+        if (index++ < cursor.journal_seen) continue;
+        if (e.kind == Event_kind::clock_hold) {
+            cursor.hold_started = e.at;
+        } else if (e.kind == Event_kind::clock_resume && cursor.hold_started >= 0) {
+            const Tick streak = e.at - cursor.hold_started;
+            if (streak > config_.max_hold_streak) {
+                alert(Alert_kind::clock_hold_streak, streak, config_.max_hold_streak, e.at,
+                      e.window, "schedule stalled on missing beacon quorum");
+            }
+            cursor.hold_started = -1;
+        }
+    }
+    cursor.journal_seen = index;
+
+    // ---- Foul-rate spike vs the trailing-window mean. Intervals without
+    // completed plays carry no information and are skipped (the cursor only
+    // advances when the group made window progress). A burst with an empty
+    // trailing history — fouls out of nowhere — is itself a spike.
+    const std::int64_t fouls = counter_of(snap, "fouls.flagged");
+    const std::int64_t plays = counter_of(snap, "plays.completed");
+    const std::int64_t foul_delta = fouls - cursor.fouls;
+    const std::int64_t play_delta = plays - cursor.plays;
+    if (play_delta > 0) {
+        const double rate = static_cast<double>(foul_delta) / static_cast<double>(play_delta);
+        double trailing = 0.0;
+        for (const double r : cursor.rates) trailing += r;
+        if (!cursor.rates.empty()) trailing /= static_cast<double>(cursor.rates.size());
+        if (foul_delta >= config_.foul_spike_min && rate > config_.foul_spike_factor * trailing) {
+            alert(Alert_kind::foul_rate_spike, foul_delta,
+                  static_cast<std::int64_t>(config_.foul_spike_factor * trailing *
+                                            static_cast<double>(play_delta)),
+                  -1, -1, "interval foul rate exceeds trailing mean");
+        }
+        cursor.rates.push_back(rate);
+        if (static_cast<int>(cursor.rates.size()) > config_.trailing_windows) {
+            cursor.rates.erase(cursor.rates.begin());
+        }
+        cursor.fouls = fouls;
+        cursor.plays = plays;
+    }
+
+    // ---- Journal eviction pressure: once per scope, the first time the
+    // bounded journal drops history.
+    if (snap.journal_dropped_oldest > 0 && !cursor.eviction_fired) {
+        cursor.eviction_fired = true;
+        alert(Alert_kind::journal_eviction, snap.journal_dropped_oldest, 0, -1, -1,
+              "bounded journal dropped oldest events");
+    }
+}
+
+void Watchdog::observe_quiesce(int shard, int epoch, Tick pulses, Tick limit)
+{
+    if (pulses <= limit) return;
+    Alert a;
+    a.kind = Alert_kind::quiesce_bound;
+    a.shard = shard;
+    a.epoch = epoch;
+    a.value = pulses;
+    a.limit = limit;
+    a.detail = "epoch transition paused the shard past one play window";
+    alerts_.push_back(std::move(a));
+}
+
+void Watchdog::adopt_scope(int old_shard, int old_epoch, int new_shard, int new_epoch)
+{
+    const auto it = cursors_.find({old_shard, old_epoch});
+    if (it == cursors_.end()) return;
+    Cursor moved = std::move(it->second);
+    cursors_.erase(it);
+    cursors_[{new_shard, new_epoch}] = std::move(moved);
+}
+
+} // namespace ga::telemetry

@@ -1,0 +1,128 @@
+// Deterministic fabric watchdog: online health invariants over sink state.
+//
+// Raw telemetry tells an operator what happened; the watchdog says when what
+// happened is *wrong*. It is evaluated from the fabric thread at play-window
+// edges (after run_plays / run_pulses / epoch transitions — never inside a
+// pulse), reading only replicated sink state, so its alert list is a pure
+// function of (seed, map, config): the same run raises byte-identical
+// alerts on any executor width, and a production alert can be replayed
+// offline from the recorded (seed, config) pair.
+//
+// Invariant catalog (docs/OBSERVABILITY.md documents thresholds):
+//   replica_divergence  the outcome phase found no strict-majority previous
+//                       profile ("outcome.divergence" counter) — replicas
+//                       disagree about what happened, the one state §3.3's
+//                       announcement phase exists to prevent;
+//   clock_hold_streak   a journaled clock_hold → clock_resume streak longer
+//                       than the ceiling: the group made no schedule
+//                       progress for that many pulses (outage/partition);
+//   foul_rate_spike     fouls per completed play in the last observation
+//                       interval spiked against the trailing-window mean
+//                       (or appeared out of nowhere) — an attack ramping
+//                       up, or an audit rule regression;
+//   journal_eviction    the bounded event journal dropped its oldest
+//                       entries — forensic visibility is degrading;
+//   quiesce_bound       an epoch transition paused a shard for more pulses
+//                       than one play window — the elastic contract broke.
+#ifndef GA_TELEMETRY_WATCHDOG_H
+#define GA_TELEMETRY_WATCHDOG_H
+
+#include <map>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace ga::telemetry {
+
+enum class Alert_kind : std::uint8_t {
+    replica_divergence,
+    clock_hold_streak,
+    foul_rate_spike,
+    journal_eviction,
+    quiesce_bound,
+};
+
+inline constexpr int k_alert_kind_count = static_cast<int>(Alert_kind::quiesce_bound) + 1;
+
+/// Spelled-out kind (stable wire names for exporters).
+[[nodiscard]] const char* alert_kind_name(Alert_kind kind);
+
+/// Thresholds. Defaults are deliberately quiet on a healthy fabric: an
+/// honest population over a clean net raises zero alerts.
+struct Watchdog_config {
+    /// Divergence observations tolerated per interval before alerting (0 =
+    /// any divergence alerts; transient-fault recovery legitimately diverges
+    /// once per fault, so harnesses that inject faults may raise this).
+    std::int64_t max_divergence = 0;
+    /// Longest tolerated clock-hold streak, in pulses.
+    Tick max_hold_streak = 64;
+    /// Alert when interval foul rate exceeds factor x the trailing mean.
+    double foul_spike_factor = 4.0;
+    /// Fouls required in the interval before a spike can alert (rules out
+    /// single-foul noise).
+    std::int64_t foul_spike_min = 2;
+    /// Trailing intervals kept for the foul-rate mean.
+    int trailing_windows = 4;
+
+    friend bool operator==(const Watchdog_config&, const Watchdog_config&) = default;
+};
+
+/// One structured alert. Replayable: re-running the same (seed, map, config)
+/// reproduces it bit-for-bit, so `detail` carries context, not identity.
+struct Alert {
+    Alert_kind kind{};
+    int shard = -1;
+    int epoch = 0;
+    std::int64_t window = -1; ///< journal window of the triggering entry (-1 none)
+    Tick at = -1;             ///< pulse of the triggering observation (-1 none)
+    std::int64_t value = 0;   ///< observed magnitude (streak pulses, fouls, ...)
+    std::int64_t limit = 0;   ///< the threshold it broke
+    std::string detail;
+
+    friend bool operator==(const Alert&, const Alert&) = default;
+};
+
+class Watchdog {
+public:
+    explicit Watchdog(Watchdog_config config = {}) : config_{config} {}
+
+    [[nodiscard]] const Watchdog_config& config() const { return config_; }
+
+    /// Evaluate every invariant over one sink at a window edge. Alerts
+    /// append in evaluation order; per-scope cursors make each observation
+    /// incremental (an already reported streak or eviction never re-fires).
+    void observe(const Telemetry_sink& sink);
+
+    /// Epoch-transition feed: shard `shard` (epoch it retired under) was
+    /// quiesced for `pulses` against a one-window bound of `limit`.
+    void observe_quiesce(int shard, int epoch, Tick pulses, Tick limit);
+
+    /// Elastic carry: a group's sink moved to a new (shard, epoch) scope at
+    /// an epoch edge; move its cursor along so counters are not re-read as
+    /// fresh deltas under the new key.
+    void adopt_scope(int old_shard, int old_epoch, int new_shard, int new_epoch);
+
+    [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+
+private:
+    /// Incremental read position into one (shard, epoch) track.
+    struct Cursor {
+        std::int64_t journal_seen = 0; ///< absolute journal index (evictions included)
+        std::int64_t divergence = 0;
+        std::int64_t fouls = 0;
+        std::int64_t plays = 0;
+        std::vector<double> rates; ///< trailing interval foul rates
+        Tick hold_started = -1;    ///< open clock-hold streak begin
+        bool eviction_fired = false;
+    };
+
+    [[nodiscard]] static std::int64_t counter_of(const Snapshot& snap, const char* name);
+
+    Watchdog_config config_;
+    std::map<std::pair<int, int>, Cursor> cursors_;
+    std::vector<Alert> alerts_;
+};
+
+} // namespace ga::telemetry
+
+#endif // GA_TELEMETRY_WATCHDOG_H

@@ -325,4 +325,74 @@ TEST(NetSweep, ElasticFabricUnderLossyNetIsDeterministicAcrossWidths)
     }
 }
 
+TEST(NetSweep, ForensicCellsKeepTheWatchdogHonestAndProvenanceComplete)
+{
+    // The observability acceptance sweep: with full forensics on (sinks +
+    // tracer + watchdog) across the net matrix, the honest x clean cell
+    // raises zero alerts, at least one adversarial cell raises an alert, and
+    // every agent any cell expelled can answer "why" through provenance().
+    struct Forensic_cell {
+        std::vector<telemetry::Alert> alerts;
+        std::vector<bool> disconnected;                       ///< by global id
+        std::vector<std::vector<telemetry::Evidence>> chains; ///< by global id
+    };
+    const auto run_cell = [](const sim::Net_model& net, bool cheater) {
+        shard::Fabric_config config;
+        config.f = 1;
+        config.spec_factory = [](int, const std::vector<Agent_id>& members) {
+            return dominant_spec(static_cast<int>(members.size()));
+        };
+        config.punishment = [] { return std::make_unique<Disconnect_scheme>(); };
+        config.seed = 13;
+        config.threads = 2;
+        config.net = net;
+        config.behavior_factory = [cheater](Agent_id g) -> std::unique_ptr<Agent_behavior> {
+            if (cheater && g == 2) return std::make_unique<Fixed_action_behavior>(0);
+            return std::make_unique<Honest_behavior>();
+        };
+        config.trace = true;
+        // Expulsion caps the cheater at one foul, so a single-foul interval
+        // must already count as a spike in this sweep.
+        config.watchdog = telemetry::Watchdog_config{};
+        config.watchdog->foul_spike_min = 1;
+        shard::Fabric fabric{shard::Shard_map{10, 2}, std::move(config)};
+        fabric.run_pulses(1);
+        fabric.run_plays(4);
+        Forensic_cell cell;
+        cell.alerts = fabric.watchdog_alerts();
+        for (Agent_id g = 0; g < fabric.n_agents(); ++g) {
+            cell.disconnected.push_back(fabric.agent_disconnected(g));
+            cell.chains.push_back(fabric.provenance(g));
+        }
+        return cell;
+    };
+
+    bool any_alert = false;
+    for (const auto& [net_name, net] : net_matrix(/*seed=*/19)) {
+        for (const bool cheater : {false, true}) {
+            const std::string label = std::string{net_name} + (cheater ? "/cheater" : "/honest");
+            const Forensic_cell cell = run_cell(net, cheater);
+            if (!cheater && std::string{net_name} == "clean") {
+                EXPECT_TRUE(cell.alerts.empty())
+                    << label << ": watchdog must stay quiet on a healthy fabric";
+            }
+            any_alert = any_alert || !cell.alerts.empty();
+            for (std::size_t g = 0; g < cell.disconnected.size(); ++g) {
+                if (!cell.disconnected[g]) continue;
+                EXPECT_EQ(g, 2u) << label << ": honest agent expelled";
+                EXPECT_FALSE(cell.chains[g].empty())
+                    << label << ": expelled agent " << g << " has no evidence chain";
+            }
+            if (cheater) {
+                ASSERT_TRUE(cell.disconnected[2]) << label;
+                ASSERT_FALSE(cell.chains[2].empty()) << label;
+                bool expelled_marked = false;
+                for (const telemetry::Evidence& e : cell.chains[2]) expelled_marked |= e.expelled;
+                EXPECT_TRUE(expelled_marked) << label;
+            }
+        }
+    }
+    EXPECT_TRUE(any_alert) << "no adversarial cell raised a single watchdog alert";
+}
+
 } // namespace

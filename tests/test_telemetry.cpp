@@ -180,9 +180,12 @@ TEST(TelemetryExport, CsvCarriesScopedRows)
     report.fabric = Snapshot{};
     report.shards.push_back({1, 0, sample_snapshot()});
     const std::string csv = to_csv(report);
-    EXPECT_EQ(csv.find("kind,scope,name,count,sum,min,max,p50,p99,value"), 0u);
+    EXPECT_EQ(csv.find("kind,scope,name,count,sum,wsum,min,max,p50,p99,value"), 0u);
     EXPECT_NE(csv.find("counter,s1e0,plays.completed"), std::string::npos);
-    EXPECT_NE(csv.find("histogram,s1e0,play.latency_pulses,2"), std::string::npos);
+    // count=2, sum=48, wsum=48 (both samples in the exact-bucket span),
+    // min=max=p50=p99=24.
+    EXPECT_NE(csv.find("histogram,s1e0,play.latency_pulses,2,48,48,24,24,24,24"),
+              std::string::npos);
 }
 
 TEST(TelemetryExport, PrintShowsScopesAndJournalTail)

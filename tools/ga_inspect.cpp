@@ -1,0 +1,249 @@
+// ga_inspect — offline forensic reader for the fabric's observability
+// artifacts.
+//
+//   ga_inspect <report.json>            telemetry report (to_json(Report) or
+//                                       a bench --json artifact wrapping one):
+//                                       headline counters, verdict provenance,
+//                                       watchdog alerts
+//   ga_inspect --agent <id> <file>      only that agent's evidence chains
+//   ga_inspect --trace <trace.json>     Chrome trace-event file: per-track
+//                                       span census
+//   ga_inspect --demo                   run the canonical traced workload
+//                                       in-process, export, parse the bytes
+//                                       back, render — the CTest smoke that
+//                                       keeps the whole loop (emit → export →
+//                                       parse → render) honest
+//
+// The parser is the repo's own telemetry::parse_json, so the tool reads
+// exactly what the exporters emit — no external JSON dependency.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_trace.h"
+#include "common/table.h"
+#include "telemetry/json_parse.h"
+
+namespace {
+
+using namespace ga;
+using telemetry::Json_value;
+
+std::string scope_label(std::int64_t shard, std::int64_t epoch)
+{
+    if (shard < 0) return "fabric";
+    std::string label = "s";
+    label.append(std::to_string(shard));
+    label.push_back('e');
+    label.append(std::to_string(epoch));
+    return label;
+}
+
+/// Sum a counter across the fabric snapshot and every shard snapshot.
+std::int64_t total_counter(const Json_value& report, const std::string& name)
+{
+    std::int64_t total = report.at("fabric").at("counters").at(name).as_int();
+    for (const Json_value& shard : report.at("shards").array) {
+        total += shard.at("telemetry").at("counters").at(name).as_int();
+    }
+    return total;
+}
+
+int render_report(const Json_value& root, std::int64_t agent_filter)
+{
+    // A bench --json artifact wraps the report under "telemetry".
+    const Json_value& report = root.at("fabric").is_object() ? root : root.at("telemetry");
+    if (!report.at("fabric").is_object()) {
+        std::cerr << "not a telemetry report (no \"fabric\" snapshot; for Chrome "
+                     "trace files use --trace)\n";
+        return 1;
+    }
+
+    std::cout << "snapshots: " << report.at("shards").array.size() << " shard-epoch scope(s)\n"
+              << "plays completed: " << total_counter(report, "plays.completed")
+              << ", fouls flagged: " << total_counter(report, "fouls.flagged")
+              << ", outcome divergence: " << total_counter(report, "outcome.divergence") << "\n\n";
+
+    const Json_value& provenance = report.at("provenance");
+    common::Table verdicts{{"agent", "scope", "window", "at", "offence", "committed", "revealed",
+                            "expected", "flagged by", "ic", "expelled"}};
+    for (const Json_value& e : provenance.array) {
+        if (agent_filter >= 0 && e.at("agent").as_int() != agent_filter) continue;
+        std::string expelled;
+        if (e.at("expelled").boolean) {
+            expelled.push_back('@');
+            expelled.append(std::to_string(e.at("expelled_at").as_int()));
+        } else {
+            expelled.push_back('-');
+        }
+        verdicts.add_row({std::to_string(e.at("agent").as_int()),
+                          scope_label(e.at("shard").as_int(), e.at("epoch").as_int()),
+                          std::to_string(e.at("window").as_int()),
+                          std::to_string(e.at("at").as_int()), e.at("offence").as_string(),
+                          std::to_string(e.at("committed").as_int()),
+                          std::to_string(e.at("revealed").as_int()),
+                          std::to_string(e.at("expected").as_int()),
+                          std::to_string(e.at("flagged_by").array.size()),
+                          std::to_string(e.at("ic_activation").as_int()), std::move(expelled)});
+    }
+    std::cout << "verdict provenance (" << verdicts.row_count();
+    if (agent_filter >= 0) std::cout << " for agent " << agent_filter;
+    std::cout << " of " << provenance.array.size() << " chain(s)):\n";
+    if (verdicts.row_count() > 0) verdicts.print(std::cout);
+
+    const Json_value& alerts = report.at("alerts");
+    std::cout << "\nwatchdog alerts (" << alerts.array.size() << "):\n";
+    for (const Json_value& a : alerts.array) {
+        std::cout << "  " << a.at("kind").as_string() << " ["
+                  << scope_label(a.at("shard").as_int(), a.at("epoch").as_int());
+        if (a.at("window").as_int(-1) >= 0) std::cout << " w" << a.at("window").as_int();
+        if (a.at("at").as_int(-1) >= 0) std::cout << " @" << a.at("at").as_int();
+        std::cout << "] value=" << a.at("value").as_int() << " limit=" << a.at("limit").as_int();
+        if (!a.at("detail").as_string().empty()) {
+            std::cout << " (" << a.at("detail").as_string() << ")";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int render_trace(const Json_value& root)
+{
+    const Json_value& events = root.at("traceEvents");
+    if (!events.is_array()) {
+        std::cerr << "not a Chrome trace file (no \"traceEvents\" array)\n";
+        return 1;
+    }
+    // Census: tracks (pid), spans per name, instants per name, clamped spans.
+    std::map<std::int64_t, std::string> tracks;
+    std::map<std::string, std::int64_t> spans;
+    std::map<std::string, std::int64_t> instants;
+    std::int64_t clamped = 0;
+    std::int64_t max_tick = 0;
+    for (const Json_value& e : events.array) {
+        const std::string& ph = e.at("ph").as_string();
+        if (ph == "M" && e.at("name").as_string() == "process_name") {
+            tracks[e.at("pid").as_int()] = e.at("args").at("name").as_string();
+        } else if (ph == "b") {
+            ++spans[e.at("name").as_string()];
+            if (e.at("args").at("clamped").boolean) ++clamped;
+        } else if (ph == "i") {
+            ++instants[e.at("name").as_string()];
+        }
+        max_tick = std::max(max_tick, e.at("ts").as_int());
+    }
+    std::cout << "trace: " << events.array.size() << " event(s), " << tracks.size()
+              << " track(s), last tick " << max_tick << ", open-span clamps " << clamped << "\n\n";
+    common::Table census{{"kind", "name", "count"}};
+    for (const auto& [name, n] : spans) census.add_row({"span", name, std::to_string(n)});
+    for (const auto& [name, n] : instants) census.add_row({"instant", name, std::to_string(n)});
+    census.print(std::cout);
+    std::cout << "\ntracks:\n";
+    for (const auto& [pid, name] : tracks) {
+        std::cout << "  pid " << pid << ": " << name << "\n";
+    }
+    return 0;
+}
+
+/// Parse `text` or fail loudly with the parser's byte-offset error.
+bool parse_or_complain(const std::string& text, Json_value& out)
+{
+    telemetry::Json_parse_result parsed = telemetry::parse_json(text);
+    if (!parsed.ok) {
+        std::cerr << "parse error: " << parsed.error << "\n";
+        return false;
+    }
+    out = std::move(parsed.value);
+    return true;
+}
+
+/// The smoke loop: run the canonical traced workload, export both artifacts,
+/// parse the bytes back, render, and verify the forensic invariants hold
+/// (expelled agents have provenance; the trace has spans on every track).
+int run_demo()
+{
+    shard::Fabric fabric = ga::bench::make_trace_workload();
+    fabric.run_pulses(1);
+    fabric.run_plays(4);
+
+    const telemetry::Report report = fabric.telemetry_report();
+    const std::string report_json = telemetry::to_json(report);
+    const std::string trace_json = telemetry::to_chrome_trace(fabric.trace_report(), &report);
+
+    Json_value report_value;
+    Json_value trace_value;
+    if (!parse_or_complain(report_json, report_value)) return 1;
+    if (!parse_or_complain(trace_json, trace_value)) return 1;
+
+    std::cout << "=== ga_inspect --demo: canonical traced workload ===\n\n";
+    int rc = render_report(report_value, /*agent_filter=*/-1);
+    std::cout << "\n";
+    rc = std::max(rc, render_trace(trace_value));
+    if (rc != 0) return rc;
+
+    // Forensic invariants the demo enforces.
+    bool expelled_any = false;
+    for (common::Agent_id g = 0; g < fabric.n_agents(); ++g) {
+        if (!fabric.agent_disconnected(g)) continue;
+        expelled_any = true;
+        if (fabric.provenance(g).empty()) {
+            std::cerr << "FAIL: expelled agent " << g << " has no provenance\n";
+            return 1;
+        }
+    }
+    if (!expelled_any && report.provenance.empty()) {
+        std::cerr << "FAIL: demo workload produced no verdicts to inspect\n";
+        return 1;
+    }
+    if (trace_value.at("traceEvents").array.empty()) {
+        std::cerr << "FAIL: demo trace is empty\n";
+        return 1;
+    }
+    std::cout << "\nOK\n";
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool demo = false;
+    bool trace_mode = false;
+    std::int64_t agent_filter = -1;
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--demo") == 0) {
+            demo = true;
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            trace_mode = true;
+        } else if (std::strcmp(argv[i], "--agent") == 0 && i + 1 < argc) {
+            agent_filter = std::stoll(argv[++i]);
+        } else if (argv[i][0] != '-') {
+            path = argv[i];
+        } else {
+            std::cerr << "unknown flag: " << argv[i] << "\n";
+            return 2;
+        }
+    }
+    if (demo) return run_demo();
+    if (path.empty()) {
+        std::cerr << "usage: ga_inspect [--agent <id>] <report.json>\n"
+                     "       ga_inspect --trace <trace.json>\n"
+                     "       ga_inspect --demo\n";
+        return 2;
+    }
+
+    std::ifstream in{path};
+    if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json_value root;
+    if (!parse_or_complain(buffer.str(), root)) return 1;
+    return trace_mode ? render_trace(root) : render_report(root, agent_filter);
+}
