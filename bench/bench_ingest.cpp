@@ -1,0 +1,273 @@
+// Experiment E18 — the front door under offered load: admission control,
+// load shedding, and graceful degradation.
+//
+// Every earlier fabric bench drove plays synchronously (run_plays and wait),
+// so offered load could never exceed capacity. E18 drives the fabric the way
+// the paper's population actually behaves: an open-loop client population
+// submitting plays at a fixed rate, indifferent to the authority's capacity.
+// Three drives bracket the service rate — 0.5x (headroom), 1x (saturation),
+// 2x (overload) — with a seeded retry-after-backoff client model, and the
+// run reports goodput (plays completed) and submit-to-verdict latency per
+// regime.
+//
+// Self-enforced guardrails (non-zero exit; CI runs `--smoke --json --trace`):
+//   - graceful degradation: goodput at 2x offered load stays >= 70% of the
+//     1x goodput (overload sheds, it does not collapse throughput);
+//   - bounded tail: the 2x admitted-play p99 submit-to-verdict latency stays
+//     within (queue_capacity / service_per_shard + 2) play windows;
+//   - the watchdog stays silent at 0.5x (honest population, headroom) and
+//     raises overload_collapse at 2x (sustained overloaded-and-shedding);
+//   - shedding never flags anyone: zero fouls in every regime;
+//   - the whole 2x run — admission verdicts, health transitions, alerts,
+//     telemetry — is bit-identical across executor threads {1, 2, 4} and
+//     across repeated runs.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_json.h"
+#include "bench_trace.h"
+#include "common/table.h"
+#include "ingest/workload.h"
+#include "shard/fabric.h"
+
+namespace {
+
+using namespace ga;
+using namespace ga::shard;
+
+constexpr int k_agents = 16;
+constexpr int k_shards = 2;
+
+/// Two-action dominant-strategy game sized to its shard's population.
+class Dominant_game final : public game::Strategic_game {
+public:
+    explicit Dominant_game(int n) : n_{n} {}
+    int n_agents() const override { return n_; }
+    int n_actions(common::Agent_id) const override { return 2; }
+    double cost(common::Agent_id i, const game::Pure_profile& p) const override
+    {
+        return p[static_cast<std::size_t>(i)] == 1 ? 1.0 : 2.0;
+    }
+
+private:
+    int n_;
+};
+
+Fabric_config front_config(int threads, std::uint64_t seed, bool trace)
+{
+    Fabric_config config;
+    config.f = 1;
+    config.spec_factory = [](int, const std::vector<common::Agent_id>& members) {
+        authority::Game_spec spec;
+        spec.name = "dominant";
+        spec.game = std::make_shared<Dominant_game>(static_cast<int>(members.size()));
+        spec.equilibrium.assign(members.size(), {0.0, 1.0});
+        return spec;
+    };
+    config.punishment = [] { return std::make_unique<authority::Fine_scheme>(1.0, 1e9); };
+    config.seed = seed;
+    config.threads = threads;
+    config.behavior_factory = [](common::Agent_id) {
+        return std::make_unique<authority::Honest_behavior>();
+    };
+    config.trace = trace;
+    config.watchdog = telemetry::Watchdog_config{};
+
+    ingest::Ingest_config front;
+    front.capacity = 2; // per shard per window; service is 1 play/shard/window
+    front.queue_capacity = 8;
+    front.priorities = 2;
+    config.ingest = front;
+    return config;
+}
+
+/// One open-loop drive at `rate` fresh submissions per ingest window.
+struct Drive_result {
+    ingest::Ingest_totals totals;
+    ingest::Load_stats clients;
+    double seconds = 0.0;
+    std::int64_t p50 = 0;
+    std::int64_t p99 = 0;
+    common::Pulse window_pulses = 0; ///< one play window at the shard cadence
+    std::int64_t collapse_alerts = 0;
+    std::int64_t other_alerts = 0;
+    std::int64_t fouls = 0;
+    std::string telemetry_json; ///< the determinism witness
+};
+
+Drive_result drive(int rate, int windows, int threads, std::uint64_t seed, bool trace = false,
+                   const std::string& trace_out = {})
+{
+    Fabric fabric{Shard_map{k_agents, k_shards}, front_config(threads, seed, trace)};
+    fabric.run_pulses(1);
+
+    ingest::Workload_config wl;
+    wl.clients = 6;
+    // Interleave the two shards' members so every window's arrivals spread
+    // across the fabric instead of bursting one inlet.
+    for (common::Agent_id g = 0; g < k_agents / 2; ++g) {
+        wl.targets.push_back(g);
+        wl.targets.push_back(g + k_agents / 2);
+    }
+    wl.priorities = 2;
+    wl.rate_num = rate;
+    wl.rate_den = 1;
+    wl.seed = 17;
+    ingest::Open_loop_load load{wl};
+
+    const auto start = std::chrono::steady_clock::now();
+    for (std::int64_t t = 0; t < windows; ++t) {
+        for (const ingest::Submission& sub : load.tick(t)) {
+            load.on_result(sub, fabric.submit(sub), t);
+        }
+        (void)fabric.pump_ingest();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    Drive_result result;
+    result.totals = fabric.ingest_totals();
+    result.clients = load.stats();
+    result.seconds = std::chrono::duration<double>(stop - start).count();
+    for (int s = 0; s < fabric.n_shards(); ++s) {
+        result.window_pulses =
+            std::max(result.window_pulses, fabric.shard(s).pulses_for_plays(1));
+    }
+    telemetry::Histogram latency;
+    for (const telemetry::Scoped_snapshot& shard : fabric.telemetry_report().shards) {
+        const auto it = shard.telemetry.histograms.find("ingest.submit_to_verdict_pulses");
+        if (it != shard.telemetry.histograms.end()) latency.merge(it->second);
+    }
+    result.p50 = latency.p50();
+    result.p99 = latency.p99();
+    for (const telemetry::Alert& a : fabric.watchdog_alerts()) {
+        if (a.kind == telemetry::Alert_kind::overload_collapse) {
+            ++result.collapse_alerts;
+        } else {
+            ++result.other_alerts;
+        }
+    }
+    result.fouls = fabric.report().total_fouls;
+    result.telemetry_json = telemetry::to_json(fabric.telemetry_report());
+    if (!trace_out.empty()) ga::bench::dump_chrome_trace(trace_out, fabric);
+    return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    }
+    const std::string json_path = ga::bench::json_path(argc, argv);
+    const std::string trace_path = ga::bench::trace_path(argc, argv);
+
+    const int windows = smoke ? 16 : 48;
+    const int service = k_shards; // 1 play/shard/window (batch_k = window_batches = 1)
+    const int threads = 2;
+    constexpr std::uint64_t k_seed = 2026;
+
+    std::cout << "=== E18: front door under offered load ===\n\n"
+              << k_agents << " honest agents over " << k_shards
+              << " shards, f = 1; per-shard inlet: capacity 2, queue 8, two\n"
+              << "priority classes. Service rate " << service << " plays/window. Open-loop\n"
+              << "clients drive 0.5x/1x/2x the service rate for " << windows
+              << " ingest windows\n(seeded capped-exponential retry with jitter).\n\n";
+
+    const Drive_result half = drive(service / 2, windows, threads, k_seed);
+    const Drive_result one = drive(service, windows, threads, k_seed);
+    const Drive_result two =
+        drive(2 * service, windows, threads, k_seed, /*trace=*/!trace_path.empty(), trace_path);
+
+    common::Table table{{"drive", "offered", "admitted", "shed", "abandoned", "goodput",
+                         "plays/sec", "p50", "p99", "alerts"}};
+    const auto row = [&table](const char* label, const Drive_result& r) {
+        table.add_row({label, std::to_string(r.totals.offered),
+                       std::to_string(r.totals.accepted + r.totals.queued),
+                       std::to_string(r.totals.shed), std::to_string(r.clients.abandoned),
+                       std::to_string(r.totals.completed),
+                       common::fixed(static_cast<double>(r.totals.completed) / r.seconds, 1),
+                       std::to_string(r.p50), std::to_string(r.p99),
+                       std::to_string(r.collapse_alerts + r.other_alerts)});
+    };
+    row("0.5x", half);
+    row("1x", one);
+    row("2x", two);
+    table.print(std::cout);
+    std::cout << "\n";
+
+    // ---- Guardrails.
+    const double goodput_ratio =
+        static_cast<double>(two.totals.completed) / static_cast<double>(one.totals.completed);
+    const bool goodput_ok = goodput_ratio >= 0.7;
+    std::cout << "Graceful degradation (2x goodput >= 0.7x the 1x goodput): "
+              << common::fixed(goodput_ratio, 2) << "x " << (goodput_ok ? "PASS" : "FAIL")
+              << "\n";
+
+    const std::int64_t p99_bound =
+        (front_config(1, k_seed, false).ingest->queue_capacity / (service / k_shards) + 2) *
+        two.window_pulses;
+    const bool tail_ok = two.p99 <= p99_bound;
+    std::cout << "Bounded tail (2x admitted p99 " << two.p99 << " <= " << p99_bound
+              << " pulses): " << (tail_ok ? "PASS" : "FAIL") << "\n";
+
+    const bool quiet_ok = half.collapse_alerts + half.other_alerts == 0;
+    std::cout << "Watchdog silent at 0.5x: " << (quiet_ok ? "PASS" : "FAIL") << "\n";
+    const bool loud_ok = two.collapse_alerts > 0;
+    std::cout << "Watchdog raises overload_collapse at 2x: " << (loud_ok ? "PASS" : "FAIL")
+              << "\n";
+    const bool no_fouls = half.fouls == 0 && one.fouls == 0 && two.fouls == 0;
+    std::cout << "Shedding never flags an honest agent (0 fouls everywhere): "
+              << (no_fouls ? "PASS" : "FAIL") << "\n";
+    const bool no_silent_drops = two.totals.completed == two.totals.served &&
+                                 one.totals.completed == one.totals.served &&
+                                 half.totals.completed == half.totals.served;
+    std::cout << "No silent drops (completed == served in every regime): "
+              << (no_silent_drops ? "PASS" : "FAIL") << "\n";
+
+    // ---- Determinism: the 2x overload run is a pure function of (seed, map,
+    // config, submission order) — identical across executor widths and
+    // repeats, admission verdicts and alerts included.
+    bool deterministic =
+        drive(2 * service, windows, threads, k_seed).telemetry_json == two.telemetry_json;
+    for (const int pool : {1, 4}) {
+        deterministic = deterministic &&
+                        drive(2 * service, windows, pool, k_seed).telemetry_json ==
+                            two.telemetry_json;
+    }
+    std::cout << "Determinism (threads 1 vs 2 vs 4, repeated runs, seed " << k_seed
+              << "): " << (deterministic ? "bit-identical" : "DIVERGED") << "\n\n";
+
+    ga::bench::Json_report json_report{"bench_ingest"};
+    json_report.field("experiment", "E18");
+    json_report.field("smoke", smoke);
+    json_report.field("windows", windows);
+    json_report.field("goodput_half", half.totals.completed);
+    json_report.field("goodput_1x", one.totals.completed);
+    json_report.field("goodput_2x", two.totals.completed);
+    json_report.field("goodput_ratio", goodput_ratio);
+    json_report.field("shed_2x", two.totals.shed);
+    json_report.field("abandoned_2x", two.clients.abandoned);
+    json_report.field("p99_2x", two.p99);
+    json_report.field("p99_bound", p99_bound);
+    json_report.field("collapse_alerts_2x", two.collapse_alerts);
+    json_report.field("goodput_ok", goodput_ok);
+    json_report.field("tail_ok", tail_ok);
+    json_report.field("quiet_ok", quiet_ok);
+    json_report.field("loud_ok", loud_ok);
+    json_report.field("deterministic", deterministic);
+    // The 2x run's full telemetry report rides along, so ga_inspect renders
+    // the overload's front-door census straight from the artifact.
+    json_report.raw("telemetry", two.telemetry_json);
+    if (!json_report.write(json_path)) return 1;
+
+    if (!goodput_ok || !tail_ok || !quiet_ok || !loud_ok || !no_fouls || !no_silent_drops ||
+        !deterministic) {
+        return 1;
+    }
+    std::cout << "OK\n";
+    return 0;
+}

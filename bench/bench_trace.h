@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ingest/workload.h"
 #include "shard/fabric.h"
 
 namespace ga::bench {
@@ -60,8 +61,10 @@ private:
 /// The canonical traced workload: 10 agents over 2 shards (f = 1) under a
 /// lossy delta-2 net, one fixed-action cheater per shard, tracing and the
 /// watchdog both on, 4 plays. Shared by every bench main without a traced
-/// fabric of its own.
-inline shard::Fabric make_trace_workload()
+/// fabric of its own. `with_ingest` additionally opens the front door
+/// (capacity 2, queue 8, two priority classes) so drive_ingest_demo can push
+/// it into overload.
+inline shard::Fabric make_trace_workload(bool with_ingest = false)
 {
     constexpr int k_agents = 10;
     shard::Fabric_config config;
@@ -81,6 +84,13 @@ inline shard::Fabric make_trace_workload()
     config.net.jitter = 0.25;
     config.net.drop = 0.01;
     config.net.seed = 5;
+    if (with_ingest) {
+        ingest::Ingest_config front;
+        front.capacity = 2;
+        front.queue_capacity = 8;
+        front.priorities = 2;
+        config.ingest = front;
+    }
     std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors;
     for (common::Agent_id g = 0; g < k_agents; ++g) {
         if (g == 2 || g == k_agents - 3) {
@@ -90,6 +100,31 @@ inline shard::Fabric make_trace_workload()
         }
     }
     return shard::Fabric{shard::Shard_map{k_agents, 2}, std::move(behaviors), std::move(config)};
+}
+
+/// Drive an overloading open-loop population through a with-ingest canonical
+/// workload for `windows` ingest windows: 6 clients across every agent at 4x
+/// the 2-shard service rate, seeded retries — enough offered load that every
+/// admission verdict (accepted, queued, retry_after, shed) and the
+/// degraded/overloaded health states all appear in the telemetry. Returns
+/// the client-side view of the run. Deterministic like the fabric itself.
+inline ingest::Load_stats drive_ingest_demo(shard::Fabric& fabric, int windows = 12)
+{
+    ingest::Workload_config wl;
+    wl.clients = 6;
+    for (common::Agent_id g = 0; g < fabric.n_agents(); ++g) wl.targets.push_back(g);
+    wl.priorities = 2;
+    wl.rate_num = 8; // vs 2 plays/window service across both shards
+    wl.rate_den = 1;
+    wl.seed = 17;
+    ingest::Open_loop_load load{wl};
+    for (std::int64_t t = 0; t < windows; ++t) {
+        for (const ingest::Submission& sub : load.tick(t)) {
+            load.on_result(sub, fabric.submit(sub), t);
+        }
+        (void)fabric.pump_ingest();
+    }
+    return load.stats();
 }
 
 /// Run the canonical workload and dump its trace to `path`. True on success

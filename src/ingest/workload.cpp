@@ -1,0 +1,114 @@
+#include "ingest/workload.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+
+namespace ga::ingest {
+
+void Retry_policy::validate() const
+{
+    common::ensure(base_windows >= 1, "Retry_policy::base_windows must be >= 1");
+    common::ensure(cap_windows >= base_windows,
+                   "Retry_policy::cap_windows must be >= base_windows");
+    common::ensure(jitter >= 0.0 && jitter <= 1.0,
+                   "Retry_policy::jitter must be in [0, 1]");
+    common::ensure(max_attempts >= 1, "Retry_policy::max_attempts must be >= 1");
+}
+
+void Workload_config::validate() const
+{
+    common::ensure(clients > 0, "Workload_config::clients must be positive");
+    common::ensure(!targets.empty(), "Workload_config::targets must be non-empty");
+    common::ensure(priorities >= 1, "Workload_config::priorities must be >= 1");
+    common::ensure(rate_num > 0, "Workload_config::rate_num must be positive");
+    common::ensure(rate_den > 0, "Workload_config::rate_den must be positive");
+    retry.validate();
+}
+
+Open_loop_load::Open_loop_load(const Workload_config& config) : config_{config}
+{
+    config_.validate();
+}
+
+std::vector<Submission> Open_loop_load::tick(std::int64_t t)
+{
+    std::vector<Submission> out;
+
+    // Due retries first: a client that was bounced gets its slot back before
+    // any fresh arrival this window (emission order within a due bucket is
+    // the order the retries were armed — deterministic).
+    for (auto it = due_.begin(); it != due_.end() && it->first <= t;) {
+        out.insert(out.end(), it->second.begin(), it->second.end());
+        it = due_.erase(it);
+    }
+    stats_.retried += static_cast<std::int64_t>(out.size());
+
+    // Fresh arrivals: the rational accumulator gains rate_num per window and
+    // every rate_den units is one submission, so fractional rates (1.5x
+    // capacity) emit an exact long-run average with no float drift.
+    accum_ += config_.rate_num;
+    while (accum_ >= config_.rate_den) {
+        accum_ -= config_.rate_den;
+        Submission sub;
+        sub.client = next_client_;
+        sub.priority = static_cast<int>(next_client_ % config_.priorities);
+        sub.agent = config_.targets[static_cast<std::size_t>(
+            next_target_ % static_cast<std::int64_t>(config_.targets.size()))];
+        sub.attempt = 0;
+        next_client_ = (next_client_ + 1) % config_.clients;
+        next_target_ += 1;
+        out.push_back(sub);
+        stats_.fresh += 1;
+    }
+
+    stats_.submitted += static_cast<std::int64_t>(out.size());
+    return out;
+}
+
+int Open_loop_load::backoff_windows(std::int64_t client, int attempt) const
+{
+    // Capped exponential: base << attempt, clamped, plus uniform jitter in
+    // [0, jitter * backoff] drawn from a derive_seed stream keyed by (client,
+    // attempt) — independent of emission order and of the fabric's streams.
+    const int shift = std::min(attempt, 20);
+    const std::int64_t raw = static_cast<std::int64_t>(config_.retry.base_windows) << shift;
+    const int backoff =
+        static_cast<int>(std::min<std::int64_t>(raw, config_.retry.cap_windows));
+    common::Rng rng{common::derive_seed(config_.seed, static_cast<std::uint64_t>(client),
+                                        static_cast<std::uint64_t>(attempt))};
+    const int extra = static_cast<int>(rng.uniform01() * config_.retry.jitter * backoff);
+    return backoff + extra;
+}
+
+void Open_loop_load::on_result(const Submission& sub, const Submit_result& result,
+                               std::int64_t t)
+{
+    switch (result.status) {
+    case Submit_status::accepted:
+    case Submit_status::queued: stats_.accepted += 1; return;
+    case Submit_status::shed: {
+        if (sub.attempt + 1 >= config_.retry.max_attempts) {
+            stats_.abandoned += 1;
+            return;
+        }
+        Submission next = sub;
+        next.attempt += 1;
+        due_[t + backoff_windows(sub.client, next.attempt)].push_back(next);
+        return;
+    }
+    case Submit_status::retry_after: {
+        if (sub.attempt + 1 >= config_.retry.max_attempts) {
+            stats_.abandoned += 1;
+            return;
+        }
+        Submission next = sub;
+        next.attempt += 1;
+        due_[t + std::max(1, result.retry_windows)].push_back(next);
+        return;
+    }
+    }
+}
+
+} // namespace ga::ingest

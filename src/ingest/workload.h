@@ -1,0 +1,103 @@
+// Open-loop load generation for the front door: a seeded population of
+// clients submitting at a configured rate regardless of how the fabric
+// answers — the regime where overload, shedding, and tail latency become
+// visible — plus the deterministic client-side retry policy the tentpole
+// requires (capped exponential backoff with jitter drawn from derive_seed
+// streams, so an N-thread run replays bit-identically).
+//
+// The generator is driven in ingest windows: each tick(t) emits the window's
+// submissions in a fixed order (due retries first, then fresh arrivals by
+// (priority, client)), the caller offers them to the fabric, and feeds each
+// Submit_result back through on_result() so shed/retry_after submissions
+// re-arm deterministically.
+#ifndef GA_INGEST_WORKLOAD_H
+#define GA_INGEST_WORKLOAD_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ingest/ingest.h"
+
+namespace ga::ingest {
+
+/// Client-side reaction to backpressure. All waits are in ingest windows.
+struct Retry_policy {
+    int base_windows = 1;  ///< first backoff after a shed
+    int cap_windows = 16;  ///< exponential backoff ceiling
+    double jitter = 0.5;   ///< uniform extra delay, as a fraction of the backoff
+    int max_attempts = 5;  ///< give up (abandoned) after this many tries
+
+    /// Throws common::Contract_error naming the bad field.
+    void validate() const;
+
+    friend bool operator==(const Retry_policy&, const Retry_policy&) = default;
+};
+
+/// One open-loop client population. `rate_num / rate_den` is the fresh
+/// submissions per window across the whole population (a rational, so a
+/// 1.5x-capacity drive needs no floating accumulation); submissions round-
+/// robin over `targets` (agent ids) and clients carry priority
+/// `client % priorities`.
+struct Workload_config {
+    int clients = 0;
+    std::vector<common::Agent_id> targets;
+    int priorities = 1;
+    std::int64_t rate_num = 0; ///< fresh submissions per `rate_den` windows
+    std::int64_t rate_den = 1;
+    std::uint64_t seed = 0;
+    Retry_policy retry;
+
+    /// Throws common::Contract_error naming the bad field.
+    void validate() const;
+};
+
+/// What happened to the population so far (client-side view of the run).
+struct Load_stats {
+    std::int64_t submitted = 0;  ///< offers made (fresh + retries)
+    std::int64_t fresh = 0;      ///< first-attempt offers
+    std::int64_t retried = 0;    ///< re-offers after shed / retry_after
+    std::int64_t accepted = 0;   ///< accepted + queued (entered the fabric)
+    std::int64_t abandoned = 0;  ///< gave up after max_attempts
+
+    friend bool operator==(const Load_stats&, const Load_stats&) = default;
+};
+
+/// Deterministic open-loop generator. Single-threaded by construction (the
+/// bench/test harness drives it between fabric windows); every emission and
+/// every backoff is a pure function of (config, window index, feedback
+/// history), with jitter from derive_seed(seed, client, attempt) — no state
+/// shared with the fabric's own seed streams.
+class Open_loop_load {
+public:
+    explicit Open_loop_load(const Workload_config& config);
+
+    /// The submissions this population offers during window `t`, in a fixed
+    /// deterministic order: due retries (by due window, then client), then
+    /// fresh arrivals (by client round-robin position).
+    [[nodiscard]] std::vector<Submission> tick(std::int64_t t);
+
+    /// Feed one offer's outcome back (call once per submission emitted by
+    /// tick, in emission order). Shed submissions re-arm with capped
+    /// exponential backoff + jitter; retry_after re-arms at t + n; accepted /
+    /// queued complete the attempt.
+    void on_result(const Submission& sub, const Submit_result& result, std::int64_t t);
+
+    [[nodiscard]] const Load_stats& stats() const { return stats_; }
+
+private:
+    /// Windows to wait after attempt `attempt` by `client` was shed.
+    [[nodiscard]] int backoff_windows(std::int64_t client, int attempt) const;
+
+    Workload_config config_;
+    std::int64_t accum_ = 0;      ///< rational arrival accumulator (num units)
+    std::int64_t next_client_ = 0; ///< round-robin cursor over the population
+    std::int64_t next_target_ = 0; ///< round-robin cursor over targets
+    /// Retries waiting to fire: due window -> submissions (emission order).
+    std::map<std::int64_t, std::vector<Submission>> due_;
+    Load_stats stats_;
+};
+
+} // namespace ga::ingest
+
+#endif // GA_INGEST_WORKLOAD_H

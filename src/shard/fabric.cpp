@@ -47,6 +47,9 @@ void Fabric::validate_config() const
         common::ensure(g >= 0 && g < plan_.map().n_agents(), "Fabric: tamper id out of range");
         (void)tamper;
     }
+    // The front door's own validation names the offending Ingest_config
+    // field, so a bad Fabric_config::ingest can never construct a fabric.
+    if (config_.ingest.has_value()) config_.ingest->validate();
 }
 
 Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
@@ -163,7 +166,91 @@ void Fabric::build_all(
                 shard_sinks_.back().get());
         }
     }
+    if (config_.ingest.has_value()) {
+        inlets_.clear();
+        for (int s = 0; s < plan_.map().n_shards(); ++s) {
+            telemetry::Telemetry_sink* sink =
+                config_.telemetry ? shard_sinks_[static_cast<std::size_t>(s)].get() : nullptr;
+            inlets_.push_back(std::make_unique<ingest::Shard_inlet>(*config_.ingest, sink));
+        }
+    }
     rebuild_router();
+}
+
+ingest::Submit_result Fabric::submit(const ingest::Submission& sub)
+{
+    common::ensure(ingest_enabled(), "Fabric::submit: config.ingest not set");
+    common::ensure(sub.agent >= 0 && sub.agent < n_agents(),
+                   "Fabric::submit: agent out of range");
+    const int s = plan_.map().shard_of(sub.agent);
+    ingest::Shard_inlet& inlet = *inlets_[static_cast<std::size_t>(s)];
+    if (ledgers_[static_cast<std::size_t>(sub.agent)].expelled ||
+        router_->is_disconnected(sub.agent)) {
+        if (static_cast<std::size_t>(s) < shard_sinks_.size() &&
+            shard_sinks_[static_cast<std::size_t>(s)] != nullptr) {
+            shard_sinks_[static_cast<std::size_t>(s)]->counter("ingest.shed_expelled") += 1;
+        }
+        return {ingest::Submit_status::shed, 0, inlet.health(), inlet.depth()};
+    }
+    return inlet.offer(sub, ingest_seq_++, shards_[static_cast<std::size_t>(s)]->now());
+}
+
+int Fabric::pump_ingest()
+{
+    common::ensure(ingest_enabled(), "Fabric::pump_ingest: config.ingest not set");
+    const int service = config_.ingest->window_batches * config_.batch_k;
+    std::vector<std::vector<ingest::Shard_inlet::Pending>> taken(
+        static_cast<std::size_t>(n_shards()));
+    std::vector<common::Pulse> from(static_cast<std::size_t>(n_shards()), 0);
+    std::vector<std::function<void()>> jobs;
+    int total = 0;
+    for (int s = 0; s < n_shards(); ++s) {
+        taken[static_cast<std::size_t>(s)] =
+            inlets_[static_cast<std::size_t>(s)]->take(service);
+        from[static_cast<std::size_t>(s)] = shards_[static_cast<std::size_t>(s)]->now();
+        const int m = static_cast<int>(taken[static_cast<std::size_t>(s)].size());
+        total += m;
+        if (m == 0) continue;
+        authority::Authority_group* group = shards_[static_cast<std::size_t>(s)].get();
+        jobs.push_back([group, m] { group->run_plays(m); });
+    }
+    executor_.run_all(jobs);
+    for (int s = 0; s < n_shards(); ++s) {
+        ingest::Shard_inlet& inlet = *inlets_[static_cast<std::size_t>(s)];
+        const common::Pulse landed = shards_[static_cast<std::size_t>(s)]->now();
+        for (const ingest::Shard_inlet::Pending& p : taken[static_cast<std::size_t>(s)]) {
+            inlet.complete(p, landed);
+        }
+        inlet.end_window(landed);
+        const int m = static_cast<int>(taken[static_cast<std::size_t>(s)].size());
+        if (m > 0 && fabric_sink_ != nullptr && fabric_sink_->tracer() != nullptr) {
+            // Fabric-track ticks are the served shard's engine pulses, same
+            // convention as the quiesce spans.
+            fabric_sink_->tracer()->add_span("ingest_window",
+                                             from[static_cast<std::size_t>(s)], landed,
+                                             fabric_run_span_, s, m);
+        }
+    }
+    if (fabric_sink_ != nullptr) fabric_sink_->counter("ingest.windows") += 1;
+    poll_watchdog();
+    return total;
+}
+
+const ingest::Shard_inlet& Fabric::inlet(int s) const
+{
+    common::ensure(ingest_enabled(), "Fabric::inlet: config.ingest not set");
+    if (s < 0 || s >= n_shards()) {
+        throw common::Contract_error{"Fabric::inlet: shard " + std::to_string(s) +
+                                     " out of range [0, " + std::to_string(n_shards()) + ")"};
+    }
+    return *inlets_[static_cast<std::size_t>(s)];
+}
+
+ingest::Ingest_totals Fabric::ingest_totals() const
+{
+    ingest::Ingest_totals out = retired_ingest_;
+    for (const auto& inlet : inlets_) out.fold(inlet->totals());
+    return out;
 }
 
 void Fabric::rebuild_router()
@@ -224,6 +311,7 @@ bool Fabric::maybe_rebalance()
         load.agents = group.n_agents();
         load.plays = static_cast<std::int64_t>(group.agreed_plays().size());
         load.messages = group.traffic().messages;
+        if (!inlets_.empty()) load.backlog = inlets_[static_cast<std::size_t>(s)]->depth();
         loads.push_back(load);
     }
     const Rebalance_plan proposal = rebalancer_->propose(plan_, std::move(loads));
@@ -303,9 +391,20 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
     }
     executor_.run_all(jobs);
 
-    // ---- Retire: fold each quiesced group into the carried ledger.
+    // ---- Retire: fold each quiesced group into the carried ledger. A
+    // retiring shard's queued submissions are never shed — they drain here
+    // and are re-adopted (in global seq order) by the successor shards that
+    // own their agents after the swap below.
+    std::vector<ingest::Shard_inlet::Pending> rerouted;
     for (int s = 0; s < old_count; ++s) {
         if (keep[static_cast<std::size_t>(s)]) continue;
+        if (!inlets_.empty()) {
+            ingest::Shard_inlet& inlet = *inlets_[static_cast<std::size_t>(s)];
+            std::vector<ingest::Shard_inlet::Pending> drained = inlet.drain();
+            rerouted.insert(rerouted.end(), std::make_move_iterator(drained.begin()),
+                            std::make_move_iterator(drained.end()));
+            retired_ingest_.fold(inlet.totals());
+        }
         const common::Pulse pulses = quiesce[static_cast<std::size_t>(s)];
         report.max_quiesce_pulses = std::max(report.max_quiesce_pulses, pulses);
         if (fabric_sink_ != nullptr) {
@@ -340,10 +439,17 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
     // events before and after the edge carry the tags they happened under.
     std::vector<std::unique_ptr<telemetry::Telemetry_sink>> next_sinks(
         config_.telemetry ? next_groups.size() : 0);
+    std::vector<std::unique_ptr<ingest::Shard_inlet>> next_inlets(
+        config_.ingest.has_value() ? next_groups.size() : 0);
     for (std::size_t s = 0; s < next_groups.size(); ++s) {
         if (carried[s] >= 0) {
             next_groups[s] = std::move(shards_[static_cast<std::size_t>(carried[s])]);
             next_optima[s] = optimum_costs_[static_cast<std::size_t>(carried[s])];
+            if (config_.ingest.has_value()) {
+                // A carried shard keeps its inlet: queue, bucket, health, and
+                // totals stay continuous across the relabel.
+                next_inlets[s] = std::move(inlets_[static_cast<std::size_t>(carried[s])]);
+            }
             if (config_.telemetry) {
                 next_sinks[s] = std::move(shard_sinks_[static_cast<std::size_t>(carried[s])]);
                 const telemetry::Telemetry_sink::Scope old = next_sinks[s]->scope();
@@ -361,11 +467,20 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
             if (config_.trace) next_sinks[s]->enable_tracer();
             next_groups[s]->set_telemetry(next_sinks[s].get());
         }
+        if (carried[s] < 0 && config_.ingest.has_value()) {
+            // A rebuilt shard's inlet starts fresh but quiesce-degraded: the
+            // transition cost service time its (empty) queue cannot show, so
+            // admission opens conservatively for one window.
+            next_inlets[s] = std::make_unique<ingest::Shard_inlet>(
+                *config_.ingest, config_.telemetry ? next_sinks[s].get() : nullptr);
+            next_inlets[s]->note_quiesce();
+        }
     }
     plan_ = std::move(next);
     shards_ = std::move(next_groups);
     optimum_costs_ = std::move(next_optima);
     shard_sinks_ = std::move(next_sinks);
+    inlets_ = std::move(next_inlets);
 
     // ---- Finish the rebuilt shards against the now-folded ledger:
     // expulsion is permanent, so re-expel members disconnected in any
@@ -383,6 +498,21 @@ Rebalance_report Fabric::apply_next_plan(Shard_plan next)
         shards_[static_cast<std::size_t>(s)]->run_pulses(1);
     }
     rebuild_router();
+
+    // ---- Re-admit the retired shards' in-flight submissions into their
+    // agents' new owners, in fabric-global seq order (FIFO survives the
+    // transition). adopt() bypasses admission — queued work is never shed by
+    // a rebalance, even if a merge transiently overfills the target queue.
+    if (!rerouted.empty()) {
+        std::sort(rerouted.begin(), rerouted.end(),
+                  [](const ingest::Shard_inlet::Pending& a,
+                     const ingest::Shard_inlet::Pending& b) { return a.seq < b.seq; });
+        for (ingest::Shard_inlet::Pending& p : rerouted) {
+            const int t = plan_.map().shard_of(p.sub.agent);
+            inlets_[static_cast<std::size_t>(t)]->adopt(
+                std::move(p), shards_[static_cast<std::size_t>(t)]->now());
+        }
+    }
 
     if (fabric_sink_ != nullptr) {
         fabric_sink_->set_scope({-1, plan_.epoch()});

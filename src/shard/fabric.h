@@ -49,6 +49,7 @@
 #include <set>
 
 #include "common/executor.h"
+#include "ingest/ingest.h"
 #include "metrics/shard_aggregate.h"
 #include "pipeline/pipeline_authority.h"
 #include "shard/authority_router.h"
@@ -121,6 +122,15 @@ struct Fabric_config {
     /// run_plays / epoch transitions). Implies telemetry. Alerts are a pure
     /// function of (seed, map, policy, config, net) like everything else.
     std::optional<telemetry::Watchdog_config> watchdog;
+    /// Front door (src/ingest/): give every shard a bounded submission inlet
+    /// with token-bucket admission and health states, served in ingest
+    /// windows by pump_ingest() instead of harness-driven run_plays. The
+    /// config is validated at construction (Contract_error names the bad
+    /// field). Admission decisions are part of the determinism contract:
+    /// submit() runs on the fabric thread between windows, so the verdict
+    /// stream is a pure function of (seed, map, policy, config, net,
+    /// submission order) on any executor width.
+    std::optional<ingest::Ingest_config> ingest;
 };
 
 /// What one epoch transition did (returned by apply_rebalance and kept for
@@ -171,6 +181,34 @@ public:
 
     /// §4 transient fault in every shard at once.
     void inject_transient_fault();
+
+    // ---- Front door (config.ingest).
+
+    [[nodiscard]] bool ingest_enabled() const { return config_.ingest.has_value(); }
+
+    /// Offer one submission to the owning shard's inlet (admission control,
+    /// quota, shedding — ingest.h). Submissions for expelled agents are shed
+    /// at the door ("ingest.shed_expelled" on the owning shard's sink)
+    /// without entering the inlet's admission ledger. Requires config.ingest.
+    ingest::Submit_result submit(const ingest::Submission& sub);
+
+    /// Serve one ingest window: every shard drains up to window_batches x
+    /// batch_k pending submissions from its inlet and runs that many plays
+    /// (concurrently across the pool), completions are recorded against the
+    /// submit-to-verdict histogram, buckets refill, and health states
+    /// re-derive. Returns the number of submissions served. A shard with an
+    /// empty inlet does not advance — its backlog, not the harness, is its
+    /// clock. Requires config.ingest.
+    int pump_ingest();
+
+    /// One shard's inlet, read-only (queue depth, health, totals). Throws
+    /// Contract_error when ingest is off or `s` is out of range.
+    [[nodiscard]] const ingest::Shard_inlet& inlet(int s) const;
+
+    /// Whole-run admission accounting: inlets retired at epoch transitions
+    /// folded with every live inlet — continuous across rebalances. Zero
+    /// when ingest is off.
+    [[nodiscard]] ingest::Ingest_totals ingest_totals() const;
 
     // ---- Elastic operation (epoch transitions).
 
@@ -310,6 +348,13 @@ private:
     /// the single-writer contract holds on any thread count.
     std::vector<std::unique_ptr<telemetry::Telemetry_sink>> shard_sinks_;
     std::unique_ptr<telemetry::Telemetry_sink> fabric_sink_; ///< epoch transitions
+
+    /// Per-shard front-door inlets, parallel to shards_ (empty without
+    /// config.ingest). Written only from the fabric thread between executor
+    /// runs — same single-writer contract as the sinks.
+    std::vector<std::unique_ptr<ingest::Shard_inlet>> inlets_;
+    std::int64_t ingest_seq_ = 0; ///< fabric-global submission ordinal
+    ingest::Ingest_totals retired_ingest_; ///< totals folded from retired inlets
 
     std::vector<Agent_ledger> ledgers_;                ///< one per global agent
     std::vector<metrics::Shard_sample> retired_samples_;

@@ -83,6 +83,58 @@ Rebalance_policy rebalance_load_threshold(double ratio, int min_members)
     };
 }
 
+Rebalance_policy rebalance_ingest_pressure(double ratio, int min_members)
+{
+    common::ensure(ratio > 1.0, "rebalance_ingest_pressure: ratio must exceed 1");
+    common::ensure(min_members >= 1, "rebalance_ingest_pressure: min_members must be positive");
+    return [ratio, min_members](const Shard_plan& plan, const std::vector<Shard_load>& loads) {
+        Rebalance_plan out;
+        if (loads.size() < 2) return out;
+        std::int64_t total = 0;
+        int deep = -1;
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            total += loads[i].backlog;
+            if (loads[i].backlog > 0 &&
+                (deep < 0 ||
+                 loads[i].backlog > loads[static_cast<std::size_t>(deep)].backlog)) {
+                deep = static_cast<int>(i);
+            }
+        }
+        if (deep < 0) return out; // the front door is keeping up everywhere
+        const double mean =
+            static_cast<double>(total) / static_cast<double>(loads.size());
+        if (static_cast<double>(loads[static_cast<std::size_t>(deep)].backlog) <= ratio * mean) {
+            return out;
+        }
+
+        const int hot_shard = loads[static_cast<std::size_t>(deep)].shard;
+        const std::vector<common::Agent_id>& members = plan.map().members(hot_shard);
+        const int size = static_cast<int>(members.size());
+        if (size / 2 >= min_members) {
+            out.splits.push_back(Shard_split{hot_shard, upper_half(members)});
+            return out;
+        }
+
+        // Too small to split: drain toward the lightest-populated shard.
+        int light = -1;
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            if (loads[i].shard == hot_shard) continue;
+            if (light < 0 || loads[i].agents < loads[static_cast<std::size_t>(light)].agents) {
+                light = static_cast<int>(i);
+            }
+        }
+        if (light < 0) return out;
+        const int light_shard = loads[static_cast<std::size_t>(light)].shard;
+        const int gap = (size - loads[static_cast<std::size_t>(light)].agents) / 2;
+        const int movable = std::min(size - min_members, gap);
+        for (int i = 0; i < movable; ++i) {
+            out.migrations.push_back(
+                Migration{members[static_cast<std::size_t>(size - 1 - i)], hot_shard, light_shard});
+        }
+        return out;
+    };
+}
+
 Rebalance_policy rebalance_size_cap(int max_members, int min_members)
 {
     common::ensure(min_members >= 1, "rebalance_size_cap: min_members must be positive");

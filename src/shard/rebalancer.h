@@ -34,6 +34,9 @@ struct Shard_load {
     int agents = 0;
     std::int64_t plays = 0;
     std::int64_t messages = 0;
+    /// Front-door backlog: submissions queued at the shard's inlet when the
+    /// policy was consulted (0 on a fabric without config.ingest).
+    std::int64_t backlog = 0;
 
     /// Wire cost per agreed play — the wall-clock proxy the stock policies
     /// rank shards by (comparable across groups of different ages, unlike
@@ -56,6 +59,15 @@ using Rebalance_policy =
 /// value cannot crash the fabric (maybe_rebalance skips infeasible
 /// proposals) but wastes the policy's work every window.
 [[nodiscard]] Rebalance_policy rebalance_load_threshold(double ratio, int min_members);
+
+/// Splits the shard with the deepest front-door backlog once that backlog
+/// exceeds `ratio` x the fabric-mean backlog — the ingest hot-spot absorber:
+/// overload concentrated on one shard is relieved by halving its population
+/// (and with it the submission stream routed to it) instead of shedding
+/// harder. Shards too small to split drain toward the lightest shard, as in
+/// rebalance_load_threshold. No proposal while total backlog is zero, so the
+/// policy is mute exactly when the front door is keeping up.
+[[nodiscard]] Rebalance_policy rebalance_ingest_pressure(double ratio, int min_members);
 
 /// Splits every shard whose population exceeds `max_members` in half
 /// (repeatedly, one split per shard per epoch), never leaving a side below

@@ -1,6 +1,7 @@
 #include "telemetry/watchdog.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace ga::telemetry {
 
@@ -12,6 +13,8 @@ constexpr std::array<const char*, k_alert_kind_count> k_alert_kind_names = {
     "foul_rate_spike",    // Alert_kind::foul_rate_spike
     "journal_eviction",   // Alert_kind::journal_eviction
     "quiesce_bound",      // Alert_kind::quiesce_bound
+    "overload_collapse",  // Alert_kind::overload_collapse
+    "shed_starvation",    // Alert_kind::shed_starvation
 };
 static_assert(k_alert_kind_names.size() == static_cast<std::size_t>(k_alert_kind_count));
 
@@ -104,6 +107,62 @@ void Watchdog::observe(const Telemetry_sink& sink)
         }
         cursor.fouls = fouls;
         cursor.plays = plays;
+    }
+
+    // ---- Overload collapse: the inlet's state gauge reads overloaded and
+    // the interval shed more work, for collapse_windows observations in a
+    // row — the front door stopped degrading and started drowning. One
+    // alert per streak; a single clean observation re-arms it. An inlet-less
+    // shard publishes no "ingest.state" gauge and stays silent here.
+    {
+        const auto state_it = snap.gauges.find("ingest.state");
+        const std::int64_t shed_total = counter_of(snap, "ingest.shed");
+        const std::int64_t shed_delta = shed_total - cursor.shed;
+        cursor.shed = shed_total;
+        const bool overloaded = state_it != snap.gauges.end() && state_it->second >= 2.0;
+        if (overloaded && shed_delta > 0) {
+            cursor.overload_streak += 1;
+            if (cursor.overload_streak >= config_.collapse_windows && !cursor.collapse_fired) {
+                cursor.collapse_fired = true;
+                alert(Alert_kind::overload_collapse, cursor.overload_streak,
+                      config_.collapse_windows, -1, -1,
+                      "inlet overloaded and shedding with no recovery");
+            }
+        } else {
+            cursor.overload_streak = 0;
+            cursor.collapse_fired = false;
+        }
+    }
+
+    // ---- Shed starvation, per priority class: class i was shed this
+    // interval while admitting nothing, starvation_windows observations in a
+    // row — the graded shedding floor failed and a class is starving. The
+    // class set is discovered from the counter names ("ingest.shed.p<i>"),
+    // which the ordered map keeps in deterministic order.
+    for (const auto& [name, shed_total] : snap.counters) {
+        constexpr std::string_view prefix = "ingest.shed.p";
+        if (name.rfind(prefix, 0) != 0) continue;
+        const int priority = std::atoi(name.c_str() + prefix.size());
+        Cursor::Class_cursor& cls = cursor.classes[priority];
+        const std::int64_t admit_total =
+            counter_of(snap, (std::string{"ingest.admit.p"} + std::to_string(priority)).c_str());
+        const std::int64_t shed_delta = shed_total - cls.shed;
+        const std::int64_t admit_delta = admit_total - cls.admit;
+        cls.shed = shed_total;
+        cls.admit = admit_total;
+        if (shed_delta > 0 && admit_delta == 0) {
+            cls.streak += 1;
+            if (cls.streak >= config_.starvation_windows && !cls.fired) {
+                cls.fired = true;
+                alert(Alert_kind::shed_starvation, cls.streak, config_.starvation_windows,
+                      -1, -1,
+                      std::string{"priority class p"} + std::to_string(priority) +
+                          " shed without admission");
+            }
+        } else {
+            cls.streak = 0;
+            cls.fired = false;
+        }
     }
 
     // ---- Journal eviction pressure: once per scope, the first time the

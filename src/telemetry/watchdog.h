@@ -23,7 +23,14 @@
 //   journal_eviction    the bounded event journal dropped its oldest
 //                       entries — forensic visibility is degrading;
 //   quiesce_bound       an epoch transition paused a shard for more pulses
-//                       than one play window — the elastic contract broke.
+//                       than one play window — the elastic contract broke;
+//   overload_collapse   an inlet sat overloaded *and* shedding for too many
+//                       consecutive observations — the front door is not
+//                       degrading gracefully, it is drowning (capacity or
+//                       rebalance intervention needed);
+//   shed_starvation     a priority class was shed without a single admission
+//                       for too many consecutive observations — graceful
+//                       degradation turned into starvation of that class.
 #ifndef GA_TELEMETRY_WATCHDOG_H
 #define GA_TELEMETRY_WATCHDOG_H
 
@@ -40,9 +47,11 @@ enum class Alert_kind : std::uint8_t {
     foul_rate_spike,
     journal_eviction,
     quiesce_bound,
+    overload_collapse,
+    shed_starvation,
 };
 
-inline constexpr int k_alert_kind_count = static_cast<int>(Alert_kind::quiesce_bound) + 1;
+inline constexpr int k_alert_kind_count = static_cast<int>(Alert_kind::shed_starvation) + 1;
 
 /// Spelled-out kind (stable wire names for exporters).
 [[nodiscard]] const char* alert_kind_name(Alert_kind kind);
@@ -63,6 +72,13 @@ struct Watchdog_config {
     std::int64_t foul_spike_min = 2;
     /// Trailing intervals kept for the foul-rate mean.
     int trailing_windows = 4;
+    /// Consecutive overloaded-and-shedding observations before the inlet is
+    /// declared collapsing (one alert per streak; the streak re-arms once
+    /// the inlet stops shedding or leaves overloaded).
+    int collapse_windows = 3;
+    /// Consecutive shed-without-admit observations of one priority class
+    /// before it is declared starved (one alert per streak).
+    int starvation_windows = 3;
 
     friend bool operator==(const Watchdog_config&, const Watchdog_config&) = default;
 };
@@ -114,6 +130,17 @@ private:
         std::vector<double> rates; ///< trailing interval foul rates
         Tick hold_started = -1;    ///< open clock-hold streak begin
         bool eviction_fired = false;
+        std::int64_t shed = 0;     ///< "ingest.shed" at the last observation
+        int overload_streak = 0;   ///< consecutive overloaded-and-shedding obs
+        bool collapse_fired = false; ///< alert raised for the open streak
+        /// Per-priority-class shed/admit read positions and starvation streak.
+        struct Class_cursor {
+            std::int64_t shed = 0;
+            std::int64_t admit = 0;
+            int streak = 0;
+            bool fired = false;
+        };
+        std::map<int, Class_cursor> classes;
     };
 
     [[nodiscard]] static std::int64_t counter_of(const Snapshot& snap, const char* name);

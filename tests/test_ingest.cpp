@@ -1,0 +1,777 @@
+// The fabric's front door: Ingest_config validation (every bad field named),
+// token-bucket admission and graded shedding, hysteretic health states, the
+// seeded open-loop workload + retry policy, the fabric integration (submit /
+// pump_ingest, expelled-agent shedding, epoch-transition carry with no
+// silent drops), the ingest-pressure rebalance policy, the overload watchdog
+// invariants, and the adversarial sweep: overload x lossy net x rebalance
+// mid-shed stays bit-identical across executor widths with honest agents
+// never flagged. bench_ingest (E18) re-checks the capacity floors at
+// workload scale.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ingest/workload.h"
+#include "shard/fabric.h"
+#include "telemetry/export.h"
+
+namespace {
+
+using namespace ga;
+using namespace ga::shard;
+using common::Agent_id;
+using ingest::Health;
+using ingest::Submission;
+using ingest::Submit_status;
+
+/// The Contract_error message `f` throws; empty when it does not throw.
+template <typename F>
+std::string thrown_what(F&& f)
+{
+    try {
+        f();
+    } catch (const common::Contract_error& e) {
+        return e.what();
+    }
+    return {};
+}
+
+ingest::Ingest_config small_front(int capacity = 2, int queue = 20, int priorities = 1)
+{
+    ingest::Ingest_config front;
+    front.capacity = capacity;
+    front.queue_capacity = queue;
+    front.priorities = priorities;
+    return front;
+}
+
+// ------------------------------------------------------------------- Config
+
+TEST(IngestConfig, ValidationNamesTheBadField)
+{
+    const auto invalid = [](auto&& mutate) {
+        ingest::Ingest_config front = small_front();
+        mutate(front);
+        return thrown_what([&] { front.validate(); });
+    };
+    EXPECT_NE(invalid([](auto& c) { c.capacity = 0; }).find("capacity"), std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.burst = -1; }).find("burst"), std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.burst = 1; }).find("burst"), std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.queue_capacity = 0; }).find("queue_capacity"),
+              std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.degraded_exit = -0.1; }).find("degraded_exit"),
+              std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.degraded_exit = 0.6; }).find("degraded_exit"),
+              std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.degraded_enter = 0.95; }).find("degraded_enter"),
+              std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.overloaded_exit = 0.95; }).find("overloaded_exit"),
+              std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.overloaded_enter = 1.5; }).find("overloaded_enter"),
+              std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.priorities = 0; }).find("priorities"), std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.quota = -1; }).find("quota"), std::string::npos);
+    EXPECT_NE(invalid([](auto& c) { c.window_batches = 0; }).find("window_batches"),
+              std::string::npos);
+    EXPECT_TRUE(invalid([](auto&) {}).empty()); // the baseline is valid
+}
+
+TEST(IngestConfig, RetryPolicyAndWorkloadValidationNameTheBadField)
+{
+    ingest::Retry_policy retry;
+    retry.base_windows = 0;
+    EXPECT_NE(thrown_what([&] { retry.validate(); }).find("base_windows"), std::string::npos);
+    retry = {};
+    retry.cap_windows = 0;
+    EXPECT_NE(thrown_what([&] { retry.validate(); }).find("cap_windows"), std::string::npos);
+    retry = {};
+    retry.jitter = 1.5;
+    EXPECT_NE(thrown_what([&] { retry.validate(); }).find("jitter"), std::string::npos);
+    retry = {};
+    retry.max_attempts = 0;
+    EXPECT_NE(thrown_what([&] { retry.validate(); }).find("max_attempts"), std::string::npos);
+
+    ingest::Workload_config load;
+    EXPECT_NE(thrown_what([&] { load.validate(); }).find("clients"), std::string::npos);
+    load.clients = 1;
+    EXPECT_NE(thrown_what([&] { load.validate(); }).find("targets"), std::string::npos);
+    load.targets = {0};
+    EXPECT_NE(thrown_what([&] { load.validate(); }).find("rate_num"), std::string::npos);
+    load.rate_num = 1;
+    load.rate_den = 0;
+    EXPECT_NE(thrown_what([&] { load.validate(); }).find("rate_den"), std::string::npos);
+}
+
+TEST(IngestConfig, NameTablesCoverEveryEnumerator)
+{
+    EXPECT_STREQ(ingest::health_name(Health::healthy), "healthy");
+    EXPECT_STREQ(ingest::health_name(Health::degraded), "degraded");
+    EXPECT_STREQ(ingest::health_name(Health::overloaded), "overloaded");
+    EXPECT_STREQ(ingest::submit_status_name(Submit_status::accepted), "accepted");
+    EXPECT_STREQ(ingest::submit_status_name(Submit_status::queued), "queued");
+    EXPECT_STREQ(ingest::submit_status_name(Submit_status::retry_after), "retry_after");
+    EXPECT_STREQ(ingest::submit_status_name(Submit_status::shed), "shed");
+}
+
+// ---------------------------------------------------------------- Admission
+
+/// Offer `n` priority-`p` submissions from distinct clients; returns the
+/// last result.
+ingest::Submit_result offer_n(ingest::Shard_inlet& inlet, int n, int p = 0,
+                              std::int64_t first_client = 0)
+{
+    ingest::Submit_result last{};
+    static std::int64_t seq = 0;
+    for (int i = 0; i < n; ++i) {
+        last = inlet.offer(Submission{0, p, first_client + i, 0}, seq++, /*now=*/0);
+    }
+    return last;
+}
+
+TEST(IngestAdmission, TokensAdmitThenHealthyBacklogQueues)
+{
+    ingest::Shard_inlet inlet{small_front(/*capacity=*/2), nullptr};
+    EXPECT_EQ(inlet.tokens(), 4); // burst auto = 2 x capacity
+    EXPECT_EQ(offer_n(inlet, 4).status, Submit_status::accepted);
+    EXPECT_EQ(inlet.tokens(), 0);
+    // No token, but healthy: the backlog absorbs the burst.
+    EXPECT_EQ(offer_n(inlet, 1).status, Submit_status::queued);
+    EXPECT_EQ(inlet.depth(), 5);
+    EXPECT_EQ(inlet.totals().offered, 5);
+    EXPECT_EQ(inlet.totals().accepted, 4);
+    EXPECT_EQ(inlet.totals().queued, 1);
+}
+
+TEST(IngestAdmission, FullQueueShedsEveryPriority)
+{
+    ingest::Shard_inlet inlet{small_front(2, /*queue=*/4), nullptr};
+    offer_n(inlet, 4);
+    EXPECT_EQ(inlet.depth(), 4);
+    EXPECT_EQ(offer_n(inlet, 1).status, Submit_status::shed); // even priority 0
+    EXPECT_EQ(inlet.depth(), 4);
+    EXPECT_EQ(inlet.totals().shed, 1);
+}
+
+TEST(IngestAdmission, GradedPrioritySheddingWhileOverloaded)
+{
+    ingest::Shard_inlet inlet{small_front(2, 20, /*priorities=*/3), nullptr};
+    offer_n(inlet, 18); // 4 token-admitted + 14 queued while healthy
+    inlet.end_window(0);
+    EXPECT_EQ(inlet.health(), Health::overloaded); // 18 >= 0.9 x 20
+
+    // Lowest class sheds right at the overloaded threshold...
+    EXPECT_EQ(offer_n(inlet, 1, /*p=*/2, 100).status, Submit_status::shed);
+    // ...the middle class holds one depth step longer...
+    EXPECT_EQ(offer_n(inlet, 1, 1, 101).status, Submit_status::accepted);
+    EXPECT_EQ(inlet.depth(), 19);
+    EXPECT_EQ(offer_n(inlet, 1, 1, 102).status, Submit_status::shed);
+    // ...and class 0 is never shed by class, only by the full queue.
+    EXPECT_EQ(offer_n(inlet, 1, 0, 103).status, Submit_status::accepted);
+    EXPECT_EQ(inlet.depth(), 20);
+    EXPECT_EQ(offer_n(inlet, 1, 0, 104).status, Submit_status::shed);
+}
+
+TEST(IngestAdmission, OverQuotaClientsShedFirstUnderPressure)
+{
+    ingest::Ingest_config front = small_front(2, /*queue=*/4);
+    front.quota = 1;
+    ingest::Shard_inlet inlet{front, nullptr};
+    // While healthy the quota is dormant.
+    EXPECT_EQ(inlet.offer(Submission{0, 0, /*client=*/9, 0}, 0, 0).status,
+              Submit_status::accepted);
+    EXPECT_EQ(inlet.offer(Submission{0, 0, 9, 0}, 1, 0).status, Submit_status::accepted);
+    inlet.end_window(0);
+    EXPECT_EQ(inlet.health(), Health::degraded); // 2 >= 0.5 x 4
+
+    EXPECT_EQ(inlet.offer(Submission{0, 0, 7, 0}, 2, 0).status, Submit_status::accepted);
+    EXPECT_EQ(inlet.offer(Submission{0, 0, 7, 0}, 3, 0).status, Submit_status::shed);
+    // A different client still gets its slot.
+    EXPECT_EQ(inlet.offer(Submission{0, 0, 8, 0}, 4, 0).status, Submit_status::accepted);
+}
+
+TEST(IngestAdmission, RetryHintGrowsWithTheBacklog)
+{
+    ingest::Shard_inlet inlet{small_front(2, /*queue=*/10), nullptr};
+    offer_n(inlet, 5);
+    inlet.end_window(0);
+    EXPECT_EQ(inlet.health(), Health::degraded);
+    EXPECT_EQ(inlet.tokens(), 2);
+    offer_n(inlet, 2, 0, 50); // drain the refill
+    const ingest::Submit_result bounced = offer_n(inlet, 1, 0, 60);
+    EXPECT_EQ(bounced.status, Submit_status::retry_after);
+    EXPECT_EQ(bounced.retry_windows, 1 + 7 / 2); // 1 + depth / capacity
+    EXPECT_EQ(bounced.health, Health::degraded);
+    EXPECT_EQ(inlet.depth(), 7); // a bounce never enqueues
+}
+
+TEST(IngestAdmission, TakeIsFifoAndCompleteRecordsLatency)
+{
+    telemetry::Telemetry_sink sink{{0, 0}};
+    ingest::Shard_inlet inlet{small_front(), &sink};
+    inlet.offer(Submission{3, 0, 0, 0}, /*seq=*/7, /*now=*/10);
+    inlet.offer(Submission{4, 0, 1, 0}, 8, 10);
+    std::vector<ingest::Shard_inlet::Pending> batch = inlet.take(5);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].seq, 7);
+    EXPECT_EQ(batch[1].seq, 8);
+    EXPECT_EQ(inlet.depth(), 0);
+    inlet.complete(batch[0], /*at=*/25);
+    inlet.complete(batch[1], 30);
+    const telemetry::Histogram& h =
+        sink.snapshot().histograms.at("ingest.submit_to_verdict_pulses");
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.min(), 15);
+    EXPECT_EQ(h.max(), 20);
+    EXPECT_EQ(sink.snapshot().counters.at("ingest.served"), 2);
+    EXPECT_EQ(sink.snapshot().counters.at("ingest.completed"), 2);
+}
+
+// ------------------------------------------------------------------- Health
+
+TEST(IngestHealth, HysteresisWalksUpAndDownWithoutFlapping)
+{
+    // Thresholds on queue 20: degraded 10 in / 5 out, overloaded 18 in / 12 out.
+    ingest::Shard_inlet inlet{small_front(2, 20), nullptr};
+    offer_n(inlet, 10);
+    inlet.end_window(0);
+    EXPECT_EQ(inlet.health(), Health::degraded);
+    (void)inlet.take(1); // depth 9: inside the hysteresis band
+    inlet.end_window(1);
+    EXPECT_EQ(inlet.health(), Health::degraded);
+    (void)inlet.take(4); // depth 5: at the exit threshold
+    inlet.end_window(2);
+    EXPECT_EQ(inlet.health(), Health::healthy);
+
+    offer_n(inlet, 13, 0, 200); // depth 18 (healthy state queues freely)
+    inlet.end_window(3);
+    EXPECT_EQ(inlet.health(), Health::overloaded);
+    (void)inlet.take(5); // depth 13: still overloaded (exit is 12)
+    inlet.end_window(4);
+    EXPECT_EQ(inlet.health(), Health::overloaded);
+    (void)inlet.take(1); // depth 12: steps down one state
+    inlet.end_window(5);
+    EXPECT_EQ(inlet.health(), Health::degraded);
+    (void)inlet.take(7); // depth 5
+    inlet.end_window(6);
+    EXPECT_EQ(inlet.health(), Health::healthy);
+}
+
+TEST(IngestHealth, TransitionsAreJournaledAndGaugesPublished)
+{
+    telemetry::Telemetry_sink sink{{1, 0}};
+    ingest::Shard_inlet inlet{small_front(2, 20), &sink};
+    offer_n(inlet, 10);
+    inlet.end_window(42);
+    int transitions = 0;
+    for (const telemetry::Event& e : sink.snapshot().journal) {
+        if (e.kind != telemetry::Event_kind::ingest_state) continue;
+        ++transitions;
+        EXPECT_EQ(e.at, 42);
+        EXPECT_EQ(e.a, static_cast<int>(Health::degraded));
+        EXPECT_EQ(e.b, 10);
+        EXPECT_EQ(e.note, "degraded");
+        EXPECT_EQ(e.shard, 1); // scope-stamped
+    }
+    EXPECT_EQ(transitions, 1);
+    EXPECT_DOUBLE_EQ(sink.snapshot().gauges.at("ingest.state"), 1.0);
+    EXPECT_DOUBLE_EQ(sink.snapshot().gauges.at("ingest.queue_depth"), 10.0);
+    EXPECT_DOUBLE_EQ(sink.snapshot().gauges.at("ingest.queue_depth_max"), 10.0);
+    inlet.end_window(50); // no transition: nothing new journaled
+    EXPECT_EQ(sink.snapshot().journal.size(), 1u);
+}
+
+TEST(IngestHealth, QuiesceHoldsTheInletDegradedForOneWindow)
+{
+    ingest::Shard_inlet inlet{small_front(), nullptr};
+    inlet.note_quiesce();
+    inlet.end_window(0);
+    EXPECT_EQ(inlet.health(), Health::degraded); // despite an empty queue
+    inlet.end_window(1);
+    EXPECT_EQ(inlet.health(), Health::healthy); // one-shot signal
+}
+
+// -------------------------------------------------------------- Retry policy
+
+TEST(IngestRetry, OpenLoopRateIsExactOverTheLongRun)
+{
+    ingest::Workload_config config;
+    config.clients = 4;
+    config.targets = {0, 1};
+    config.rate_num = 3; // 1.5 fresh submissions per window, no float drift
+    config.rate_den = 2;
+    ingest::Open_loop_load load{config};
+    std::int64_t fresh = 0;
+    for (std::int64_t t = 0; t < 10; ++t) fresh += static_cast<std::int64_t>(load.tick(t).size());
+    EXPECT_EQ(fresh, 15);
+    EXPECT_EQ(load.stats().fresh, 15);
+    EXPECT_EQ(load.stats().retried, 0);
+}
+
+TEST(IngestRetry, ShedBacksOffExponentiallyWithDeterministicJitter)
+{
+    ingest::Workload_config config;
+    config.clients = 1;
+    config.targets = {0};
+    config.rate_num = 1;
+    config.seed = 99;
+    config.retry.base_windows = 1;
+    config.retry.cap_windows = 8;
+    config.retry.jitter = 0.5;
+    config.retry.max_attempts = 10;
+
+    const auto retry_gaps = [&config] {
+        ingest::Open_loop_load load{config};
+        std::vector<Submission> first = load.tick(0);
+        std::vector<std::int64_t> gaps;
+        std::int64_t last = 0;
+        Submission sub = first.at(0);
+        for (int round = 0; round < 5; ++round) {
+            load.on_result(sub, {Submit_status::shed, 0, Health::overloaded, 0}, last);
+            for (std::int64_t t = last + 1; t < last + 100; ++t) {
+                std::vector<Submission> due = load.tick(t);
+                // Skip fresh arrivals; wait for the retry of our submission.
+                for (const Submission& d : due) {
+                    if (d.attempt == sub.attempt + 1) {
+                        gaps.push_back(t - last);
+                        sub = d;
+                        last = t;
+                        goto next_round;
+                    }
+                }
+            }
+        next_round:;
+        }
+        return gaps;
+    };
+    const std::vector<std::int64_t> gaps = retry_gaps();
+    ASSERT_EQ(gaps.size(), 5u);
+    // Monotone non-decreasing up to the cap (+ jitter), and bounded by
+    // cap x (1 + jitter).
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+        EXPECT_GE(gaps[i], 1);
+        EXPECT_LE(gaps[i], 12); // cap 8 x 1.5
+        if (i > 0 && gaps[i - 1] < 8) { EXPECT_GE(gaps[i], gaps[i - 1]); }
+    }
+    EXPECT_EQ(retry_gaps(), gaps) << "jitter must be a pure function of (seed, client, attempt)";
+}
+
+TEST(IngestRetry, RetryAfterReArmsAtTheHintAndGivesUpAtMaxAttempts)
+{
+    ingest::Workload_config config;
+    config.clients = 1;
+    config.targets = {5};
+    config.rate_num = 1;
+    config.retry.max_attempts = 2;
+    ingest::Open_loop_load load{config};
+    const Submission first = load.tick(0).at(0);
+    load.on_result(first, {Submit_status::retry_after, 3, Health::degraded, 4}, 0);
+    EXPECT_TRUE(load.tick(1).size() == 1); // only the fresh arrival of window 1
+    // Window 3: the retry fires ahead of the fresh arrival, attempt bumped.
+    std::vector<Submission> due = load.tick(3);
+    ASSERT_GE(due.size(), 1u);
+    EXPECT_EQ(due[0].attempt, 1);
+    EXPECT_EQ(due[0].agent, 5);
+    // A second bounce exhausts max_attempts: abandoned, never re-armed.
+    load.on_result(due[0], {Submit_status::shed, 0, Health::overloaded, 9}, 3);
+    EXPECT_EQ(load.stats().abandoned, 1);
+    for (std::int64_t t = 4; t < 40; ++t) {
+        for (const Submission& d : load.tick(t)) EXPECT_EQ(d.attempt, 0);
+    }
+}
+
+// ------------------------------------------------------ Fabric front door
+
+/// Two-action game with a dominant strategy (1); honest agents play it.
+class Dominant_game final : public game::Strategic_game {
+public:
+    explicit Dominant_game(int n) : n_{n} {}
+    int n_agents() const override { return n_; }
+    int n_actions(Agent_id) const override { return 2; }
+    double cost(Agent_id i, const game::Pure_profile& p) const override
+    {
+        return p[static_cast<std::size_t>(i)] == 1 ? 1.0 : 2.0;
+    }
+
+private:
+    int n_;
+};
+
+Fabric_config front_door_config(int threads, std::uint64_t seed, std::set<Agent_id> cheaters,
+                                ingest::Ingest_config front, bool disconnecting = false)
+{
+    Fabric_config config;
+    config.f = 1;
+    config.spec_factory = [](int, const std::vector<Agent_id>& members) {
+        authority::Game_spec spec;
+        spec.name = "dominant";
+        spec.game = std::make_shared<Dominant_game>(static_cast<int>(members.size()));
+        spec.equilibrium.assign(members.size(), {0.0, 1.0});
+        spec.audit_mode = authority::Audit_mode::pure_best_response;
+        return spec;
+    };
+    if (disconnecting) {
+        config.punishment = [] { return std::make_unique<authority::Disconnect_scheme>(); };
+    } else {
+        config.punishment = [] { return std::make_unique<authority::Fine_scheme>(1.0, 1e9); };
+    }
+    config.seed = seed;
+    config.threads = threads;
+    config.behavior_factory = [cheaters](Agent_id g) -> std::unique_ptr<authority::Agent_behavior> {
+        if (cheaters.count(g) != 0) return std::make_unique<authority::Fixed_action_behavior>(0);
+        return std::make_unique<authority::Honest_behavior>();
+    };
+    config.telemetry = true;
+    config.watchdog = telemetry::Watchdog_config{};
+    config.ingest = front;
+    return config;
+}
+
+TEST(IngestFabric, RequiresTheIngestConfig)
+{
+    Fabric_config config = front_door_config(1, 7, {}, small_front());
+    config.ingest.reset();
+    Fabric fabric{Shard_map{10, 2}, std::move(config)};
+    EXPECT_THROW((void)fabric.submit(Submission{0, 0, 0, 0}), common::Contract_error);
+    EXPECT_THROW((void)fabric.pump_ingest(), common::Contract_error);
+    EXPECT_THROW((void)fabric.inlet(0), common::Contract_error);
+    EXPECT_FALSE(fabric.ingest_enabled());
+    EXPECT_EQ(fabric.ingest_totals(), ingest::Ingest_totals{});
+}
+
+TEST(IngestFabric, RejectsABadIngestConfigNamingTheField)
+{
+    Fabric_config config = front_door_config(1, 7, {}, small_front());
+    config.ingest->capacity = 0;
+    const std::string what =
+        thrown_what([&] { Fabric fabric{Shard_map{10, 2}, std::move(config)}; });
+    EXPECT_NE(what.find("capacity"), std::string::npos) << what;
+}
+
+TEST(IngestFabric, UnderCapacityEverythingServesAndTheWatchdogStaysSilent)
+{
+    Fabric fabric{Shard_map{10, 2},
+                  front_door_config(2, /*seed=*/41, {}, small_front(2, 8))};
+    fabric.run_pulses(1);
+    for (std::int64_t t = 0; t < 10; ++t) {
+        // One submission per shard per window: half the admission capacity,
+        // exactly the service rate.
+        EXPECT_EQ(fabric.submit(Submission{0, 0, 1, 0}).status, Submit_status::accepted);
+        EXPECT_EQ(fabric.submit(Submission{5, 0, 2, 0}).status, Submit_status::accepted);
+        EXPECT_EQ(fabric.pump_ingest(), 2);
+    }
+    const ingest::Ingest_totals totals = fabric.ingest_totals();
+    EXPECT_EQ(totals.offered, 20);
+    EXPECT_EQ(totals.accepted, 20);
+    EXPECT_EQ(totals.shed, 0);
+    EXPECT_EQ(totals.retry_after, 0);
+    EXPECT_EQ(totals.served, 20);
+    EXPECT_EQ(totals.completed, 20);
+    EXPECT_EQ(fabric.inlet(0).depth(), 0);
+    EXPECT_EQ(fabric.inlet(0).health(), Health::healthy);
+    EXPECT_TRUE(fabric.watchdog_alerts().empty());
+    EXPECT_EQ(fabric.report().total_fouls, 0);
+    // Submit-to-verdict latency was recorded on every shard.
+    const telemetry::Report report = fabric.telemetry_report();
+    std::int64_t latencies = 0;
+    for (const telemetry::Scoped_snapshot& shard : report.shards) {
+        const auto it = shard.telemetry.histograms.find("ingest.submit_to_verdict_pulses");
+        if (it != shard.telemetry.histograms.end()) latencies += it->second.count();
+    }
+    EXPECT_EQ(latencies, 20);
+}
+
+TEST(IngestFabric, OverloadShedsGracefullyAndRaisesTheOverloadAlerts)
+{
+    // Admission 2/window vs service 1/window per shard: the backlog climbs
+    // through degraded into overloaded, where the low class sheds.
+    Fabric fabric{Shard_map{10, 2},
+                  front_door_config(1, /*seed=*/43, {}, small_front(2, 8, /*priorities=*/2))};
+    fabric.run_pulses(1);
+    std::int64_t client = 0;
+    for (std::int64_t t = 0; t < 15; ++t) {
+        for (int i = 0; i < 3; ++i) { // 3x the service rate, both shards
+            const int priority = static_cast<int>(client % 2);
+            (void)fabric.submit(Submission{0, priority, client, 0});
+            (void)fabric.submit(Submission{5, priority, client + 1000, 0});
+            ++client;
+        }
+        (void)fabric.pump_ingest();
+    }
+    const ingest::Ingest_totals totals = fabric.ingest_totals();
+    EXPECT_GT(totals.shed, 0);
+    EXPECT_EQ(totals.completed, totals.served);
+    // Goodput stayed at the service rate: every window still served a play.
+    EXPECT_EQ(totals.served, 2 * 15);
+    EXPECT_EQ(fabric.report().total_fouls, 0); // shedding never flags anyone
+    bool collapse = false;
+    bool starvation = false;
+    for (const telemetry::Alert& a : fabric.watchdog_alerts()) {
+        collapse |= a.kind == telemetry::Alert_kind::overload_collapse;
+        starvation |= a.kind == telemetry::Alert_kind::shed_starvation;
+    }
+    EXPECT_TRUE(collapse) << "sustained overloaded-and-shedding must alert";
+    EXPECT_TRUE(starvation) << "the starved low priority class must alert";
+}
+
+TEST(IngestFabric, ExpelledAgentsShedAtTheDoor)
+{
+    Fabric fabric{Shard_map{10, 2},
+                  front_door_config(1, /*seed=*/47, /*cheaters=*/{3}, small_front(2, 8),
+                                    /*disconnecting=*/true)};
+    fabric.run_pulses(1);
+    for (std::int64_t t = 0; t < 6; ++t) {
+        (void)fabric.submit(Submission{3, 0, 1, 0}); // the cheater's shard plays
+        (void)fabric.pump_ingest();
+    }
+    ASSERT_TRUE(fabric.agent_disconnected(3));
+    EXPECT_FALSE(fabric.provenance(3).empty());
+    const auto door_sheds = [&fabric] {
+        std::int64_t total = 0;
+        for (const telemetry::Scoped_snapshot& shard : fabric.telemetry_report().shards) {
+            const auto it = shard.telemetry.counters.find("ingest.shed_expelled");
+            if (it != shard.telemetry.counters.end()) total += it->second;
+        }
+        return total;
+    };
+    const ingest::Ingest_totals before = fabric.ingest_totals();
+    const std::int64_t sheds_before = door_sheds();
+    const ingest::Submit_result shed = fabric.submit(Submission{3, 0, 1, 0});
+    EXPECT_EQ(shed.status, Submit_status::shed);
+    // The door-shed never enters the inlet's admission ledger; it lands on
+    // the dedicated counter instead.
+    EXPECT_EQ(fabric.ingest_totals().offered, before.offered);
+    EXPECT_EQ(door_sheds(), sheds_before + 1);
+}
+
+// ------------------------------------------------------------------ Elastic
+
+TEST(IngestElastic, PressurePolicySplitsTheDeepestBacklogShard)
+{
+    const Rebalance_policy policy = rebalance_ingest_pressure(1.5, 4);
+    const Shard_plan plan{Shard_map{16, 2}};
+    std::vector<Shard_load> loads(2);
+    loads[0] = {0, 8, 10, 100, /*backlog=*/12};
+    loads[1] = {1, 8, 10, 100, 1};
+    const Rebalance_plan hot = policy(plan, loads);
+    ASSERT_EQ(hot.splits.size(), 1u);
+    EXPECT_EQ(hot.splits[0].shard, 0);
+    EXPECT_EQ(hot.splits[0].movers.size(), 4u);
+
+    loads[0].backlog = 0;
+    loads[1].backlog = 0;
+    EXPECT_TRUE(policy(plan, loads).empty()) << "mute while the front door keeps up";
+
+    // Too small to split under a taller floor: drains toward the lighter
+    // shard instead.
+    const Rebalance_policy tall = rebalance_ingest_pressure(1.5, 5);
+    loads[0].backlog = 12;
+    loads[1] = {1, 6, 10, 100, 0};
+    const Rebalance_plan drained = tall(plan, loads);
+    EXPECT_TRUE(drained.splits.empty());
+    EXPECT_FALSE(drained.migrations.empty());
+    for (const Migration& m : drained.migrations) {
+        EXPECT_EQ(m.from, 0);
+        EXPECT_EQ(m.to, 1);
+    }
+}
+
+TEST(IngestElastic, RebalanceCarriesPendingWorkWithNoSilentDrops)
+{
+    Fabric_config config = front_door_config(2, /*seed=*/53, {}, small_front(2, 8));
+    Fabric fabric{Shard_map{16, 2}, std::move(config)};
+    fabric.run_pulses(1);
+    // Build a backlog on shard 0 (agents 0..7): 6 submissions, no pump.
+    for (std::int64_t c = 0; c < 6; ++c) {
+        const ingest::Submit_result r =
+            fabric.submit(Submission{static_cast<Agent_id>(c), 0, c, 0});
+        EXPECT_NE(r.status, Submit_status::shed);
+    }
+    EXPECT_EQ(fabric.inlet(0).depth(), 6);
+
+    // Migrate agents 0 and 1 to shard 1: both shards rebuild, and every
+    // queued submission must re-route to its agent's new owner in seq order.
+    Rebalance_plan plan;
+    plan.migrations.push_back(Migration{0, 0, 1});
+    plan.migrations.push_back(Migration{1, 0, 1});
+    fabric.apply_rebalance(plan);
+    EXPECT_EQ(fabric.epoch(), 1);
+
+    const ingest::Ingest_totals after = fabric.ingest_totals();
+    EXPECT_EQ(after.offered, 6) << "admission totals are continuous across the epoch edge";
+    EXPECT_EQ(fabric.inlet(0).depth() + fabric.inlet(1).depth(), 6) << "no silent drops";
+    EXPECT_EQ(fabric.inlet(1).depth(), 2); // the two migrated agents' entries
+    // Rebuilt inlets boot quiesce-degraded for one window.
+    fabric.pump_ingest();
+    // Drain the carried backlog to completion.
+    for (int i = 0; i < 8 && fabric.ingest_totals().completed < 6; ++i) {
+        (void)fabric.pump_ingest();
+    }
+    const ingest::Ingest_totals done = fabric.ingest_totals();
+    EXPECT_EQ(done.completed, 6);
+    EXPECT_EQ(done.served, 6);
+    EXPECT_EQ(done.offered, 6);
+    EXPECT_EQ(fabric.report().total_fouls, 0);
+}
+
+TEST(IngestElastic, MaybeRebalanceReactsToAnIngestHotSpot)
+{
+    Fabric_config config =
+        front_door_config(1, /*seed=*/59, {}, small_front(2, 8));
+    config.rebalance = rebalance_ingest_pressure(1.5, 4);
+    Fabric fabric{Shard_map{16, 2}, std::move(config)};
+    fabric.run_pulses(1);
+    // Hammer shard 0 only; shard 1 idles.
+    std::int64_t client = 0;
+    bool rebalanced = false;
+    for (std::int64_t t = 0; t < 12 && !rebalanced; ++t) {
+        for (int i = 0; i < 3; ++i) {
+            (void)fabric.submit(
+                Submission{static_cast<Agent_id>(client % 8), 0, client, 0});
+            ++client;
+        }
+        (void)fabric.pump_ingest();
+        rebalanced = fabric.maybe_rebalance();
+    }
+    ASSERT_TRUE(rebalanced) << "the backlog hot spot must trigger the pressure policy";
+    EXPECT_EQ(fabric.n_shards(), 3); // the hot shard split
+    // The split relieves the hot spot: keep pumping and the backlog drains to
+    // completion with nothing lost.
+    const ingest::Ingest_totals mid = fabric.ingest_totals();
+    const std::int64_t admitted = mid.accepted + mid.queued;
+    for (int i = 0; i < 20 && fabric.ingest_totals().completed < admitted; ++i) {
+        (void)fabric.pump_ingest();
+    }
+    EXPECT_EQ(fabric.ingest_totals().completed, admitted);
+}
+
+// -------------------------------------------------------------------- Sweep
+
+/// Overload x lossy net x rebalance mid-shed, returning the full telemetry
+/// JSON (counters, journal, alerts, provenance) — the byte-identity witness.
+std::string adversarial_sweep(int threads)
+{
+    Fabric_config config = front_door_config(
+        threads, /*seed=*/61, /*cheaters=*/{2, 10}, small_front(2, 8, /*priorities=*/2),
+        /*disconnecting=*/true);
+    config.net.delta = 2;
+    config.net.jitter = 0.25;
+    config.net.drop = 0.01;
+    config.net.seed = 5;
+    Fabric fabric{Shard_map{16, 2}, std::move(config)};
+    fabric.run_pulses(1);
+
+    ingest::Workload_config wl;
+    wl.clients = 8;
+    for (Agent_id g = 0; g < 16; ++g) wl.targets.push_back(g);
+    wl.priorities = 2;
+    wl.rate_num = 6; // 3x the 2-shard service rate: sustained overload
+    wl.rate_den = 1;
+    wl.seed = 17;
+    ingest::Open_loop_load load{wl};
+    for (std::int64_t t = 0; t < 12; ++t) {
+        for (const Submission& sub : load.tick(t)) {
+            load.on_result(sub, fabric.submit(sub), t);
+        }
+        (void)fabric.pump_ingest();
+        if (t == 6) {
+            // Rebalance mid-shed: migrate an honest agent off the hot shard.
+            Rebalance_plan plan;
+            plan.migrations.push_back(Migration{3, 0, 1});
+            fabric.apply_rebalance(plan);
+        }
+    }
+
+    // Robustness invariants hold under overload + loss + migration:
+    for (Agent_id g = 0; g < 16; ++g) {
+        if (g == 2 || g == 10) continue;
+        EXPECT_EQ(fabric.agent_standing(g).fouls, 0) << "honest agent " << g << " flagged";
+    }
+    for (const Agent_id cheater : {Agent_id{2}, Agent_id{10}}) {
+        if (fabric.agent_disconnected(cheater)) {
+            EXPECT_FALSE(fabric.provenance(cheater).empty())
+                << "expelled agent " << cheater << " lost its evidence chain";
+        }
+    }
+    EXPECT_GT(fabric.ingest_totals().shed, 0) << "the sweep must actually overload";
+    EXPECT_EQ(fabric.ingest_totals().completed, fabric.ingest_totals().served);
+    return telemetry::to_json(fabric.telemetry_report());
+}
+
+TEST(IngestSweep, OverloadLossyNetAndRebalanceStayBitIdentical)
+{
+    const std::string reference = adversarial_sweep(1);
+    EXPECT_FALSE(reference.empty());
+    EXPECT_EQ(adversarial_sweep(1), reference) << "repeat";
+    for (const int threads : {2, 4}) {
+        EXPECT_EQ(adversarial_sweep(threads), reference) << "threads=" << threads;
+    }
+}
+
+// ----------------------------------------------------------------- Watchdog
+
+TEST(IngestWatchdog, OverloadCollapseFiresAfterTheStreakAndRearms)
+{
+    telemetry::Telemetry_sink sink{{0, 0}};
+    telemetry::Watchdog dog; // collapse_windows = 3
+    sink.gauge("ingest.state") = 2.0;
+    for (int w = 1; w <= 3; ++w) {
+        sink.counter("ingest.shed") += 4;
+        dog.observe(sink);
+        if (w < 3) { EXPECT_TRUE(dog.alerts().empty()) << "window " << w; }
+    }
+    ASSERT_EQ(dog.alerts().size(), 1u);
+    EXPECT_EQ(dog.alerts()[0].kind, telemetry::Alert_kind::overload_collapse);
+    EXPECT_EQ(dog.alerts()[0].value, 3);
+    sink.counter("ingest.shed") += 4;
+    dog.observe(sink); // streak continues: one alert per streak
+    EXPECT_EQ(dog.alerts().size(), 1u);
+    dog.observe(sink); // clean interval (no shed delta): re-arms
+    for (int w = 0; w < 3; ++w) {
+        sink.counter("ingest.shed") += 1;
+        dog.observe(sink);
+    }
+    EXPECT_EQ(dog.alerts().size(), 2u);
+}
+
+TEST(IngestWatchdog, CollapseNeedsBothOverloadAndShedding)
+{
+    telemetry::Telemetry_sink sink{{0, 0}};
+    telemetry::Watchdog dog;
+    // Shedding while merely degraded: no collapse.
+    sink.gauge("ingest.state") = 1.0;
+    for (int w = 0; w < 5; ++w) {
+        sink.counter("ingest.shed") += 2;
+        dog.observe(sink);
+    }
+    // Overloaded but not shedding: no collapse either.
+    sink.gauge("ingest.state") = 2.0;
+    for (int w = 0; w < 5; ++w) dog.observe(sink);
+    EXPECT_TRUE(dog.alerts().empty());
+}
+
+TEST(IngestWatchdog, ShedStarvationAlertsPerPriorityClass)
+{
+    telemetry::Telemetry_sink sink{{2, 0}};
+    telemetry::Watchdog dog; // starvation_windows = 3
+    for (int w = 1; w <= 3; ++w) {
+        sink.counter("ingest.shed.p2") += 5;
+        sink.counter("ingest.admit.p0") += 5; // class 0 thrives throughout
+        dog.observe(sink);
+        if (w < 3) { EXPECT_TRUE(dog.alerts().empty()) << "window " << w; }
+    }
+    ASSERT_EQ(dog.alerts().size(), 1u);
+    EXPECT_EQ(dog.alerts()[0].kind, telemetry::Alert_kind::shed_starvation);
+    EXPECT_EQ(dog.alerts()[0].shard, 2);
+    EXPECT_NE(dog.alerts()[0].detail.find("p2"), std::string::npos);
+    // An admission for the starved class clears the streak.
+    sink.counter("ingest.shed.p2") += 1;
+    sink.counter("ingest.admit.p2") += 1;
+    dog.observe(sink);
+    for (int w = 0; w < 2; ++w) {
+        sink.counter("ingest.shed.p2") += 1;
+        dog.observe(sink);
+    }
+    EXPECT_EQ(dog.alerts().size(), 1u) << "cleared streaks must restart from zero";
+}
+
+} // namespace

@@ -51,6 +51,55 @@ std::int64_t total_counter(const Json_value& report, const std::string& name)
     return total;
 }
 
+const char* health_label(std::int64_t state)
+{
+    switch (state) {
+    case 0: return "healthy";
+    case 1: return "degraded";
+    case 2: return "overloaded";
+    default: return "?";
+    }
+}
+
+/// Front-door census: admission totals plus a per-scope inlet table (health,
+/// depth high-water, admission split, submit-to-verdict tail). Rendered only
+/// when the report carries ingest counters — older artifacts and runs
+/// without config.ingest skip it silently.
+void render_ingest(const Json_value& report)
+{
+    const std::int64_t offered = total_counter(report, "ingest.offered");
+    const std::int64_t windows =
+        report.at("fabric").at("counters").at("ingest.windows").as_int();
+    if (offered == 0 && windows == 0) return;
+
+    std::cout << "\nfront door: " << offered << " offered over " << windows
+              << " ingest window(s): " << total_counter(report, "ingest.accepted")
+              << " accepted, " << total_counter(report, "ingest.queued") << " queued, "
+              << total_counter(report, "ingest.retry_after") << " bounced, "
+              << total_counter(report, "ingest.shed") << " shed ("
+              << total_counter(report, "ingest.shed_expelled") << " at the door); goodput "
+              << total_counter(report, "ingest.completed") << " of "
+              << total_counter(report, "ingest.served") << " served\n";
+
+    common::Table inlets{{"scope", "health", "depth", "max", "offered", "shed", "p50", "p99"}};
+    for (const Json_value& shard : report.at("shards").array) {
+        const Json_value& counters = shard.at("telemetry").at("counters");
+        const Json_value& gauges = shard.at("telemetry").at("gauges");
+        const Json_value& latency =
+            shard.at("telemetry").at("histograms").at("ingest.submit_to_verdict_pulses");
+        if (counters.at("ingest.offered").as_int() == 0 && !latency.is_object()) continue;
+        inlets.add_row({scope_label(shard.at("shard").as_int(), shard.at("epoch").as_int()),
+                        health_label(gauges.at("ingest.state").as_int()),
+                        std::to_string(gauges.at("ingest.queue_depth").as_int()),
+                        std::to_string(gauges.at("ingest.queue_depth_max").as_int()),
+                        std::to_string(counters.at("ingest.offered").as_int()),
+                        std::to_string(counters.at("ingest.shed").as_int()),
+                        std::to_string(latency.at("p50").as_int()),
+                        std::to_string(latency.at("p99").as_int())});
+    }
+    if (inlets.row_count() > 0) inlets.print(std::cout);
+}
+
 int render_report(const Json_value& root, std::int64_t agent_filter)
 {
     // A bench --json artifact wraps the report under "telemetry".
@@ -64,7 +113,9 @@ int render_report(const Json_value& root, std::int64_t agent_filter)
     std::cout << "snapshots: " << report.at("shards").array.size() << " shard-epoch scope(s)\n"
               << "plays completed: " << total_counter(report, "plays.completed")
               << ", fouls flagged: " << total_counter(report, "fouls.flagged")
-              << ", outcome divergence: " << total_counter(report, "outcome.divergence") << "\n\n";
+              << ", outcome divergence: " << total_counter(report, "outcome.divergence") << "\n";
+    render_ingest(report);
+    std::cout << "\n";
 
     const Json_value& provenance = report.at("provenance");
     common::Table verdicts{{"agent", "scope", "window", "at", "offence", "committed", "revealed",
@@ -164,9 +215,10 @@ bool parse_or_complain(const std::string& text, Json_value& out)
 /// (expelled agents have provenance; the trace has spans on every track).
 int run_demo()
 {
-    shard::Fabric fabric = ga::bench::make_trace_workload();
+    shard::Fabric fabric = ga::bench::make_trace_workload(/*with_ingest=*/true);
     fabric.run_pulses(1);
     fabric.run_plays(4);
+    const ga::ingest::Load_stats clients = ga::bench::drive_ingest_demo(fabric);
 
     const telemetry::Report report = fabric.telemetry_report();
     const std::string report_json = telemetry::to_json(report);
@@ -199,6 +251,27 @@ int run_demo()
     }
     if (trace_value.at("traceEvents").array.empty()) {
         std::cerr << "FAIL: demo trace is empty\n";
+        return 1;
+    }
+    // Front-door invariants: the overloading demo population actually hit
+    // admission control, nothing admitted was silently dropped, and the
+    // exported report carries the census the section above rendered.
+    const ga::ingest::Ingest_totals front = fabric.ingest_totals();
+    if (clients.accepted == 0 || front.offered == 0) {
+        std::cerr << "FAIL: demo ingest population never reached the front door\n";
+        return 1;
+    }
+    if (front.shed == 0) {
+        std::cerr << "FAIL: demo overload never shed (front door not exercised)\n";
+        return 1;
+    }
+    if (front.completed != front.served) {
+        std::cerr << "FAIL: demo served " << front.served << " but completed "
+                  << front.completed << "\n";
+        return 1;
+    }
+    if (total_counter(report_value, "ingest.offered") != front.offered) {
+        std::cerr << "FAIL: exported ingest census disagrees with the fabric totals\n";
         return 1;
     }
     std::cout << "\nOK\n";
