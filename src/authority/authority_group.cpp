@@ -96,9 +96,17 @@ void Replica_group_harness::enact_disconnections()
     }
 }
 
+void Replica_group_harness::set_wire(std::unique_ptr<wire::Transport> link)
+{
+    wire_ = std::move(link);
+    engine_.set_link(wire_.get());
+    if (wire_ != nullptr) wire_->set_telemetry(telemetry_);
+}
+
 void Replica_group_harness::set_telemetry(telemetry::Telemetry_sink* sink)
 {
     telemetry_ = sink;
+    if (wire_ != nullptr) wire_->set_telemetry(sink);
     tel_pulses_ = tel_messages_ = tel_bytes_ = tel_dropped_ = tel_delayed_ = nullptr;
     Ic_schedule_processor* reference =
         dynamic_cast<Ic_schedule_processor*>(&engine_.processor(reference_slot()));

@@ -12,11 +12,13 @@
 #ifndef GA_AUTHORITY_AUTHORITY_GROUP_H
 #define GA_AUTHORITY_AUTHORITY_GROUP_H
 
+#include <memory>
 #include <set>
 
 #include "authority/authority_processor.h"
 #include "sim/engine.h"
 #include "telemetry/telemetry.h"
+#include "wire/transport.h"
 
 namespace ga::authority {
 
@@ -84,6 +86,16 @@ public:
     /// verdicts, standings, or traffic. Default: ignored (uninstrumented
     /// group).
     virtual void set_telemetry(telemetry::Telemetry_sink* sink) { (void)sink; }
+
+    /// Attach the wire transport this group's per-pulse cross-boundary
+    /// traffic flows through (src/wire/). Must be called before the group's
+    /// first pulse. Part of the determinism contract: a conforming transport
+    /// never changes verdicts, stats, or telemetry — loopback and ring runs
+    /// are bit-identical. Default: ignored (engine-less group).
+    virtual void set_wire(std::unique_ptr<wire::Transport> link) { (void)link; }
+
+    /// The attached transport (null when none). Benches read its link stats.
+    [[nodiscard]] virtual const wire::Transport* wire_link() const { return nullptr; }
 };
 
 /// Engine-backed skeleton shared by both group harnesses: owns the engine
@@ -113,6 +125,12 @@ public:
     /// replica's schedule hooks (IC spans, plays, clock holds). Requires the
     /// subclass to have installed its processors (construction is complete).
     void set_telemetry(telemetry::Telemetry_sink* sink) override;
+
+    /// Own the transport and attach it to the engine as the pulse link; the
+    /// current sink (if any) is forwarded so wire.* counters flow. Order-
+    /// independent with set_telemetry.
+    void set_wire(std::unique_ptr<wire::Transport> link) override;
+    [[nodiscard]] const wire::Transport* wire_link() const override { return wire_.get(); }
 
     /// The group's network delivery bound (1 under the default clean model).
     [[nodiscard]] int delta() const { return engine_.net().delta; }
@@ -146,6 +164,9 @@ protected:
     Game_spec spec_;
     std::set<common::Processor_id> byzantine_;
     sim::Engine engine_;
+    /// Cross-boundary transport (null = in-place delivery, no link attached).
+    /// Owned here because the engine holds only the non-owning Pulse_link.
+    std::unique_ptr<wire::Transport> wire_;
 
 private:
     void enact_disconnections();

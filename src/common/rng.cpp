@@ -92,6 +92,24 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream, std::ui
     return derive_seed(derive_seed(base_seed, stream), substream);
 }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::string_view tag)
+{
+    // FNV-1a 64 over the tag bytes; the hash then rides the ordinary
+    // integer-stream derivation. 64-bit dispersion keeps a named stream from
+    // landing on the dense small-integer indices used for ids.
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (const char c : tag) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 1099511628211ULL;
+    }
+    return derive_seed(base_seed, hash);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::string_view tag, std::uint64_t substream)
+{
+    return derive_seed(derive_seed(base_seed, tag), substream);
+}
+
 Rng Rng::split(std::uint64_t stream)
 {
     // Derive a child seed from fresh output mixed with the stream index so

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/ensure.h"
@@ -97,6 +98,14 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream);
 /// elastic fabric's rebuilt replica groups are reproducible from (seed,
 /// shard, epoch) alone — no generator state survives a rebuild.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream, std::uint64_t substream);
+
+/// Named-stream derivation: the tag's bytes are hashed (FNV-1a 64) into the
+/// stream index, so a component can carve out a labelled seed stream —
+/// derive_seed(seed, "burst", window) — that cannot collide with any
+/// small-integer-indexed stream (client ids, shard ids, ...) drawn from the
+/// same base seed. Pure like the integer forms.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::string_view tag);
+std::uint64_t derive_seed(std::uint64_t base_seed, std::string_view tag, std::uint64_t substream);
 
 } // namespace ga::common
 

@@ -48,6 +48,15 @@ void Ingest_config::validate() const
     common::ensure(priorities >= 1, "Ingest_config::priorities must be >= 1");
     common::ensure(quota >= 0, "Ingest_config::quota must be non-negative (0 = unlimited)");
     common::ensure(window_batches >= 1, "Ingest_config::window_batches must be >= 1");
+    if (!deadline_pulses.empty()) {
+        common::ensure(static_cast<int>(deadline_pulses.size()) == priorities,
+                       "Ingest_config::deadline_pulses must be empty or one entry per class");
+        for (const common::Pulse d : deadline_pulses)
+            common::ensure(d >= 0,
+                           "Ingest_config::deadline_pulses entries must be >= 0 (0 = none)");
+        common::ensure(deadline_pulses[0] == 0,
+                       "Ingest_config::deadline_pulses[0] must be 0 (class 0 never sheds)");
+    }
 }
 
 void Ingest_totals::fold(const Ingest_totals& other)
@@ -57,6 +66,7 @@ void Ingest_totals::fold(const Ingest_totals& other)
     queued += other.queued;
     retry_after += other.retry_after;
     shed += other.shed;
+    shed_deadline += other.shed_deadline;
     served += other.served;
     completed += other.completed;
     queue_depth_max = std::max(queue_depth_max, other.queue_depth_max);
@@ -165,16 +175,39 @@ void Shard_inlet::adopt(Pending p, common::Pulse now)
         std::max(totals_.queue_depth_max, static_cast<std::int64_t>(queue_.size()));
 }
 
-std::vector<Shard_inlet::Pending> Shard_inlet::take(int n)
+std::vector<Shard_inlet::Pending> Shard_inlet::take(int n, common::Pulse now)
 {
     common::ensure(n >= 0, "Shard_inlet::take: n must be non-negative");
     std::vector<Pending> out;
-    const int m = std::min<int>(n, static_cast<int>(queue_.size()));
-    out.reserve(static_cast<std::size_t>(m));
-    for (int i = 0; i < m; ++i) {
-        out.push_back(std::move(queue_.front()));
+    out.reserve(static_cast<std::size_t>(std::min<int>(n, static_cast<int>(queue_.size()))));
+    while (static_cast<int>(out.size()) < n && !queue_.empty()) {
+        Pending p = std::move(queue_.front());
         queue_.pop_front();
+        // Deadline check at service time: a submission whose class budget has
+        // lapsed would reach its play window stale, so it is shed here —
+        // loudly (counter + journal event), honoring the no-silent-drops
+        // invariant. Class 0 has budget 0 (validated) and never sheds.
+        const common::Pulse budget =
+            config_.deadline_pulses.empty()
+                ? 0
+                : config_.deadline_pulses[static_cast<std::size_t>(p.sub.priority)];
+        if (budget > 0 && now - p.enqueued_at > budget) {
+            totals_.shed_deadline += 1;
+            if (sink_ != nullptr) {
+                sink_->counter("ingest.shed_deadline") += 1;
+                telemetry::Event e;
+                e.kind = telemetry::Event_kind::ingest_deadline;
+                e.at = now;
+                e.a = p.sub.agent;
+                e.b = now - p.enqueued_at;
+                e.note = std::string{"p"} + std::to_string(p.sub.priority);
+                sink_->event(std::move(e));
+            }
+            continue;
+        }
+        out.push_back(std::move(p));
     }
+    const int m = static_cast<int>(out.size());
     totals_.served += m;
     if (sink_ != nullptr && m > 0) sink_->counter("ingest.served") += m;
     return out;

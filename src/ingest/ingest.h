@@ -28,8 +28,10 @@
 // Two invariants the rest of the PR enforces end to end:
 //
 //   no silent drops   a submission that entered the queue is never thrown
-//                     away — it is served, or re-routed (adopt) across an
-//                     epoch transition; shedding happens at admission only;
+//                     away silently — it is served, re-routed (adopt) across
+//                     an epoch transition, or (when a class declares a
+//                     deadline) shed at service time with a counter and a
+//                     journaled ingest_deadline event naming it;
 //   determinism       every decision is a pure function of (config, the
 //                     deterministic submission order, shard pulse time):
 //                     no wall clock, no global state — so an open-loop run
@@ -106,6 +108,14 @@ struct Ingest_config {
     /// = window_batches x batch_k plays). Must be >= 1.
     int window_batches = 1;
 
+    /// Deadline-aware shedding: deadline_pulses[p] is the maximum pulses a
+    /// class-p submission may wait in the queue before service; an entry that
+    /// would be served later than its deadline is shed at take() time instead
+    /// of played stale. Empty = no deadlines (default). Otherwise one entry
+    /// per priority class; 0 disables the deadline for that class, and entry
+    /// 0 must be 0 — class 0 never sheds, by class or by age.
+    std::vector<common::Pulse> deadline_pulses;
+
     /// Throws common::Contract_error naming the bad field.
     void validate() const;
 
@@ -150,6 +160,7 @@ struct Ingest_totals {
     std::int64_t queued = 0;      ///< backlog-admitted (healthy, no token)
     std::int64_t retry_after = 0; ///< bounced with a retry hint
     std::int64_t shed = 0;        ///< dropped at admission
+    std::int64_t shed_deadline = 0; ///< dropped at service time (stale by class deadline)
     std::int64_t served = 0;      ///< handed to a play window
     std::int64_t completed = 0;   ///< verdict landed (goodput)
     std::int64_t queue_depth_max = 0;
@@ -192,8 +203,12 @@ public:
     /// adopting shard's clock.
     void adopt(Pending p, common::Pulse now);
 
-    /// Drain up to `n` entries for service, FIFO by seq.
-    [[nodiscard]] std::vector<Pending> take(int n);
+    /// Drain up to `n` serviceable entries, FIFO by seq, at shard pulse
+    /// `now`. Entries whose class deadline has lapsed (now - enqueued_at >
+    /// deadline_pulses[priority]) are shed here instead of served stale:
+    /// counted in ingest.shed_deadline and journaled as an ingest_deadline
+    /// event, never silently dropped.
+    [[nodiscard]] std::vector<Pending> take(int n, common::Pulse now);
 
     /// A served entry's verdict landed at shard pulse `at` (records the
     /// submit-to-verdict latency).

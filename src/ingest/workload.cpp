@@ -24,6 +24,11 @@ void Workload_config::validate() const
     common::ensure(priorities >= 1, "Workload_config::priorities must be >= 1");
     common::ensure(rate_num > 0, "Workload_config::rate_num must be positive");
     common::ensure(rate_den > 0, "Workload_config::rate_den must be positive");
+    common::ensure(burst_period >= 0, "Workload_config::burst_period must be >= 0");
+    if (burst_period > 0) {
+        common::ensure(burst_duty > 0.0 && burst_duty <= 1.0,
+                       "Workload_config::burst_duty must be in (0, 1]");
+    }
     retry.validate();
 }
 
@@ -47,9 +52,12 @@ std::vector<Submission> Open_loop_load::tick(std::int64_t t)
 
     // Fresh arrivals: the rational accumulator gains rate_num per window and
     // every rate_den units is one submission, so fractional rates (1.5x
-    // capacity) emit an exact long-run average with no float drift.
+    // capacity) emit an exact long-run average with no float drift. Under
+    // bursting the accumulator still accrues every window, but only flushes
+    // while the gate is open — closed blocks bank demand that then arrives as
+    // a spike, which is exactly the regime bursting is meant to exercise.
     accum_ += config_.rate_num;
-    while (accum_ >= config_.rate_den) {
+    while (burst_open(t) && accum_ >= config_.rate_den) {
         accum_ -= config_.rate_den;
         Submission sub;
         sub.client = next_client_;
@@ -65,6 +73,18 @@ std::vector<Submission> Open_loop_load::tick(std::int64_t t)
 
     stats_.submitted += static_cast<std::int64_t>(out.size());
     return out;
+}
+
+bool Open_loop_load::burst_open(std::int64_t t) const
+{
+    if (config_.burst_period == 0) return true;
+    // One Bernoulli draw per block of burst_period windows, from the labelled
+    // "burst" stream — a pure function of (seed, block), so replay does not
+    // depend on how many draws other components made.
+    const std::int64_t block = t / config_.burst_period;
+    common::Rng rng{
+        common::derive_seed(config_.seed, "burst", static_cast<std::uint64_t>(block))};
+    return rng.chance(config_.burst_duty);
 }
 
 int Open_loop_load::backoff_windows(std::int64_t client, int attempt) const

@@ -47,6 +47,14 @@ struct Workload_config {
     std::int64_t rate_den = 1;
     std::uint64_t seed = 0;
     Retry_policy retry;
+    /// Bursty arrival mode: windows are grouped into blocks of `burst_period`
+    /// and each block is open (fresh arrivals emitted) or closed (arrivals
+    /// accrue in the accumulator and flush on the next open block) by a
+    /// Bernoulli(burst_duty) draw from derive_seed(seed, "burst", block) —
+    /// seeded, replayable, independent of every other stream. 0 disables
+    /// bursting (every window open); retries fire regardless of the gate.
+    int burst_period = 0;
+    double burst_duty = 0.5;
 
     /// Throws common::Contract_error naming the bad field.
     void validate() const;
@@ -88,6 +96,9 @@ public:
 private:
     /// Windows to wait after attempt `attempt` by `client` was shed.
     [[nodiscard]] int backoff_windows(std::int64_t client, int attempt) const;
+
+    /// Whether the burst gate admits fresh arrivals during window `t`.
+    [[nodiscard]] bool burst_open(std::int64_t t) const;
 
     Workload_config config_;
     std::int64_t accum_ = 0;      ///< rational arrival accumulator (num units)

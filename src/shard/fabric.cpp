@@ -50,6 +50,7 @@ void Fabric::validate_config() const
     // The front door's own validation names the offending Ingest_config
     // field, so a bad Fabric_config::ingest can never construct a fabric.
     if (config_.ingest.has_value()) config_.ingest->validate();
+    config_.transport.validate();
 }
 
 Fabric::Fabric(Shard_map map, std::vector<std::unique_ptr<authority::Agent_behavior>> behaviors,
@@ -132,6 +133,9 @@ Fabric::build_group(const Shard_plan& plan, int s,
             std::move(spec), config_.f, std::move(behaviors), local_byzantine, config_.punishment,
             std::move(shard_rng), config_.byzantine_factory, config_.ic_factory, std::move(net));
     }
+    // Every group gets its own cross-boundary link, minted fresh like the
+    // group itself — ring state never leaks across epochs.
+    built.group->set_wire(wire::make_transport(config_.transport));
     return built;
 }
 
@@ -205,9 +209,9 @@ int Fabric::pump_ingest()
     std::vector<std::function<void()>> jobs;
     int total = 0;
     for (int s = 0; s < n_shards(); ++s) {
-        taken[static_cast<std::size_t>(s)] =
-            inlets_[static_cast<std::size_t>(s)]->take(service);
         from[static_cast<std::size_t>(s)] = shards_[static_cast<std::size_t>(s)]->now();
+        taken[static_cast<std::size_t>(s)] = inlets_[static_cast<std::size_t>(s)]->take(
+            service, from[static_cast<std::size_t>(s)]);
         const int m = static_cast<int>(taken[static_cast<std::size_t>(s)].size());
         total += m;
         if (m == 0) continue;

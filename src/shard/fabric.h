@@ -57,6 +57,7 @@
 #include "telemetry/export.h"
 #include "telemetry/trace_export.h"
 #include "telemetry/watchdog.h"
+#include "wire/transport.h"
 
 namespace ga::shard {
 
@@ -94,6 +95,17 @@ struct Fabric_config {
     /// (or rebuilds of one) share a fault schedule, and the whole elastic
     /// run stays a pure function of (seed, map, policy, config, net).
     sim::Net_model net;
+    /// Wire transport each shard's per-pulse cross-boundary traffic flows
+    /// through (src/wire/): behaviors' actions out, verdicts/outcomes/
+    /// standings back — everything riding the pulse messages. `loopback`
+    /// moves the refcounted payload handles (the historical in-process
+    /// behavior, now explicit); `ring` round-trips every message through the
+    /// flat frame codec and a lock-free SPSC ring, the full cost model of a
+    /// process boundary. Part of the determinism contract: verdicts, stats,
+    /// and telemetry are bit-identical between the two kinds and across
+    /// executor widths — the choice moves wall-clock cost, never results.
+    /// One link per shard group, rebuilt with the group at epoch edges.
+    wire::Wire_config transport;
     /// Plays agreed per BA activation batch: 1 = the classic per-play §3.3
     /// schedule (Distributed_authority), > 1 = pipelined shards amortizing
     /// agreement cost over k-play batches (Pipeline_authority).

@@ -341,6 +341,12 @@ void Engine::run_pulse_parallel()
     }
 }
 
+void Engine::set_link(Pulse_link* link)
+{
+    common::ensure(pulse_ == 0, "Engine::set_link: only callable before the first pulse");
+    link_ = link;
+}
+
 void Engine::set_tracer(telemetry::Tracer* tracer)
 {
     tracer_ = tracer;
@@ -374,15 +380,26 @@ void Engine::run_pulse()
     trace_net_windows();
     if (net_active_) {
         prepare_net_inboxes();
+        // The wire boundary sits at delivery time: the pulse's finalized
+        // inboxes cross the link right before the processors consume them.
+        // Runs on the coordinating thread, so it is sequenced against the
+        // worker pool on every path.
+        if (link_ != nullptr) link_->cross_pulse(inboxes_, pulse_);
         if (config_.threads > 1 && size() > 1) {
             run_pulse_net_parallel();
         } else {
             run_pulse_net_single();
         }
-    } else if (config_.threads > 1 && size() > 1) {
-        run_pulse_parallel();
     } else {
-        run_pulse_single();
+        // Classic transport: inboxes_ was finalized at the end of the
+        // previous pulse (single path swaps, parallel path gathers in
+        // place), so it crosses here, at the same consumption point.
+        if (link_ != nullptr) link_->cross_pulse(inboxes_, pulse_);
+        if (config_.threads > 1 && size() > 1) {
+            run_pulse_parallel();
+        } else {
+            run_pulse_single();
+        }
     }
     ++pulse_;
     ++stats_.pulses;

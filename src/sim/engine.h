@@ -67,6 +67,20 @@ struct Engine_config {
     int threads = 1;
 };
 
+/// Cross-boundary hook for the wire layer (src/wire/): when a link is
+/// attached, every pulse's delivered inboxes cross it right before the
+/// processors consume them — `inboxes[r]` holds recipient r's messages and
+/// the link must leave each message's identity (from, to, sent_at, payload
+/// bytes) intact, in order. The call runs on the coordinating thread after
+/// delivery is finalized, so a link is sequenced against both the worker
+/// pool and the harness: result-invariant by contract, observable only in
+/// wall clock and in the link's own accounting.
+class Pulse_link {
+public:
+    virtual ~Pulse_link() = default;
+    virtual void cross_pulse(std::vector<std::vector<Message>>& inboxes, common::Pulse at) = 0;
+};
+
 class Engine {
 public:
     /// The graph fixes both the system size and who can talk to whom; the net
@@ -104,6 +118,14 @@ public:
     /// geometry and every message's fate are part of the run's identity.
     void set_net_model(Net_model net);
     [[nodiscard]] const Net_model& net() const { return net_; }
+
+    /// Attach the wire link every delivered pulse batch crosses (nullptr
+    /// detaches — messages then stay in place, the historical behavior).
+    /// Only callable before the first pulse, like set_net_model: the
+    /// boundary is part of the run's shape even though a conforming link
+    /// never changes results.
+    void set_link(Pulse_link* link);
+    [[nodiscard]] Pulse_link* link() const { return link_; }
 
     /// Attach a span recorder (nullptr detaches). The engine then traces its
     /// own fault-model activity — net burst/partition windows as spans,
@@ -202,6 +224,7 @@ private:
     std::vector<std::vector<std::vector<Message>>> wheel_;
     common::Pulse pulse_ = 0;
     Traffic_stats stats_;
+    Pulse_link* link_ = nullptr; ///< wire boundary (null = in-place delivery)
     telemetry::Tracer* tracer_ = nullptr;
     std::vector<std::int64_t> net_window_spans_; ///< open span id per net window (0 = none)
 

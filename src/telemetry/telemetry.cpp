@@ -96,6 +96,7 @@ constexpr std::array<const char*, k_event_kind_count> k_event_kind_names = {
     "clock_hold",         // Event_kind::clock_hold
     "clock_resume",       // Event_kind::clock_resume
     "ingest_state",       // Event_kind::ingest_state
+    "ingest_deadline",    // Event_kind::ingest_deadline
 };
 static_assert(k_event_kind_names.size() == static_cast<std::size_t>(k_event_kind_count));
 static_assert(k_event_kind_names.back() != nullptr);

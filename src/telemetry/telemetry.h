@@ -116,14 +116,15 @@ enum class Event_kind : std::uint8_t {
     net_window_close,   ///< burst/partition window healed; a = index
     clock_hold,         ///< clock held on insufficient evidence; a = held value
     clock_resume,       ///< clock stepped again after a hold; a = new value
-    ingest_state        ///< inlet health transition; a = new state, b = queue depth
+    ingest_state,       ///< inlet health transition; a = new state, b = queue depth
+    ingest_deadline     ///< queued submission shed stale; a = agent, b = pulses waited
 };
 
 /// Number of Event_kind enumerators. The static_assert pins it to the last
 /// enumerator, and event_kind_name's table is sized by it — adding a kind
 /// without updating both (and the name table) fails to compile, so a new
 /// kind can never ship unnamed.
-inline constexpr int k_event_kind_count = static_cast<int>(Event_kind::ingest_state) + 1;
+inline constexpr int k_event_kind_count = static_cast<int>(Event_kind::ingest_deadline) + 1;
 
 /// Spelled-out kind (stable wire names for exporters).
 [[nodiscard]] const char* event_kind_name(Event_kind kind);

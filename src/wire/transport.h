@@ -1,0 +1,189 @@
+// Pluggable cross-boundary transports for one shard's pulse traffic.
+//
+// Every pulse, a shard's engine delivers the router↔shard protocol traffic —
+// behaviors' actions out, verdicts/outcomes/standings back, all riding the
+// pulse messages — as in-address-space Shared_payload handles. A Transport
+// makes that boundary explicit: the engine hands it the whole pulse's
+// delivered inboxes (sim::Pulse_link) and the transport moves them "across".
+// Two implementations:
+//
+//   Loopback_transport  the historical behavior, now explicit: moves the
+//                       refcounted payload handles, encodes nothing. Wire
+//                       accounting is computed arithmetically
+//                       (codec.h encoded_size), so its telemetry matches the
+//                       ring's bit for bit.
+//
+//   Ring_transport      a real boundary's cost model in-process: every
+//                       message is encoded through the flat frame codec into
+//                       a lock-free SPSC ring of frames (fixed power-of-two
+//                       capacity, acquire/release atomics only, one batched
+//                       publish per pulse) and decoded back out. Swapping the
+//                       ring's two ends into separate processes is the one
+//                       remaining step to the distributed north star.
+//
+// Determinism contract (extends the fabric's): verdicts, stats, and
+// telemetry are bit-identical between loopback and ring and across executor
+// widths. Everything a transport observes into telemetry is therefore
+// transport-invariant by construction: frames = messages crossed, bytes =
+// encoded frame size, high water = the largest one-pulse batch in flight.
+// Wall-clock encode/decode cost is measured by bench_wire (E19), never by
+// the deterministic sink.
+#ifndef GA_WIRE_TRANSPORT_H
+#define GA_WIRE_TRANSPORT_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "telemetry/telemetry.h"
+#include "wire/codec.h"
+
+namespace ga::wire {
+
+enum class Transport_kind : std::uint8_t {
+    loopback, ///< zero-copy in-process handle move (default)
+    ring,     ///< codec round-trip through the SPSC frame ring
+};
+
+/// Spelled-out kind (stable names for configs, benches, exporters).
+[[nodiscard]] const char* transport_kind_name(Transport_kind kind);
+
+/// Per-shard link selection (Fabric_config::transport). validate() throws
+/// Contract_error naming the offending field.
+struct Wire_config {
+    Transport_kind kind = Transport_kind::loopback;
+    /// Ring capacity in frames; must be a power of two. A pulse batch larger
+    /// than the ring still crosses — the in-process consumer drains mid-batch
+    /// exactly where a remote peer would apply backpressure.
+    int ring_frames = 1024;
+
+    void validate() const;
+
+    friend bool operator==(const Wire_config&, const Wire_config&) = default;
+};
+
+/// Deterministic link accounting, identical for every transport kind.
+struct Link_stats {
+    std::int64_t pulses = 0;     ///< pulses that crossed >= 1 frame
+    std::int64_t frames = 0;     ///< messages crossed
+    std::int64_t bytes = 0;      ///< encoded frame bytes (header + payload + checksum)
+    std::int64_t high_water = 0; ///< largest one-pulse batch, in frames
+
+    friend bool operator==(const Link_stats&, const Link_stats&) = default;
+};
+
+/// Base transport: implements the engine hook's accounting and telemetry;
+/// subclasses implement the actual crossing.
+class Transport : public sim::Pulse_link {
+public:
+    [[nodiscard]] virtual Transport_kind kind() const = 0;
+    [[nodiscard]] const Link_stats& stats() const { return stats_; }
+
+    /// Attach a sink (nullptr detaches); caches the wire.* counter/gauge/
+    /// histogram references once so the per-pulse cost is a few adds.
+    /// Observer-only, and transport-invariant: loopback and ring write the
+    /// same values, so telemetry JSON stays byte-identical across kinds.
+    void set_telemetry(telemetry::Telemetry_sink* sink);
+
+protected:
+    /// Fold one crossed pulse batch into the stats and the sink. No-op for
+    /// an empty pulse (both kinds skip it, keeping histograms comparable).
+    void account(std::int64_t frames, std::int64_t bytes);
+
+private:
+    Link_stats stats_;
+    telemetry::Telemetry_sink* sink_ = nullptr;
+    std::int64_t* tel_pulses_ = nullptr;
+    std::int64_t* tel_frames_ = nullptr;
+    std::int64_t* tel_bytes_ = nullptr;
+    telemetry::Histogram* tel_pulse_frames_ = nullptr;
+    telemetry::Histogram* tel_pulse_bytes_ = nullptr;
+    double* tel_high_water_ = nullptr;
+};
+
+/// In-process zero-copy link: payload handles move, nothing is encoded.
+class Loopback_transport final : public Transport {
+public:
+    [[nodiscard]] Transport_kind kind() const override { return Transport_kind::loopback; }
+    void cross_pulse(std::vector<std::vector<sim::Message>>& inboxes, common::Pulse at) override;
+};
+
+/// Lock-free single-producer/single-consumer ring of encoded frames. Fixed
+/// power-of-two capacity; one Bytes buffer per slot, reused across frames so
+/// the steady state allocates nothing. Producer stages frames into free
+/// slots and publishes them with one release store per batch; the consumer
+/// pops with an acquire load. Both ends currently run on the shard's
+/// coordinating thread, but the synchronization is complete — splitting the
+/// ends across threads (or, via shared memory, processes) needs no change
+/// here.
+class Spsc_frame_ring {
+public:
+    explicit Spsc_frame_ring(int capacity);
+
+    [[nodiscard]] int capacity() const { return static_cast<int>(mask_ + 1); }
+
+    // ---- Producer end.
+
+    /// Encode `msg` into the next free slot (unpublished). False when the
+    /// ring is full — publish() and let the consumer drain first.
+    [[nodiscard]] bool try_stage(const sim::Message& msg);
+
+    /// Release every staged frame to the consumer in one atomic publish.
+    void publish();
+
+    // ---- Consumer end.
+
+    /// Decode the oldest published frame into `out`. False when empty.
+    [[nodiscard]] bool try_pop(sim::Message& out);
+
+    // ---- Gauges (read from the producer side).
+
+    /// Published frames not yet consumed.
+    [[nodiscard]] std::int64_t depth() const;
+
+    /// Deepest the ring has ever been at a publish edge. Distinct from the
+    /// link's batch high water: a batch larger than the ring drains mid-
+    /// pulse, so this tops out at the capacity.
+    [[nodiscard]] std::int64_t depth_high_water() const { return depth_high_water_; }
+
+private:
+    std::vector<common::Bytes> slots_;
+    std::uint64_t mask_;
+    alignas(64) std::atomic<std::uint64_t> head_{0}; ///< published count (producer writes)
+    alignas(64) std::atomic<std::uint64_t> tail_{0}; ///< consumed count (consumer writes)
+    // Producer-local state (no sharing): staging cursor + cached tail.
+    std::uint64_t staged_ = 0;
+    std::uint64_t cached_tail_ = 0;
+    // Consumer-local cached head.
+    std::uint64_t cached_head_ = 0;
+    std::int64_t depth_high_water_ = 0;
+};
+
+/// Codec round-trip link: every message is framed, pushed through the SPSC
+/// ring (batched publish per pulse), popped, and decoded into a freshly
+/// minted payload — the full cost model of a process boundary, in-process.
+class Ring_transport final : public Transport {
+public:
+    explicit Ring_transport(int ring_frames);
+
+    [[nodiscard]] Transport_kind kind() const override { return Transport_kind::ring; }
+    void cross_pulse(std::vector<std::vector<sim::Message>>& inboxes, common::Pulse at) override;
+
+    [[nodiscard]] const Spsc_frame_ring& ring() const { return ring_; }
+
+private:
+    /// Pop everything published so far into the per-recipient rows.
+    void drain(std::size_t n_recipients);
+
+    Spsc_frame_ring ring_;
+    std::vector<std::vector<sim::Message>> decoded_; ///< scratch rows, reused
+};
+
+/// Mint the configured transport (validates `config`).
+[[nodiscard]] std::unique_ptr<Transport> make_transport(const Wire_config& config);
+
+} // namespace ga::wire
+
+#endif // GA_WIRE_TRANSPORT_H

@@ -17,6 +17,7 @@
 #include "sim/engine.h"
 #include "sim/malicious.h"
 #include "ssba/ssba.h"
+#include "wire/codec.h"
 
 namespace {
 
@@ -313,6 +314,111 @@ TEST(Fuzz, SessionsIgnoreOutOfScheduleCalls)
     EXPECT_FALSE(pk.done());
     (void)pk.message_for_round(-5);
     (void)pk.message_for_round(500);
+}
+
+// --------------------------------------------------------------- Wire codec
+
+/// A random message whose payload mimics one of the protocol's shapes:
+/// empty heartbeats, tiny clock beacons, mid-size IC sections, commitment
+/// digests, and occasionally a large blob.
+sim::Message random_wire_message(Rng& rng)
+{
+    static constexpr std::size_t k_shapes[] = {0, 1, 8, 33, 64, 512};
+    sim::Message msg;
+    msg.from = static_cast<common::Processor_id>(rng.between(-1, 64));
+    msg.to = static_cast<common::Processor_id>(rng.between(-1, 64));
+    msg.sent_at = rng.between(0, 1'000'000);
+    msg.payload = common::Shared_payload{
+        random_bytes(rng, k_shapes[rng.below(std::size(k_shapes))])};
+    return msg;
+}
+
+TEST(CodecFuzz, SeededMessagesRoundTripByteExact)
+{
+    for (const std::uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        Rng rng{seed};
+        std::vector<sim::Message> batch;
+        Bytes buf;
+        for (int trial = 0; trial < 500; ++trial) {
+            batch.push_back(random_wire_message(rng));
+            wire::encode_frame(batch.back(), buf);
+        }
+        // Re-encoding the decoded batch must reproduce the exact bytes: the
+        // transports' bit-identity contract rests on this.
+        const std::vector<sim::Message> decoded = wire::decode_batch(buf);
+        ASSERT_EQ(decoded.size(), batch.size());
+        Bytes again;
+        wire::encode_batch(decoded, again);
+        EXPECT_EQ(again, buf);
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            EXPECT_EQ(decoded[i].from, batch[i].from);
+            EXPECT_EQ(decoded[i].to, batch[i].to);
+            EXPECT_EQ(decoded[i].sent_at, batch[i].sent_at);
+            EXPECT_EQ(decoded[i].payload.bytes(), batch[i].payload.bytes());
+        }
+    }
+}
+
+TEST(CodecFuzz, EveryTruncationLengthThrowsWithAByteOffset)
+{
+    Rng rng{21};
+    Bytes buf;
+    wire::encode_frame(random_wire_message(rng), buf);
+    // cut = 0 (an empty buffer) is a legal zero-frame batch; every strictly
+    // partial prefix must throw.
+    for (std::size_t cut = 1; cut < buf.size(); ++cut) {
+        SCOPED_TRACE("cut at " + std::to_string(cut));
+        const Bytes head{buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(cut)};
+        try {
+            (void)wire::decode_batch(head);
+            FAIL() << "a truncated frame must not decode";
+        } catch (const common::Contract_error& e) {
+            EXPECT_NE(std::string{e.what()}.find("at byte"), std::string::npos) << e.what();
+        }
+    }
+}
+
+TEST(CodecFuzz, SeededBitFlipsNeverDecodeSilently)
+{
+    Rng rng{22};
+    for (int trial = 0; trial < 300; ++trial) {
+        SCOPED_TRACE("trial " + std::to_string(trial));
+        Bytes buf;
+        const sim::Message original = random_wire_message(rng);
+        wire::encode_frame(original, buf);
+        const std::size_t victim = static_cast<std::size_t>(rng.below(buf.size()));
+        buf[victim] ^= static_cast<std::uint8_t>(1U << rng.below(8));
+        try {
+            std::size_t offset = 0;
+            const sim::Message decoded = wire::decode_frame(buf, offset);
+            // A flip in the length field can only "succeed" by truncation or
+            // checksum failure, both thrown above; reaching here with damaged
+            // content means the checksum missed it — a codec bug.
+            ADD_FAILURE() << "bit flip at byte " << victim << " decoded silently (from="
+                          << decoded.from << ")";
+        } catch (const common::Contract_error& e) {
+            EXPECT_NE(std::string{e.what()}.find("at byte"), std::string::npos) << e.what();
+        }
+    }
+}
+
+TEST(CodecFuzz, RandomGarbageEitherThrowsOrRoundTrips)
+{
+    Rng rng{23};
+    for (int trial = 0; trial < 2000; ++trial) {
+        const Bytes garbage = random_bytes(rng, 128);
+        try {
+            const std::vector<sim::Message> decoded = wire::decode_batch(garbage);
+            // Astronomically unlikely, but if garbage parses it must re-encode
+            // to the same bytes (decode is a right inverse of encode).
+            Bytes again;
+            wire::encode_batch(decoded, again);
+            EXPECT_EQ(again, garbage);
+        } catch (const common::Contract_error&) {
+            // expected: magic, truncation, or checksum tripwire
+        }
+    }
 }
 
 } // namespace

@@ -100,6 +100,38 @@ void render_ingest(const Json_value& report)
     if (inlets.row_count() > 0) inlets.print(std::cout);
 }
 
+/// Wire census: per-shard link accounting (frames, bytes, batch high water,
+/// per-pulse volume tail). Transport-invariant by the wire determinism
+/// contract — the same numbers describe a loopback or a ring run. Rendered
+/// only when the report carries wire.* counters; older artifacts skip it.
+void render_wire(const Json_value& report)
+{
+    const std::int64_t frames = total_counter(report, "wire.frames");
+    if (frames == 0) return;
+
+    std::cout << "\nwire: " << frames << " frame(s), " << total_counter(report, "wire.bytes")
+              << " encoded byte(s) across " << total_counter(report, "wire.pulses")
+              << " non-empty pulse(s)\n";
+
+    common::Table links{{"scope", "pulses", "frames", "bytes", "batch max", "f/pulse p50",
+                         "f/pulse p99"}};
+    for (const Json_value& shard : report.at("shards").array) {
+        const Json_value& counters = shard.at("telemetry").at("counters");
+        const Json_value& gauges = shard.at("telemetry").at("gauges");
+        const Json_value& volume =
+            shard.at("telemetry").at("histograms").at("wire.pulse_frames");
+        if (counters.at("wire.frames").as_int() == 0) continue;
+        links.add_row({scope_label(shard.at("shard").as_int(), shard.at("epoch").as_int()),
+                       std::to_string(counters.at("wire.pulses").as_int()),
+                       std::to_string(counters.at("wire.frames").as_int()),
+                       std::to_string(counters.at("wire.bytes").as_int()),
+                       std::to_string(gauges.at("wire.high_water").as_int()),
+                       std::to_string(volume.at("p50").as_int()),
+                       std::to_string(volume.at("p99").as_int())});
+    }
+    if (links.row_count() > 0) links.print(std::cout);
+}
+
 int render_report(const Json_value& root, std::int64_t agent_filter)
 {
     // A bench --json artifact wraps the report under "telemetry".
@@ -115,6 +147,7 @@ int render_report(const Json_value& root, std::int64_t agent_filter)
               << ", fouls flagged: " << total_counter(report, "fouls.flagged")
               << ", outcome divergence: " << total_counter(report, "outcome.divergence") << "\n";
     render_ingest(report);
+    render_wire(report);
     std::cout << "\n";
 
     const Json_value& provenance = report.at("provenance");
@@ -272,6 +305,12 @@ int run_demo()
     }
     if (total_counter(report_value, "ingest.offered") != front.offered) {
         std::cerr << "FAIL: exported ingest census disagrees with the fabric totals\n";
+        return 1;
+    }
+    // Wire invariant: every shard runs behind a transport link (loopback by
+    // default), so a demo that moved traffic must export a wire census.
+    if (total_counter(report_value, "wire.frames") == 0) {
+        std::cerr << "FAIL: demo exported no wire.* census (transport link missing)\n";
         return 1;
     }
     std::cout << "\nOK\n";
